@@ -1,0 +1,82 @@
+"""Figure 4 — the motivating example (§5.1).
+
+Paper numbers on the 5-node topology:
+
+* shortest-path balanced routing delivers **5** units/s (Fig. 4b);
+* optimal balanced routing delivers **8** units/s (Fig. 4c);
+* total demand is 12 units/s.
+
+Run with::
+
+    pytest benchmarks/bench_fig4_motivating.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.fluid import all_simple_paths, bfs_shortest_path, solve_fluid_lp
+from repro.metrics import format_table
+from repro.topology import (
+    FIG4_DEMANDS,
+    FIG4_OPTIMAL_THROUGHPUT,
+    FIG4_SHORTEST_PATH_THROUGHPUT,
+    fig4_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    return fig4_topology().adjacency()
+
+
+def test_fig4_shortest_path_row(benchmark, adjacency):
+    """Fig. 4b: balanced routing restricted to shortest paths -> 5 units."""
+    path_set = {pair: [bfs_shortest_path(adjacency, *pair)] for pair in FIG4_DEMANDS}
+
+    solution = run_once(
+        benchmark, lambda: solve_fluid_lp(FIG4_DEMANDS, path_set, balance="equality")
+    )
+    print()
+    print(
+        format_table(
+            ["routing", "throughput", "paper"],
+            [["shortest-path balanced", f"{solution.throughput:g}", "5"]],
+            title="Fig. 4b",
+        )
+    )
+    assert solution.throughput == pytest.approx(FIG4_SHORTEST_PATH_THROUGHPUT)
+
+
+def test_fig4_optimal_row(benchmark, adjacency):
+    """Fig. 4c: optimal balanced routing -> 8 units (= nu(C*))."""
+    path_set = {pair: all_simple_paths(adjacency, *pair) for pair in FIG4_DEMANDS}
+
+    solution = run_once(
+        benchmark, lambda: solve_fluid_lp(FIG4_DEMANDS, path_set, balance="equality")
+    )
+    print()
+    print(
+        format_table(
+            ["routing", "throughput", "paper"],
+            [["optimal balanced", f"{solution.throughput:g}", "8"]],
+            title="Fig. 4c",
+        )
+    )
+    assert solution.throughput == pytest.approx(FIG4_OPTIMAL_THROUGHPUT)
+
+
+def test_fig4_gap_shape(benchmark, adjacency):
+    """The headline of §5.1: optimal balanced routing beats shortest-path
+    balanced routing by 60% on this example."""
+    shortest = {pair: [bfs_shortest_path(adjacency, *pair)] for pair in FIG4_DEMANDS}
+    all_paths = {pair: all_simple_paths(adjacency, *pair) for pair in FIG4_DEMANDS}
+
+    def both():
+        a = solve_fluid_lp(FIG4_DEMANDS, shortest, balance="equality").throughput
+        b = solve_fluid_lp(FIG4_DEMANDS, all_paths, balance="equality").throughput
+        return a, b
+
+    sp_value, opt_value = run_once(benchmark, both)
+    assert opt_value / sp_value == pytest.approx(8.0 / 5.0)

@@ -1,0 +1,86 @@
+"""Figure 5 — circulation/DAG decomposition of the payment graph (§5.2.2).
+
+Paper numbers: the example's 12 units of demand decompose into a maximum
+circulation of value **8** (Fig. 5b) and a DAG remainder of value **4**
+(Fig. 5c).  (The paper's "8/12 = 75%" is an arithmetic slip; 8/12 ≈ 66.7%.)
+
+Run with::
+
+    pytest benchmarks/bench_fig5_circulation.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.fluid import (
+    PaymentGraph,
+    decompose_payment_graph,
+    peel_cycles,
+    route_circulation_on_tree,
+)
+from repro.metrics import format_table
+from repro.topology import FIG4_DEMANDS, fig4_topology
+from repro.workload import mixed_demand
+
+
+def test_fig5_decomposition_lp(benchmark):
+    """Fig. 5b/5c via the LP method."""
+    graph = PaymentGraph(FIG4_DEMANDS)
+    decomposition = run_once(benchmark, lambda: decompose_payment_graph(graph, "lp"))
+    print()
+    print(
+        format_table(
+            ["component", "value", "paper"],
+            [
+                ["total demand", f"{decomposition.total_demand:g}", "12"],
+                ["circulation nu(C*)", f"{decomposition.value:g}", "8"],
+                ["DAG remainder", f"{decomposition.dag_value:g}", "4"],
+            ],
+            title="Fig. 5 decomposition",
+        )
+    )
+    assert decomposition.value == pytest.approx(8.0)
+    assert decomposition.dag_value == pytest.approx(4.0)
+
+
+def test_fig5_decomposition_cycle_cancelling(benchmark):
+    """Same numbers via the combinatorial algorithm (independent check)."""
+    graph = PaymentGraph(FIG4_DEMANDS)
+    decomposition = run_once(
+        benchmark, lambda: decompose_payment_graph(graph, "cycle-cancelling")
+    )
+    assert decomposition.value == pytest.approx(8.0)
+
+
+def test_fig5_circulation_peels_into_cycles(benchmark):
+    """The circulation decomposes into simple cycles (the construction the
+    paper describes)."""
+    graph = PaymentGraph(FIG4_DEMANDS)
+    decomposition = decompose_payment_graph(graph, "lp")
+    cycles = run_once(benchmark, lambda: peel_cycles(decomposition.circulation))
+    total = sum(value * len(cycle) for cycle, value in cycles)
+    assert total == pytest.approx(decomposition.value)
+
+
+def test_prop1_tree_routing_balances_the_circulation(benchmark):
+    """Constructive half of Prop. 1: spanning-tree routing of C* is
+    perfectly balanced on the Fig. 4 topology."""
+    graph = PaymentGraph(FIG4_DEMANDS)
+    decomposition = decompose_payment_graph(graph, "lp")
+    adjacency = fig4_topology().adjacency()
+
+    edge_flows = run_once(
+        benchmark, lambda: route_circulation_on_tree(decomposition.circulation, adjacency)
+    )
+    for (u, v), flow in edge_flows.items():
+        assert edge_flows.get((v, u), 0.0) == pytest.approx(flow)
+
+
+def test_decomposition_scales_to_larger_graphs(benchmark):
+    """Timing row: decomposition on a 200-node, ~400-edge payment graph."""
+    demands = mixed_demand(range(200), 10_000.0, circulation_fraction=0.7, seed=0)
+    graph = PaymentGraph(demands)
+    decomposition = run_once(benchmark, lambda: decompose_payment_graph(graph, "lp"))
+    assert 0.0 <= decomposition.circulation_fraction <= 1.0

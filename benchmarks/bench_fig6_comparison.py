@@ -1,0 +1,110 @@
+"""Figure 6 — the headline comparison: six schemes on ISP and Ripple (§6.2).
+
+Paper observations reproduced here (shape, not absolute numbers — see
+EXPERIMENTS.md for the scaling):
+
+* Spider (Waterfilling) performs within ~5% of max-flow;
+* non-atomic shortest-path routing beats the atomic baselines
+  (SpeedyMurmurs, SilentWhispers);
+* Spider (LP)'s success volume collapses toward the circulation share of
+  the demand and its success ratio is hurt by never-attempted pairs;
+* every scheme does worse on the Ripple-like graph than on the ISP graph
+  at equal capacity (sparser connectivity, heavier transactions).
+
+Run with::
+
+    pytest benchmarks/bench_fig6_comparison.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_CAPACITY, FIG6_SCHEMES, run_once
+from repro.experiments import ExperimentConfig, compare_schemes
+from repro.metrics import format_metrics_table
+
+
+def isp_config():
+    return ExperimentConfig(
+        topology="isp",
+        capacity=DEFAULT_CAPACITY,
+        num_transactions=2_000,
+        arrival_rate=100.0,
+        sizes="isp",
+        seed=7,
+    )
+
+
+def ripple_config():
+    return ExperimentConfig(
+        topology="ripple-tiny",
+        capacity=DEFAULT_CAPACITY,
+        num_transactions=1_500,
+        arrival_rate=60.0,
+        sizes="ripple",
+        seed=7,
+    )
+
+
+@pytest.mark.parametrize("topology", ["isp", "ripple"])
+def test_fig6_comparison(benchmark, topology):
+    """One Fig. 6 panel: all six schemes on an identical trace."""
+    config = isp_config() if topology == "isp" else ripple_config()
+
+    results = run_once(benchmark, lambda: compare_schemes(config, FIG6_SCHEMES))
+    by_scheme = {m.scheme: m for m in results}
+    print()
+    print(
+        format_metrics_table(
+            results,
+            title=(
+                f"Fig. 6 ({topology} topology, capacity={config.capacity:g}, "
+                f"{config.num_transactions} transactions)"
+            ),
+        )
+    )
+
+    waterfilling = by_scheme["spider-waterfilling"]
+    max_flow = by_scheme["max-flow"]
+    shortest = by_scheme["shortest-path"]
+    silent = by_scheme["silentwhispers"]
+    murmurs = by_scheme["speedymurmurs"]
+    lp = by_scheme["spider-lp"]
+
+    # §6.2: waterfilling within ~5% of max-flow.
+    assert waterfilling.success_ratio >= max_flow.success_ratio - 0.05
+    # §6.2: packet-switched shortest path beats the atomic baselines.
+    assert shortest.success_ratio > silent.success_ratio
+    assert shortest.success_ratio >= murmurs.success_ratio - 0.03
+    # Spider schemes dominate the landmark/embedding baselines on volume.
+    assert waterfilling.success_volume > silent.success_volume
+    assert waterfilling.success_volume > murmurs.success_volume
+    # Spider-LP's ratio is dragged down by zero-flow pairs.
+    assert lp.success_ratio < waterfilling.success_ratio
+
+
+def test_fig6_lp_volume_matches_circulation_share(benchmark):
+    """§6.2: Spider (LP)'s success volume ≈ the circulation component of the
+    demand's payment graph."""
+    from repro.fluid import PaymentGraph, decompose_payment_graph
+    from repro.workload import estimate_demand_matrix
+
+    config = isp_config()
+
+    def run():
+        topology = config.build_topology()
+        records = config.build_workload(list(topology.nodes))
+        share = decompose_payment_graph(
+            PaymentGraph(estimate_demand_matrix(records)), method="lp"
+        ).circulation_fraction
+        metrics = compare_schemes(config, ["spider-lp"])[0]
+        return share, metrics
+
+    share, metrics = run_once(benchmark, run)
+    print()
+    print(
+        f"spider-lp success volume {100 * metrics.success_volume:.1f}% "
+        f"vs circulation share {100 * share:.1f}%"
+    )
+    assert metrics.success_volume == pytest.approx(share, abs=0.12)

@@ -1,0 +1,104 @@
+"""§5.3 — convergence of the decentralized primal-dual algorithm.
+
+Reproduces the claim that "for sufficiently small step sizes, the algorithm
+converges to the optimal solution": the iterates reach the balanced LP
+optimum on the Fig. 4 example and track the rebalancing LP for finite γ,
+and the online (in-simulator) protocol gets within a few points of
+waterfilling without oracle demand knowledge.
+
+Run with::
+
+    pytest benchmarks/bench_primal_dual_convergence.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_CAPACITY, run_once
+from repro.experiments import ExperimentConfig, compare_schemes
+from repro.fluid import (
+    PrimalDualConfig,
+    all_simple_paths,
+    solve_fluid_lp,
+    solve_primal_dual,
+)
+from repro.metrics import format_table
+from repro.topology import FIG4_DEMANDS, fig4_topology
+
+
+@pytest.fixture(scope="module")
+def fig4_paths():
+    adjacency = fig4_topology().adjacency()
+    return {pair: all_simple_paths(adjacency, *pair) for pair in FIG4_DEMANDS}
+
+
+def test_convergence_to_balanced_optimum(benchmark, fig4_paths):
+    """Iterates reach nu(C*) = 8 without rebalancing."""
+    config = PrimalDualConfig(
+        alpha=0.02, eta=0.05, kappa=0.05, gamma=math.inf, iterations=25_000
+    )
+    result = run_once(
+        benchmark, lambda: solve_primal_dual(FIG4_DEMANDS, fig4_paths, config=config)
+    )
+    milestones = [0, 100, 1_000, 10_000, len(result.history) - 1]
+    print()
+    print(
+        format_table(
+            ["iteration", "throughput"],
+            [[i, f"{result.history[i]:.3f}"] for i in milestones],
+            title="primal-dual convergence (target: 8.0)",
+        )
+    )
+    assert result.throughput == pytest.approx(8.0, abs=0.1)
+
+
+def test_tracks_rebalancing_lp(benchmark, fig4_paths):
+    """With finite gamma the iterates match the eqs. 6–11 LP."""
+    gamma = 0.1
+    config = PrimalDualConfig(
+        alpha=0.02, eta=0.05, kappa=0.05, beta=0.05, gamma=gamma, iterations=25_000
+    )
+
+    def run():
+        pd = solve_primal_dual(FIG4_DEMANDS, fig4_paths, config=config)
+        lp = solve_fluid_lp(FIG4_DEMANDS, fig4_paths, balance="rebalance", gamma=gamma)
+        return pd, lp
+
+    pd, lp = run_once(benchmark, run)
+    print(
+        f"\ngamma={gamma}: primal-dual throughput {pd.throughput:.3f} "
+        f"(LP {lp.throughput:.3f}), rebalancing {pd.total_rebalancing:.3f} "
+        f"(LP {lp.total_rebalancing:.3f})"
+    )
+    assert pd.throughput == pytest.approx(lp.throughput, abs=0.2)
+    assert pd.total_rebalancing == pytest.approx(lp.total_rebalancing, abs=0.3)
+
+
+def test_online_protocol_is_competitive(benchmark):
+    """The in-simulator price-based protocol (no oracle demands) lands within
+    a few points of waterfilling on the ISP workload."""
+    config = ExperimentConfig(
+        topology="isp",
+        capacity=DEFAULT_CAPACITY,
+        num_transactions=1_500,
+        arrival_rate=100.0,
+        seed=7,
+    )
+    results = run_once(
+        benchmark,
+        lambda: compare_schemes(config, ["spider-primal-dual", "spider-waterfilling"]),
+    )
+    by_scheme = {m.scheme: m for m in results}
+    print()
+    for name, metrics in by_scheme.items():
+        print(
+            f"{name:22s} ratio={100 * metrics.success_ratio:.1f}% "
+            f"volume={100 * metrics.success_volume:.1f}%"
+        )
+    assert (
+        by_scheme["spider-primal-dual"].success_volume
+        >= by_scheme["spider-waterfilling"].success_volume - 0.08
+    )

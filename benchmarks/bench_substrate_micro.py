@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the substrates (engine, channels, max-flow, LP).
+
+These are true pytest-benchmark timings (many rounds) of the hot paths that
+bound how large a simulation the library can run.
+
+Run with::
+
+    pytest benchmarks/bench_substrate_micro.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.fluid import solve_fluid_lp
+from repro.fluid.paths import k_edge_disjoint_paths
+from repro.network.network import PaymentNetwork
+from repro.routing.max_flow import edmonds_karp
+from repro.simulator.engine import Simulator
+from repro.topology import isp_topology, ripple_topology
+from repro.topology.examples import FIG4_DEMANDS, fig4_topology
+from repro.fluid.paths import all_simple_paths
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.call_after(0.001, tick)
+
+        sim.call_after(0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_channel_lock_settle_throughput(benchmark):
+    """Lock+settle 1k HTLCs on one channel."""
+
+    def run():
+        network = PaymentNetwork()
+        channel = network.add_channel(0, 1, 1_000_000.0)
+        for _ in range(500):
+            htlc = channel.lock(0, 10.0)
+            channel.settle(htlc)
+            htlc = channel.lock(1, 10.0)
+            channel.settle(htlc)
+        return channel.num_settled
+
+    assert benchmark(run) == 1_000
+
+
+def test_path_lock_rollback(benchmark):
+    """Atomic path locking with rollback pressure on a line network."""
+    from repro.topology import line_topology
+
+    def run():
+        network = line_topology(6).build_network(default_capacity=100.0)
+        done = 0
+        for _ in range(200):
+            htlcs = network.lock_path((0, 1, 2, 3, 4, 5), 0.25)
+            network.settle_path((0, 1, 2, 3, 4, 5), htlcs)
+            done += 1
+        return done
+
+    assert benchmark(run) == 200
+
+
+def test_max_flow_on_isp_balances(benchmark):
+    """One max-flow computation at ISP scale (the per-transaction cost the
+    paper calls prohibitive, §3)."""
+    network = isp_topology().build_network(default_capacity=3_000.0)
+    capacity = {}
+    for channel in network.channels():
+        a, b = channel.endpoints
+        capacity[(a, b)] = channel.balance(a)
+        capacity[(b, a)] = channel.balance(b)
+
+    value, _ = benchmark(lambda: edmonds_karp(capacity, 8, 20))
+    assert value > 0
+
+
+def test_k_disjoint_paths_on_ripple(benchmark):
+    """Path-set computation on the Ripple-like graph."""
+    adjacency = ripple_topology("small", seed=0).adjacency()
+
+    paths = benchmark(lambda: k_edge_disjoint_paths(adjacency, 0, 150, 4))
+    assert paths
+
+
+def test_fluid_lp_on_fig4(benchmark):
+    """The complete-path-set balanced LP on the example graph."""
+    adjacency = fig4_topology().adjacency()
+    path_set = {pair: all_simple_paths(adjacency, *pair) for pair in FIG4_DEMANDS}
+
+    solution = benchmark(
+        lambda: solve_fluid_lp(FIG4_DEMANDS, path_set, balance="equality")
+    )
+    assert solution.throughput > 0

@@ -1,0 +1,84 @@
+"""Walk through the paper's theory (§5) on the Fig. 4 example.
+
+Usage::
+
+    python examples/circulation_analysis.py
+
+Reproduces, step by step:
+
+1. the circulation/DAG decomposition of the payment graph (Fig. 5),
+2. the balanced-routing throughput gap between shortest-path-only routing
+   (5 units) and optimal routing (8 units = ν(C*)) — Fig. 4b vs 4c,
+3. the throughput-vs-rebalancing curve t(B) of §5.2.3 (concave,
+   non-decreasing),
+4. convergence of the §5.3 decentralized primal-dual algorithm to the LP
+   optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fluid import (
+    PaymentGraph,
+    PrimalDualConfig,
+    all_simple_paths,
+    bfs_shortest_path,
+    decompose_payment_graph,
+    peel_cycles,
+    solve_fluid_lp,
+    solve_primal_dual,
+    throughput_vs_rebalancing,
+)
+from repro.topology import FIG4_DEMANDS, fig4_topology
+
+
+def main() -> None:
+    topology = fig4_topology()
+    adjacency = topology.adjacency()
+    demands = dict(FIG4_DEMANDS)
+
+    print("=== 1. Payment graph decomposition (Fig. 5) ===")
+    decomposition = decompose_payment_graph(PaymentGraph(demands), method="lp")
+    print(f"total demand:        {decomposition.total_demand:g}")
+    print(f"max circulation:     {decomposition.value:g}   (Prop. 1 throughput bound)")
+    print(f"DAG remainder:       {decomposition.dag_value:g}   (unroutable without rebalancing)")
+    print(f"circulation share:   {100 * decomposition.circulation_fraction:.1f}%")
+    print("cycles in C*:")
+    for cycle, value in peel_cycles(decomposition.circulation):
+        arrows = " -> ".join(str(n) for n in cycle + [cycle[0]])
+        print(f"  {arrows}  carries {value:g}")
+
+    print("\n=== 2. Balanced routing LPs (Fig. 4b vs 4c) ===")
+    shortest_only = {
+        pair: [bfs_shortest_path(adjacency, *pair)] for pair in demands
+    }
+    all_paths = {pair: all_simple_paths(adjacency, *pair) for pair in demands}
+    sp = solve_fluid_lp(demands, shortest_only, balance="equality")
+    opt = solve_fluid_lp(demands, all_paths, balance="equality")
+    print(f"shortest-path balanced throughput: {sp.throughput:g}  (paper: 5)")
+    print(f"optimal balanced throughput:       {opt.throughput:g}  (paper: 8)")
+    print("the gap is what imbalance-aware routing buys (§5.1)")
+
+    print("\n=== 3. Throughput vs on-chain rebalancing budget t(B) (§5.2.3) ===")
+    budgets = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+    curve = throughput_vs_rebalancing(demands, all_paths, None, budgets)
+    for budget, throughput in curve:
+        bar = "#" * int(round(4 * throughput))
+        print(f"  B={budget:4.1f}  t(B)={throughput:6.3f}  {bar}")
+    print("t(B) is non-decreasing and concave; it saturates at total demand 12")
+
+    print("\n=== 4. Decentralized primal-dual algorithm (§5.3) ===")
+    config = PrimalDualConfig(
+        alpha=0.02, eta=0.05, kappa=0.05, gamma=math.inf, iterations=20_000
+    )
+    result = solve_primal_dual(demands, all_paths, config=config)
+    print(f"primal-dual throughput after {result.iterations_run} iterations: "
+          f"{result.throughput:.3f}  (LP optimum: {opt.throughput:g})")
+    milestones = [0, 100, 500, 2000, len(result.history) - 1]
+    for i in milestones:
+        print(f"  iteration {i:>6}: instantaneous throughput {result.history[i]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

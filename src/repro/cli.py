@@ -1,0 +1,217 @@
+"""Command-line interface.
+
+Examples
+--------
+Run one scheme::
+
+    spider-repro run --scheme spider-waterfilling --topology isp \
+        --capacity 3000 --transactions 2000 --rate 100
+
+Compare all schemes on the same trace (Fig. 6 style)::
+
+    spider-repro compare --topology isp --capacity 3000
+
+Sweep capacity (Fig. 7 style)::
+
+    spider-repro sweep --capacities 1000,3000,5000,10000
+
+Analyse a payment graph's circulation structure (Fig. 5)::
+
+    spider-repro decompose --topology fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import compare_schemes, run_experiment
+from repro.experiments.sweeps import capacity_sweep
+from repro.fluid.circulation import decompose_payment_graph
+from repro.metrics.report import format_metrics_table, format_table
+from repro.routing.registry import available_schemes
+from repro.topology.examples import fig4_payment_graph
+from repro.workload.demand import payment_graph_from_records
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_SCHEMES = [
+    "spider-waterfilling",
+    "spider-lp",
+    "spider-primal-dual",
+    "max-flow",
+    "shortest-path",
+    "silentwhispers",
+    "speedymurmurs",
+]
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="isp", help="topology spec (default: isp)")
+    parser.add_argument("--capacity", type=float, default=3000.0, help="funds per channel")
+    parser.add_argument(
+        "--transactions", type=int, default=2000, help="trace length in payments"
+    )
+    parser.add_argument("--rate", type=float, default=100.0, help="arrivals per second")
+    parser.add_argument("--sizes", default="isp", help="size distribution spec")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument(
+        "--mtu", type=float, default=None, help="max transaction unit (default: unbounded)"
+    )
+    parser.add_argument(
+        "--policy", default="srpt", help="pending-queue scheduling policy"
+    )
+
+
+def _config_from_args(args: argparse.Namespace, scheme: str = "spider-waterfilling") -> ExperimentConfig:
+    kwargs = dict(
+        scheme=scheme,
+        topology=args.topology,
+        capacity=args.capacity,
+        num_transactions=args.transactions,
+        arrival_rate=args.rate,
+        sizes=args.sizes,
+        seed=args.seed,
+        scheduling_policy=args.policy,
+    )
+    if args.mtu is not None:
+        kwargs["mtu"] = args.mtu
+    return ExperimentConfig(**kwargs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="spider-repro",
+        description="Spider payment-channel-network routing reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scheme")
+    run_parser.add_argument(
+        "--scheme",
+        default="spider-waterfilling",
+        choices=available_schemes(),
+        help="routing scheme",
+    )
+    _add_common_options(run_parser)
+
+    compare_parser = sub.add_parser("compare", help="compare schemes on one trace")
+    compare_parser.add_argument(
+        "--schemes",
+        default=",".join(_DEFAULT_SCHEMES),
+        help="comma-separated scheme names",
+    )
+    _add_common_options(compare_parser)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep per-channel capacity")
+    sweep_parser.add_argument(
+        "--capacities",
+        default="1000,3000,5000,10000",
+        help="comma-separated capacities",
+    )
+    sweep_parser.add_argument(
+        "--schemes",
+        default="spider-waterfilling,shortest-path",
+        help="comma-separated scheme names",
+    )
+    _add_common_options(sweep_parser)
+
+    decompose_parser = sub.add_parser(
+        "decompose", help="circulation/DAG decomposition of a workload's payment graph"
+    )
+    _add_common_options(decompose_parser)
+
+    figures_parser = sub.add_parser(
+        "figures", help="regenerate every paper figure's table into a directory"
+    )
+    figures_parser.add_argument("--out", default="results", help="output directory")
+    figures_parser.add_argument("--seed", type=int, default=7, help="random seed")
+
+    sub.add_parser("schemes", help="list available schemes")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "schemes":
+        for name in available_schemes():
+            print(name)
+        return 0
+
+    if args.command == "run":
+        metrics = run_experiment(_config_from_args(args, scheme=args.scheme))
+        print(format_metrics_table([metrics], title=f"{args.scheme} on {args.topology}"))
+        return 0
+
+    if args.command == "compare":
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+        results = compare_schemes(_config_from_args(args), schemes)
+        print(
+            format_metrics_table(
+                results,
+                title=(
+                    f"{args.topology}, capacity={args.capacity:g}, "
+                    f"{args.transactions} transactions"
+                ),
+            )
+        )
+        return 0
+
+    if args.command == "sweep":
+        capacities = [float(c) for c in args.capacities.split(",") if c.strip()]
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+        results = capacity_sweep(_config_from_args(args), capacities, schemes)
+        rows = []
+        for capacity in capacities:
+            for scheme in schemes:
+                metrics = results[(scheme, capacity)]
+                rows.append(
+                    [
+                        f"{capacity:g}",
+                        scheme,
+                        f"{100 * metrics.success_ratio:.2f}",
+                        f"{100 * metrics.success_volume:.2f}",
+                    ]
+                )
+        print(
+            format_table(
+                ["capacity", "scheme", "success_ratio_%", "success_volume_%"],
+                rows,
+                title=f"capacity sweep on {args.topology}",
+            )
+        )
+        return 0
+
+    if args.command == "figures":
+        from repro.experiments.figures import generate_all
+
+        written = generate_all(args.out, seed=args.seed)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    if args.command == "decompose":
+        if args.topology == "fig4":
+            graph = fig4_payment_graph()
+        else:
+            config = _config_from_args(args)
+            topology = config.build_topology()
+            records = config.build_workload(list(topology.nodes))
+            graph = payment_graph_from_records(records)
+        decomposition = decompose_payment_graph(graph, method="lp")
+        print(f"payment graph: {len(graph)} demand edges, total {graph.total_demand():.4g}")
+        print(f"max circulation nu(C*): {decomposition.value:.4g}")
+        print(f"DAG remainder:          {decomposition.dag_value:.4g}")
+        print(f"circulation fraction:   {100 * decomposition.circulation_fraction:.2f}%")
+        return 0
+
+    return 1  # pragma: no cover - unreachable with required subparsers
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Spider core: payments, transport runtime, scheduling, Spider schemes."""
+
+from repro.core.amp import AmpWaterfillingScheme, waterfill_allocation
+from repro.core.congestion import TokenBucket
+from repro.core.lp_routing import SpiderLPScheme
+from repro.core.payments import Payment, PaymentState, TransactionUnit, UnitState
+from repro.core.prices import ChannelPriceState, PriceTable
+from repro.core.primal_dual_routing import SpiderPrimalDualScheme
+from repro.core.queueing import QueueingRuntime, SpiderQueueingScheme
+from repro.core.runtime import Runtime, RuntimeConfig
+from repro.core.scheduling import SCHEDULING_POLICIES, get_policy, order_payments
+from repro.core.waterfilling import WaterfillingScheme
+from repro.core.window_control import (
+    ImbalanceAwareWindowScheme,
+    PathWindow,
+    WindowedSpiderScheme,
+)
+
+__all__ = [
+    "AmpWaterfillingScheme",
+    "ChannelPriceState",
+    "ImbalanceAwareWindowScheme",
+    "PathWindow",
+    "Payment",
+    "PaymentState",
+    "PriceTable",
+    "QueueingRuntime",
+    "Runtime",
+    "RuntimeConfig",
+    "SCHEDULING_POLICIES",
+    "SpiderLPScheme",
+    "SpiderPrimalDualScheme",
+    "SpiderQueueingScheme",
+    "TokenBucket",
+    "TransactionUnit",
+    "UnitState",
+    "WaterfillingScheme",
+    "WindowedSpiderScheme",
+    "get_policy",
+    "order_payments",
+    "waterfill_allocation",
+]

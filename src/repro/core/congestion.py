@@ -1,0 +1,92 @@
+"""Congestion control primitives: token-bucket rate pacing.
+
+§4.1 leaves congestion-control design open but prescribes its shape: hosts
+set per-path sending rates from price/imbalance signals.  The online
+primal-dual scheme paces its transaction units with these buckets — the
+bucket's rate is the path's primal rate x_p, so short-term bursts are
+bounded while the long-term average follows the optimizer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A continuous-time token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in value units per second.
+    burst:
+        Maximum accumulated tokens (also the initial fill), bounding how
+        much may be sent instantaneously.
+    now:
+        Creation timestamp.
+    """
+
+    __slots__ = ("_rate", "_burst", "_tokens", "_last")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0):
+        if rate < 0:
+            raise ConfigError(f"rate must be non-negative, got {rate!r}")
+        if burst <= 0:
+            raise ConfigError(f"burst must be positive, got {burst!r}")
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._tokens = float(burst)
+        self._last = float(now)
+
+    @property
+    def rate(self) -> float:
+        """Current refill rate (value/second)."""
+        return self._rate
+
+    @property
+    def burst(self) -> float:
+        """Bucket capacity."""
+        return self._burst
+
+    def set_rate(self, rate: float, now: float) -> None:
+        """Change the refill rate (refilling up to ``now`` first)."""
+        if rate < 0:
+            raise ConfigError(f"rate must be non-negative, got {rate!r}")
+        self._refill(now)
+        self._rate = float(rate)
+
+    def set_burst(self, burst: float, now: float) -> None:
+        """Change the bucket capacity (existing tokens are clipped)."""
+        if burst <= 0:
+            raise ConfigError(f"burst must be positive, got {burst!r}")
+        self._refill(now)
+        self._burst = float(burst)
+        self._tokens = min(self._tokens, self._burst)
+
+    def available(self, now: float) -> float:
+        """Tokens spendable at time ``now``."""
+        self._refill(now)
+        return self._tokens
+
+    def consume(self, amount: float, now: float) -> bool:
+        """Spend ``amount`` tokens if available; returns success."""
+        if amount <= 0:
+            raise ConfigError(f"amount must be positive, got {amount!r}")
+        self._refill(now)
+        if amount > self._tokens + 1e-12:
+            return False
+        self._tokens -= amount
+        return True
+
+    def _refill(self, now: float) -> None:
+        if now < self._last:
+            raise ConfigError(
+                f"time went backwards: bucket at {self._last!r}, refill at {now!r}"
+            )
+        self._tokens = min(self._burst, self._tokens + self._rate * (now - self._last))
+        self._last = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenBucket(rate={self._rate:.6g}, tokens={self._tokens:.6g}/{self._burst:.6g})"

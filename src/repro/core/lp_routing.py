@@ -1,0 +1,121 @@
+"""Spider (LP): offline fluid-optimal path weights.
+
+§6.1: *"Spider (LP) solves the LP in Eq. (1) once based on the long-term
+payment demands and uses the solution to set a weight for selecting each
+path."*  The scheme therefore:
+
+1. estimates the demand matrix from the full trace (the "long-term
+   demands"),
+2. solves the balanced-routing LP (eqs. 1–5) over k edge-disjoint shortest
+   paths per pair, with channel capacities and the confirmation delay Δ,
+3. splits every payment across its pair's paths proportionally to the LP
+   flows.
+
+Pairs assigned zero flow by the LP are never attempted — the paper calls
+out exactly this failure mode ("the LP assigns zero flows to all paths for
+certain commodities which means no payments between them will ever get
+attempted"), and it is why Spider-LP's success volume collapses to the
+circulation share of the demand.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.fluid.lp import solve_fluid_lp
+from repro.routing.base import PathCache, RoutingScheme
+from repro.workload.demand import estimate_demand_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.payments import Payment
+    from repro.core.runtime import Runtime
+
+__all__ = ["SpiderLPScheme"]
+
+Path = Tuple[int, ...]
+_EPS = 1e-9
+
+
+class SpiderLPScheme(RoutingScheme):
+    """Offline LP-weighted multipath splitting (non-atomic)."""
+
+    name = "spider-lp"
+    atomic = False
+
+    def __init__(self, num_paths: int = 4, rebalancing_gamma: Optional[float] = None):
+        if num_paths <= 0:
+            raise ValueError(f"num_paths must be positive, got {num_paths}")
+        self.num_paths = num_paths
+        #: If set, solve the rebalancing LP (eqs. 6–11) with this γ instead
+        #: of the pure balanced LP — an extension experiment.
+        self.rebalancing_gamma = rebalancing_gamma
+        self._weights: Dict[Tuple[int, int], List[Tuple[Path, float]]] = {}
+
+    def prepare(self, runtime: "Runtime") -> None:
+        self.path_cache = PathCache.from_network(runtime.network, k=self.num_paths)
+        demands = estimate_demand_matrix(runtime.records, duration=runtime.end_time)
+        demands = {pair: rate for pair, rate in demands.items() if rate > _EPS}
+        if not demands:
+            self._weights = {}
+            return
+        path_set = {}
+        for pair in demands:
+            paths = self.path_cache.paths(*pair)
+            if paths:
+                path_set[pair] = paths
+        demands = {pair: demands[pair] for pair in path_set}
+        capacities = {
+            channel.endpoints: channel.capacity
+            for channel in runtime.network.channels()
+        }
+        if self.rebalancing_gamma is None:
+            solution = solve_fluid_lp(
+                demands,
+                path_set,
+                capacities=capacities,
+                delta=max(runtime.config.confirmation_delay, 1e-3),
+                balance="equality",
+            )
+        else:
+            solution = solve_fluid_lp(
+                demands,
+                path_set,
+                capacities=capacities,
+                delta=max(runtime.config.confirmation_delay, 1e-3),
+                balance="rebalance",
+                gamma=self.rebalancing_gamma,
+            )
+        self._weights = {}
+        for pair in demands:
+            flows = solution.flows_for_pair(pair)
+            total = sum(flows.values())
+            if total <= _EPS:
+                continue
+            weighted = sorted(
+                ((path, rate / total) for path, rate in flows.items()),
+                key=lambda item: -item[1],
+            )
+            self._weights[pair] = weighted
+
+    def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
+        weighted = self._weights.get((payment.source, payment.dest))
+        if not weighted:
+            # Zero LP flow: this commodity is never routed (see module doc).
+            runtime.fail_payment(payment)
+            return
+        min_unit = runtime.config.min_unit_value
+        for path, weight in weighted:
+            if payment.remaining < min_unit:
+                break
+            # Target this attempt's share for the path; the LP weight splits
+            # the *remaining* value so repeated polls converge to the split.
+            target = payment.remaining * weight
+            sent = 0.0
+            while sent < target - _EPS and payment.remaining >= min_unit:
+                available = runtime.network.bottleneck(path)
+                amount = min(available, target - sent, payment.remaining, runtime.config.mtu)
+                if amount < min_unit:
+                    break
+                if not runtime.send_unit(payment, path, amount):
+                    break
+                sent += amount

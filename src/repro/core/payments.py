@@ -1,0 +1,226 @@
+"""Payments and transaction units — Spider's packet abstraction.
+
+A *payment* is the application-level transfer (§4.1).  Spider's transport
+splits payments into *transaction units*, each carrying at most MTU currency
+(§4: "Each transaction unit transfers an amount of money bounded by the
+maximum transaction unit").  A unit travels one path end-to-end, holding
+funds in-flight on every hop until it settles.
+
+State machine::
+
+    Payment:  PENDING ──(full value settles)──▶ COMPLETED
+              PENDING ──(atomic attempt fails / deadline, sim end)──▶ FAILED
+                       partial value may have settled for non-atomic
+                       payments; it is tracked in ``delivered``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PaymentError
+from repro.network.htlc import HashLock, Htlc
+
+__all__ = ["Payment", "PaymentState", "TransactionUnit", "UnitState"]
+
+_AMOUNT_EPS = 1e-9
+
+
+class PaymentState(enum.Enum):
+    """Lifecycle of a payment."""
+
+    PENDING = "pending"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+class UnitState(enum.Enum):
+    """Lifecycle of a transaction unit."""
+
+    INFLIGHT = "inflight"
+    SETTLED = "settled"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Payment:
+    """A transfer request plus its runtime accounting.
+
+    Attributes
+    ----------
+    payment_id, source, dest, amount, arrival_time, deadline:
+        From the trace.  ``deadline`` is absolute; ``None`` means end of
+        simulation.
+    atomic:
+        All-or-nothing delivery (the baselines); Spider payments are
+        non-atomic by default.
+    delivered:
+        Value settled end-to-end so far.
+    inflight:
+        Value locked in unresolved units.
+    """
+
+    payment_id: int
+    source: int
+    dest: int
+    amount: float
+    arrival_time: float
+    deadline: Optional[float] = None
+    atomic: bool = False
+    max_fee: Optional[float] = None
+    state: PaymentState = PaymentState.PENDING
+    delivered: float = 0.0
+    inflight: float = 0.0
+    fees_paid: float = 0.0
+    attempts: int = 0
+    units_sent: int = 0
+    completed_at: Optional[float] = None
+    failed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise PaymentError(
+                f"payment {self.payment_id} has non-positive amount {self.amount!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> float:
+        """Value not yet delivered nor in flight — what can still be sent."""
+        return max(0.0, self.amount - self.delivered - self.inflight)
+
+    @property
+    def outstanding(self) -> float:
+        """Value not yet delivered (the SRPT scheduling key)."""
+        return max(0.0, self.amount - self.delivered)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the full amount has settled."""
+        return self.state is PaymentState.COMPLETED
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether no further routing work will happen for this payment."""
+        return self.state is not PaymentState.PENDING
+
+    def expired(self, now: float) -> bool:
+        """Whether the deadline has passed at time ``now``."""
+        return self.deadline is not None and now > self.deadline + _AMOUNT_EPS
+
+    def fee_budget_allows(self, fee: float) -> bool:
+        """Whether paying ``fee`` more keeps total fees within ``max_fee``.
+
+        §4.1: applications specify "the maximum acceptable routing fee";
+        ``None`` means unlimited.
+        """
+        if self.max_fee is None:
+            return True
+        return self.fees_paid + fee <= self.max_fee + _AMOUNT_EPS
+
+    # ------------------------------------------------------------------
+    # Runtime accounting (called by the runtime, not by schemes)
+    # ------------------------------------------------------------------
+    def register_inflight(self, value: float) -> None:
+        """Account for a newly locked unit."""
+        if value <= 0:
+            raise PaymentError(f"in-flight value must be positive, got {value!r}")
+        if value > self.remaining + 1e-6:
+            raise PaymentError(
+                f"payment {self.payment_id}: locking {value:.6g} exceeds "
+                f"remaining {self.remaining:.6g}"
+            )
+        self.inflight += value
+        self.units_sent += 1
+
+    def register_settled(self, value: float, now: float) -> None:
+        """A unit settled: move its value from in-flight to delivered."""
+        if value > self.inflight + 1e-6:
+            raise PaymentError(
+                f"payment {self.payment_id}: settling {value:.6g} exceeds "
+                f"inflight {self.inflight:.6g}"
+            )
+        self.inflight = max(0.0, self.inflight - value)
+        self.delivered += value
+        if self.delivered >= self.amount - 1e-6 and self.state is PaymentState.PENDING:
+            self.state = PaymentState.COMPLETED
+            self.completed_at = now
+
+    def register_cancelled(self, value: float) -> None:
+        """A unit was refunded: release its in-flight value."""
+        if value > self.inflight + 1e-6:
+            raise PaymentError(
+                f"payment {self.payment_id}: cancelling {value:.6g} exceeds "
+                f"inflight {self.inflight:.6g}"
+            )
+        self.inflight = max(0.0, self.inflight - value)
+
+    def mark_failed(self, now: float) -> None:
+        """Terminal failure (atomic miss, deadline, or simulation end)."""
+        if self.state is PaymentState.PENDING:
+            self.state = PaymentState.FAILED
+            self.failed_at = now
+
+
+@dataclass
+class TransactionUnit:
+    """One MTU-bounded slice of a payment traversing one path.
+
+    Holds the per-hop HTLC list so settlement/refund can resolve every hop,
+    and the hash lock whose key the sender reveals on confirmation (§4.1:
+    the sender generates a fresh key per unit).
+    """
+
+    _ids = itertools.count(1)
+
+    unit_id: int
+    payment: Payment
+    amount: float
+    path: Tuple[int, ...]
+    htlcs: List[Htlc]
+    lock: Optional[HashLock]
+    sent_at: float
+    fee: float = 0.0
+    state: UnitState = UnitState.INFLIGHT
+
+    @classmethod
+    def create(
+        cls,
+        payment: Payment,
+        amount: float,
+        path: Tuple[int, ...],
+        htlcs: List[Htlc],
+        lock: Optional[HashLock],
+        sent_at: float,
+        fee: float = 0.0,
+    ) -> "TransactionUnit":
+        """Construct a unit with a fresh id.
+
+        ``amount`` is the value delivered to the destination; ``fee`` is the
+        extra value the sender committed for the intermediaries (§2).
+        """
+        return cls(
+            unit_id=next(cls._ids),
+            payment=payment,
+            amount=amount,
+            path=path,
+            htlcs=htlcs,
+            lock=lock,
+            sent_at=sent_at,
+            fee=fee,
+        )
+
+    def mark_settled(self) -> None:
+        """Record end-to-end settlement."""
+        if self.state is not UnitState.INFLIGHT:
+            raise PaymentError(f"unit {self.unit_id} already resolved ({self.state.value})")
+        self.state = UnitState.SETTLED
+
+    def mark_cancelled(self) -> None:
+        """Record cancellation/refund."""
+        if self.state is not UnitState.INFLIGHT:
+            raise PaymentError(f"unit {self.unit_id} already resolved ({self.state.value})")
+        self.state = UnitState.CANCELLED

@@ -1,0 +1,92 @@
+"""Online per-channel price state for the §5.3 protocol.
+
+Routers locally observe the value locked across their channel per direction
+and periodically run the dual updates (eqs. 23–24) in *normalised* form:
+rates are divided by the channel's capacity rate c/Δ so the step sizes are
+dimensionless and one set of defaults works across capacity scales.
+
+The directed edge price is ``z_(u,v) = λ + µ_(u,v) − µ_(v,u)``; path prices
+are sums over hops (§5.3) and feed the hosts' primal updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import ConfigError
+from repro.network.network import PaymentNetwork, canonical_edge
+
+__all__ = ["ChannelPriceState", "PriceTable"]
+
+DirectedEdge = Tuple[int, int]
+
+
+class ChannelPriceState:
+    """λ and per-direction µ for one channel, plus the observation window."""
+
+    __slots__ = ("u", "v", "lam", "mu", "window")
+
+    def __init__(self, u: int, v: int):
+        self.u = u
+        self.v = v
+        self.lam = 0.0
+        self.mu: Dict[DirectedEdge, float] = {(u, v): 0.0, (v, u): 0.0}
+        self.window: Dict[DirectedEdge, float] = {(u, v): 0.0, (v, u): 0.0}
+
+    def observe(self, a: int, b: int, amount: float) -> None:
+        """Record ``amount`` locked in the a→b direction this window."""
+        self.window[(a, b)] += amount
+
+    def update(self, dt: float, capacity_rate: float, eta: float, kappa: float) -> None:
+        """Dual step (eqs. 23–24), normalised by the capacity rate."""
+        if dt <= 0:
+            raise ConfigError(f"dt must be positive, got {dt!r}")
+        scale = max(capacity_rate, 1e-9)
+        rate_uv = self.window[(self.u, self.v)] / dt
+        rate_vu = self.window[(self.v, self.u)] / dt
+        self.lam = max(0.0, self.lam + eta * ((rate_uv + rate_vu) / scale - 1.0))
+        imbalance = (rate_uv - rate_vu) / scale
+        self.mu[(self.u, self.v)] = max(0.0, self.mu[(self.u, self.v)] + kappa * imbalance)
+        self.mu[(self.v, self.u)] = max(0.0, self.mu[(self.v, self.u)] - kappa * imbalance)
+        self.window[(self.u, self.v)] = 0.0
+        self.window[(self.v, self.u)] = 0.0
+
+    def price(self, a: int, b: int) -> float:
+        """Directed price z_(a,b) = λ + µ_(a,b) − µ_(b,a)."""
+        return self.lam + self.mu[(a, b)] - self.mu[(b, a)]
+
+
+class PriceTable:
+    """All channels' price states, with path-price queries."""
+
+    def __init__(self, network: PaymentNetwork, delta: float):
+        if delta <= 0:
+            raise ConfigError(f"delta must be positive, got {delta!r}")
+        self._delta = delta
+        self._states: Dict[Tuple[int, int], ChannelPriceState] = {}
+        self._capacity_rate: Dict[Tuple[int, int], float] = {}
+        for channel in network.channels():
+            a, b = channel.endpoints
+            key = canonical_edge(a, b)
+            self._states[key] = ChannelPriceState(*key)
+            self._capacity_rate[key] = channel.capacity / delta
+
+    def state(self, u: int, v: int) -> ChannelPriceState:
+        """Price state of the channel joining u and v."""
+        return self._states[canonical_edge(u, v)]
+
+    def observe_path(self, path: Iterable[int], amount: float) -> None:
+        """Record a unit of ``amount`` locked along every hop of ``path``."""
+        path = list(path)
+        for a, b in zip(path, path[1:]):
+            self.state(a, b).observe(a, b, amount)
+
+    def update_all(self, dt: float, eta: float, kappa: float) -> None:
+        """Run the dual step on every channel."""
+        for key, state in self._states.items():
+            state.update(dt, self._capacity_rate[key], eta, kappa)
+
+    def path_price(self, path: Iterable[int]) -> float:
+        """z_p — the sum of directed hop prices along ``path``."""
+        path = list(path)
+        return sum(self.state(a, b).price(a, b) for a, b in zip(path, path[1:]))

@@ -1,0 +1,390 @@
+"""In-network router queues: hop-by-hop forwarding of transaction units.
+
+§4.2: *"A Spider router queues transaction units when it lacks the funds to
+send them immediately (Fig. 3).  As it receives funds from the other side
+of the payment channel, it uses them to send new transaction units from its
+queue."*  The paper's evaluation defers this ("We leave implementing
+in-network queues ... to future work"); this module implements it.
+
+Model
+-----
+A unit launched on a path locks funds one hop at a time.  At hop u→v:
+
+* if u's spendable balance covers the unit, the hop locks and the unit
+  advances after ``hop_delay`` seconds;
+* otherwise the unit parks in router u's per-direction queue.  Whenever the
+  u→v direction gains funds (a settlement credits u from v, or a refund
+  returns funds to u), the queue is serviced in order;
+* a unit that waits longer than ``queue_timeout`` is cancelled: its
+  already-locked upstream hops refund (the HTLCs time out).
+
+When the unit reaches the destination, the receiver's confirmation
+propagates back and every hop settles after ``settle_delay`` — the same
+end-to-end pending period as the source-routed model, so results are
+comparable.
+
+:class:`SpiderQueueingScheme` pairs this transport with waterfilling path
+selection; the ablation bench compares it against the source-queued
+variant the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.core.payments import Payment, TransactionUnit
+from repro.core.runtime import Runtime, RuntimeConfig
+from repro.errors import InsufficientFundsError
+from repro.network.htlc import HashLock, Htlc
+from repro.routing.base import RoutingScheme
+from repro.simulator.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collectors import MetricsCollector
+    from repro.network.network import PaymentNetwork
+    from repro.workload.generator import TransactionRecord
+
+__all__ = ["HopUnit", "QueueingRuntime", "SpiderQueueingScheme"]
+
+Path = Tuple[int, ...]
+_EPS = 1e-9
+
+
+class HopUnit:
+    """A transaction unit travelling hop-by-hop.
+
+    Tracks the locked HTLC per completed hop and the index of the next hop
+    to traverse.
+    """
+
+    __slots__ = (
+        "payment",
+        "amount",
+        "path",
+        "hop_index",
+        "htlcs",
+        "lock",
+        "launched_at",
+        "queued_at",
+        "timeout_event",
+        "marked",
+        "done",
+    )
+
+    def __init__(self, payment: Payment, amount: float, path: Path, lock: HashLock, now: float):
+        self.payment = payment
+        self.amount = amount
+        self.path = path
+        self.hop_index = 0  # next channel to lock: (path[i], path[i+1])
+        self.htlcs: List[Htlc] = []
+        self.lock = lock
+        self.launched_at = now
+        self.queued_at: Optional[float] = None
+        self.timeout_event: Optional[Event] = None
+        self.marked = False  # congestion mark (router queue delay, §4.1)
+        self.done = False
+
+    @property
+    def at_destination(self) -> bool:
+        """Whether every hop has been locked."""
+        return self.hop_index >= len(self.path) - 1
+
+    @property
+    def current_node(self) -> int:
+        """The node currently holding the unit."""
+        return self.path[self.hop_index]
+
+    @property
+    def next_node(self) -> int:
+        """The next hop's downstream node."""
+        return self.path[self.hop_index + 1]
+
+
+class QueueingRuntime(Runtime):
+    """Runtime with §4.2 in-network queues.
+
+    Extra parameters (keyword-only, on top of :class:`RuntimeConfig`):
+
+    hop_delay:
+        Per-hop forwarding latency in seconds.
+    settle_delay:
+        Delay between destination arrival and settlement of all hops
+        (defaults to the configured confirmation delay).
+    queue_timeout:
+        Maximum time a unit may sit in one router queue before its HTLCs
+        are abandoned and refunded.
+    queue_policy:
+        ``"fifo"`` (default) or ``"srpt"`` (smallest payment-remainder
+        first) service order.
+    mark_threshold:
+        If set, a router marks any unit whose queueing delay exceeds this
+        many seconds — the 1-bit congestion signal of the windowed
+        transport (:mod:`repro.core.window_control`).  ``None`` disables
+        marking.
+    """
+
+    def __init__(
+        self,
+        network: "PaymentNetwork",
+        records,
+        scheme: RoutingScheme,
+        config: Optional[RuntimeConfig] = None,
+        collector: Optional["MetricsCollector"] = None,
+        hop_delay: float = 0.05,
+        settle_delay: Optional[float] = None,
+        queue_timeout: float = 5.0,
+        queue_policy: str = "fifo",
+        mark_threshold: Optional[float] = None,
+    ):
+        super().__init__(network, records, scheme, config, collector)
+        if hop_delay < 0:
+            raise ValueError(f"hop_delay must be non-negative, got {hop_delay}")
+        if queue_timeout <= 0:
+            raise ValueError(f"queue_timeout must be positive, got {queue_timeout}")
+        if queue_policy not in ("fifo", "srpt"):
+            raise ValueError(f"unknown queue_policy {queue_policy!r}")
+        if mark_threshold is not None and mark_threshold < 0:
+            raise ValueError(
+                f"mark_threshold must be non-negative, got {mark_threshold}"
+            )
+        self.hop_delay = hop_delay
+        self.settle_delay = (
+            settle_delay if settle_delay is not None else self.config.confirmation_delay
+        )
+        self.queue_timeout = queue_timeout
+        self.queue_policy = queue_policy
+        self.mark_threshold = mark_threshold
+        self.units_marked = 0
+        self._hop_queues: Dict[Tuple[int, int], Deque[HopUnit]] = {}
+        self.units_queued = 0
+        self.units_timed_out = 0
+        self.queue_delays: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Public primitive for schemes
+    # ------------------------------------------------------------------
+    def send_unit_hop_by_hop(self, payment: Payment, path: Path, amount: float) -> bool:
+        """Launch one unit that forwards hop by hop, queueing when starved.
+
+        Unlike :meth:`Runtime.send_unit`, this succeeds as long as the
+        *first* hop can lock — downstream scarcity parks the unit in a
+        router queue rather than failing it.
+        """
+        amount = min(amount, payment.remaining, self.config.mtu)
+        if amount < self.config.min_unit_value:
+            return False
+        lock = HashLock.generate(payment.payment_id, payment.units_sent)
+        unit = HopUnit(payment, amount, tuple(path), lock, self.now)
+        if not self._try_lock_hop(unit):
+            return False  # source itself lacks funds; caller may queue/poll
+        payment.register_inflight(amount)
+        self._schedule_advance(unit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Hop machinery
+    # ------------------------------------------------------------------
+    def _try_lock_hop(self, unit: HopUnit) -> bool:
+        u, v = unit.current_node, unit.next_node
+        channel = self.network.channel(u, v)
+        try:
+            htlc = channel.lock(u, unit.amount, now=self.now, lock=unit.lock)
+        except InsufficientFundsError:
+            return False
+        unit.htlcs.append(htlc)
+        unit.hop_index += 1
+        return True
+
+    def _schedule_advance(self, unit: HopUnit) -> None:
+        if unit.at_destination:
+            self.sim.call_after(self.settle_delay, self._settle_unit, unit)
+        else:
+            self.sim.call_after(self.hop_delay, self._forward, unit)
+
+    def _forward(self, unit: HopUnit) -> None:
+        if unit.done:
+            return
+        if self._try_lock_hop(unit):
+            self._schedule_advance(unit)
+            return
+        self._enqueue(unit)
+
+    def _enqueue(self, unit: HopUnit) -> None:
+        key = (unit.current_node, unit.next_node)
+        queue = self._hop_queues.setdefault(key, deque())
+        unit.queued_at = self.now
+        queue.append(unit)
+        self.units_queued += 1
+        unit.timeout_event = self.sim.call_after(
+            self.queue_timeout, self._timeout_unit, unit
+        )
+
+    def _dequeue(self, key: Tuple[int, int]) -> None:
+        """Service the queue for direction ``key`` while funds last."""
+        queue = self._hop_queues.get(key)
+        if not queue:
+            return
+        if self.queue_policy == "srpt":
+            ordered = sorted(queue, key=lambda u: (u.payment.outstanding, u.launched_at))
+            queue.clear()
+            queue.extend(ordered)
+        while queue:
+            unit = queue[0]
+            u, v = key
+            if self.network.available(u, v) + _EPS < unit.amount:
+                break
+            queue.popleft()
+            if unit.timeout_event is not None:
+                unit.timeout_event.cancel()
+                unit.timeout_event = None
+            delay = self.now - (unit.queued_at or self.now)
+            self.queue_delays.append(delay)
+            if (
+                self.mark_threshold is not None
+                and delay > self.mark_threshold
+                and not unit.marked
+            ):
+                unit.marked = True
+                self.units_marked += 1
+            unit.queued_at = None
+            if self._try_lock_hop(unit):  # pragma: no branch - funds checked above
+                self._schedule_advance(unit)
+
+    def _timeout_unit(self, unit: HopUnit) -> None:
+        if unit.done or unit.queued_at is None:
+            return
+        key = (unit.current_node, unit.next_node)
+        queue = self._hop_queues.get(key)
+        if queue is not None and unit in queue:
+            queue.remove(unit)
+        self.units_timed_out += 1
+        self._abort_unit(unit)
+
+    def _abort_unit(self, unit: HopUnit) -> None:
+        """Refund all hops locked so far and release the payment value."""
+        unit.done = True
+        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
+            self.network.channel(a, b).refund(htlc)
+            self._dequeue((a, b))
+        unit.payment.register_cancelled(unit.amount)
+        if self.config.check_invariants:
+            self.network.check_invariants()
+        self._notify_scheme(unit, "lost")
+
+    def _settle_unit(self, unit: HopUnit) -> None:
+        if unit.done:
+            return
+        unit.done = True
+        payment = unit.payment
+        withhold = payment.expired(self.now) and not payment.is_complete
+        credited: List[Tuple[int, int]] = []
+        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
+            channel = self.network.channel(a, b)
+            if withhold:
+                channel.refund(htlc)
+                credited.append((a, b))
+            else:
+                channel.settle(htlc)
+                credited.append((b, a))
+        record = TransactionUnit.create(
+            payment=payment,
+            amount=unit.amount,
+            path=unit.path,
+            htlcs=unit.htlcs,
+            lock=unit.lock,
+            sent_at=unit.launched_at,
+        )
+        if withhold:
+            payment.register_cancelled(unit.amount)
+            record.mark_cancelled()
+            self.collector.on_unit_cancelled(record, self.now)
+        else:
+            was_complete = payment.is_complete
+            payment.register_settled(unit.amount, self.now)
+            record.mark_settled()
+            self.collector.on_unit_settled(record, self.now)
+            if payment.is_complete and not was_complete:
+                self._pending.discard(payment.payment_id)
+                self.collector.on_payment_completed(payment, self.now)
+        if self.config.check_invariants:
+            self.network.check_invariants()
+        self._notify_scheme(unit, "cancelled" if withhold else "settled")
+        # Freed/credited funds may unblock queued units downstream.
+        for direction in credited:
+            self._dequeue(direction)
+
+    def _notify_scheme(self, unit: HopUnit, outcome: str) -> None:
+        """Deliver the end-to-end ack (with its congestion mark) to schemes
+        that implement ``on_unit_resolved`` — the windowed transport's
+        feedback channel."""
+        callback = getattr(self.scheme, "on_unit_resolved", None)
+        if callback is not None:
+            callback(unit, outcome, self.now)
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        """Drain router queues at end of run, refunding stranded units."""
+        for key, queue in list(self._hop_queues.items()):
+            while queue:
+                unit = queue.popleft()
+                if unit.timeout_event is not None:
+                    unit.timeout_event.cancel()
+                self._abort_unit(unit)
+        super()._finish()
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Average time a serviced unit spent queued at routers."""
+        if not self.queue_delays:
+            return 0.0
+        return float(sum(self.queue_delays) / len(self.queue_delays))
+
+
+class SpiderQueueingScheme(RoutingScheme):
+    """Waterfilling path choice over hop-by-hop queueing transport.
+
+    Must run under :class:`QueueingRuntime`; the experiment runner selects
+    it automatically via the ``hop_by_hop`` attribute.
+    """
+
+    name = "spider-queueing"
+    atomic = False
+    hop_by_hop = True
+
+    def __init__(self, num_paths: int = 4):
+        if num_paths <= 0:
+            raise ValueError(f"num_paths must be positive, got {num_paths}")
+        self.num_paths = num_paths
+
+    def attempt(self, payment: Payment, runtime: Runtime) -> None:
+        if not isinstance(runtime, QueueingRuntime):
+            raise TypeError(
+                "SpiderQueueingScheme requires a QueueingRuntime "
+                "(in-network queues); see repro.core.queueing"
+            )
+        paths = self.path_cache.paths(payment.source, payment.dest)
+        if not paths:
+            runtime.fail_payment(payment)
+            return
+        availability = [runtime.network.bottleneck(p) for p in paths]
+        min_unit = runtime.config.min_unit_value
+        while payment.remaining >= min_unit:
+            best = max(range(len(paths)), key=lambda i: availability[i])
+            # First-hop availability is the launch constraint; bottleneck
+            # only guides path preference (downstream scarcity queues).
+            first_hop = runtime.network.available(paths[best][0], paths[best][1])
+            amount = min(
+                max(availability[best], 0.0) if availability[best] > min_unit else first_hop,
+                first_hop,
+                payment.remaining,
+                runtime.config.mtu,
+            )
+            if amount < min_unit:
+                break
+            if not runtime.send_unit_hop_by_hop(payment, paths[best], amount):
+                availability[best] = 0.0
+                if all(a < min_unit for a in availability):
+                    break
+                continue
+            availability[best] = max(0.0, availability[best] - amount)

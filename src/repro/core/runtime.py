@@ -1,0 +1,385 @@
+"""The simulation runtime: trace replay, unit transmission, settlement.
+
+This is the executable version of the paper's evaluation semantics (§6.1):
+
+* arriving payments are routed immediately if funds allow;
+* routed value incurs a confirmation delay (0.5 s) during which the funds
+  are held in-flight on every hop and unusable by anyone;
+* non-atomic payments that cannot complete immediately wait in a global
+  pending queue, polled periodically and scheduled by a pluggable policy
+  (SRPT by default);
+* atomic payments (the baselines) get exactly one attempt.
+
+Routing schemes interact with the runtime through two primitives:
+
+* :meth:`Runtime.send_unit` — lock one MTU-bounded transaction unit along a
+  path (non-atomic schemes), and
+* :meth:`Runtime.send_atomic` — lock a set of (path, amount) allocations
+  all-or-nothing (atomic schemes).
+
+Settlement, refunds, deadline enforcement (the sender withholds the hash
+key for units that would settle after the deadline — §4.1), metrics hooks
+and fund-conservation checks all live here, so schemes stay pure policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.payments import Payment, PaymentState, TransactionUnit
+from repro.core.scheduling import get_policy
+from repro.errors import ConfigError, InsufficientFundsError
+from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
+from repro.network.htlc import HashLock
+from repro.network.network import PaymentNetwork
+from repro.simulator.engine import RecurringTimer, Simulator
+from repro.workload.generator import TransactionRecord
+
+__all__ = ["RuntimeConfig", "Runtime"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the execution environment (not of any routing scheme).
+
+    Attributes
+    ----------
+    confirmation_delay:
+        End-to-end delay Δ before a routed unit's funds are usable at the
+        receiver (paper: 0.5 s).
+    poll_interval:
+        Period of the pending-queue poll.
+    mtu:
+        Maximum transaction-unit value.  ``inf`` disables splitting by size
+        (units are then bounded only by path capacity and remaining value).
+    scheduling_policy:
+        Name from :data:`repro.core.scheduling.SCHEDULING_POLICIES`.
+    end_time:
+        Simulation cut-off in seconds (the paper stops at 200 s / 85 s).
+        ``None`` runs until the last arrival plus ten confirmation delays.
+    min_unit_value:
+        Smallest unit worth sending; avoids floods of dust units.
+    max_fee_fraction:
+        §4.1's "maximum acceptable routing fee", as a fraction of each
+        payment's amount (``None`` disables the budget).  Only relevant on
+        networks with non-zero channel fees.
+    check_invariants:
+        Verify channel fund conservation after every resolution (slower;
+        on by default in tests, off in large benchmarks).
+    """
+
+    confirmation_delay: float = 0.5
+    poll_interval: float = 0.5
+    mtu: float = math.inf
+    scheduling_policy: str = "srpt"
+    end_time: Optional[float] = None
+    min_unit_value: float = 1e-3
+    max_fee_fraction: Optional[float] = None
+    check_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.confirmation_delay < 0:
+            raise ConfigError(
+                f"confirmation_delay must be non-negative, got {self.confirmation_delay!r}"
+            )
+        if self.poll_interval <= 0:
+            raise ConfigError(f"poll_interval must be positive, got {self.poll_interval!r}")
+        if self.mtu <= 0:
+            raise ConfigError(f"mtu must be positive, got {self.mtu!r}")
+        if self.min_unit_value <= 0:
+            raise ConfigError(
+                f"min_unit_value must be positive, got {self.min_unit_value!r}"
+            )
+        if self.max_fee_fraction is not None and self.max_fee_fraction < 0:
+            raise ConfigError(
+                f"max_fee_fraction must be non-negative, got {self.max_fee_fraction!r}"
+            )
+        get_policy(self.scheduling_policy)  # validate eagerly
+
+
+class Runtime:
+    """Drives one simulation run of one scheme over one trace.
+
+    Parameters
+    ----------
+    network:
+        The payment network (mutated in place).
+    records:
+        The transaction trace, sorted by arrival time.
+    scheme:
+        A :class:`~repro.routing.base.RoutingScheme`.
+    config:
+        Execution parameters.
+    collector:
+        Optional custom metrics collector.
+    """
+
+    def __init__(
+        self,
+        network: PaymentNetwork,
+        records: Sequence[TransactionRecord],
+        scheme: "RoutingScheme",
+        config: Optional[RuntimeConfig] = None,
+        collector: Optional[MetricsCollector] = None,
+    ):
+        self.network = network
+        self.records = sorted(records, key=lambda r: r.arrival_time)
+        self.scheme = scheme
+        self.config = config or RuntimeConfig()
+        self.collector = collector or MetricsCollector()
+        self.sim = Simulator()
+        self.payments: Dict[int, Payment] = {}
+        self._pending: Set[int] = set()
+        self._policy = get_policy(self.config.scheduling_policy)
+        self._poll_timer: Optional[RecurringTimer] = None
+        if self.config.end_time is not None:
+            self._end_time = self.config.end_time
+        elif self.records:
+            self._end_time = (
+                self.records[-1].arrival_time + 10.0 * max(self.config.confirmation_delay, 0.1)
+            )
+        else:
+            self._end_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Public control
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    @property
+    def end_time(self) -> float:
+        """When this run stops."""
+        return self._end_time
+
+    def run(self) -> ExperimentMetrics:
+        """Execute the full trace and return the run's metrics."""
+        self.scheme.prepare(self)
+        for record in self.records:
+            if record.arrival_time > self._end_time:
+                break
+            self.sim.call_at(record.arrival_time, self._arrive, record)
+        self._poll_timer = RecurringTimer(
+            self.sim, self.config.poll_interval, self._poll
+        )
+        self.sim.run(until=self._end_time)
+        self._finish()
+        return self.collector.finalize(
+            scheme=self.scheme.name, network=self.network, duration=self._end_time
+        )
+
+    # ------------------------------------------------------------------
+    # Scheme-facing primitives
+    # ------------------------------------------------------------------
+    def send_unit(self, payment: Payment, path: Tuple[int, ...], amount: float) -> bool:
+        """Lock one transaction unit delivering ``amount`` along ``path``.
+
+        The amount is clipped to the payment's remaining value and the MTU;
+        values below ``min_unit_value`` are not sent.  On fee-charging
+        networks the upstream hops lock ``amount`` plus the intermediaries'
+        fees (§2); units whose fee would blow the payment's ``max_fee``
+        budget are not sent.  Returns ``True`` if the unit was locked (it
+        will settle after the confirmation delay).
+        """
+        amount = min(amount, payment.remaining, self.config.mtu)
+        if amount < self.config.min_unit_value:
+            return False
+        amounts = self.network.hop_amounts(path, amount)
+        fee = amounts[0] - amount if amounts else 0.0
+        if fee > 0 and not payment.fee_budget_allows(fee):
+            return False
+        lock = HashLock.generate(payment.payment_id, payment.units_sent)
+        try:
+            htlcs = self.network.lock_path(
+                path, amount, now=self.now, lock=lock, amounts=amounts
+            )
+        except InsufficientFundsError:
+            return False
+        payment.register_inflight(amount)
+        unit = TransactionUnit.create(
+            payment=payment,
+            amount=amount,
+            path=tuple(path),
+            htlcs=htlcs,
+            lock=lock,
+            sent_at=self.now,
+            fee=fee,
+        )
+        self.sim.call_after(self.config.confirmation_delay, self._resolve_unit, unit)
+        return True
+
+    def send_on_path(self, payment: Payment, path: Tuple[int, ...]) -> float:
+        """Send as many units as fit on ``path`` right now.
+
+        Convenience for non-atomic schemes: repeatedly sends MTU-bounded
+        units until the path bottleneck or the payment's remaining value is
+        exhausted.  Returns the total value locked.
+        """
+        sent = 0.0
+        while payment.remaining >= self.config.min_unit_value:
+            available = self.network.bottleneck(path)
+            amount = min(available, payment.remaining, self.config.mtu)
+            if amount < self.config.min_unit_value:
+                break
+            if not self.send_unit(payment, path, amount):
+                break
+            sent += amount
+        return sent
+
+    def send_atomic(
+        self,
+        payment: Payment,
+        allocations: Sequence[Tuple[Tuple[int, ...], float]],
+    ) -> bool:
+        """Lock ``allocations`` all-or-nothing (AMP-style multi-path).
+
+        Either every (path, amount) share locks — and the whole payment
+        settles after the confirmation delay — or nothing is locked and
+        ``False`` is returned.
+        """
+        total = sum(amount for _, amount in allocations)
+        if total < payment.amount - 1e-6:
+            return False
+        total_fee = 0.0
+        for path, amount in allocations:
+            if amount <= _EPS:
+                continue
+            amounts = self.network.hop_amounts(path, amount)
+            if amounts:
+                total_fee += amounts[0] - amount
+        if total_fee > 0 and not payment.fee_budget_allows(total_fee):
+            return False
+        locked: List[TransactionUnit] = []
+        base_lock = HashLock.generate(payment.payment_id, 0)
+        try:
+            for path, amount in allocations:
+                if amount <= _EPS:
+                    continue
+                amounts = self.network.hop_amounts(path, amount)
+                htlcs = self.network.lock_path(
+                    path, amount, now=self.now, lock=base_lock, amounts=amounts
+                )
+                payment.register_inflight(amount)
+                locked.append(
+                    TransactionUnit.create(
+                        payment=payment,
+                        amount=amount,
+                        path=tuple(path),
+                        htlcs=htlcs,
+                        lock=base_lock,
+                        sent_at=self.now,
+                        fee=amounts[0] - amount if amounts else 0.0,
+                    )
+                )
+        except InsufficientFundsError:
+            for unit in locked:
+                self.network.refund_path(unit.path, unit.htlcs)
+                payment.register_cancelled(unit.amount)
+                unit.mark_cancelled()
+            return False
+        for unit in locked:
+            self.sim.call_after(self.config.confirmation_delay, self._resolve_unit, unit)
+        return True
+
+    def fail_payment(self, payment: Payment) -> None:
+        """Terminally fail a payment (atomic miss or scheme decision)."""
+        if payment.is_terminal:
+            return
+        payment.mark_failed(self.now)
+        self._pending.discard(payment.payment_id)
+        self.collector.on_payment_failed(payment, self.now)
+
+    # ------------------------------------------------------------------
+    # Internal event handlers
+    # ------------------------------------------------------------------
+    def _arrive(self, record: TransactionRecord) -> None:
+        max_fee = (
+            self.config.max_fee_fraction * record.amount
+            if self.config.max_fee_fraction is not None
+            else None
+        )
+        payment = Payment(
+            payment_id=record.txn_id,
+            source=record.source,
+            dest=record.dest,
+            amount=record.amount,
+            arrival_time=record.arrival_time,
+            deadline=record.deadline,
+            atomic=self.scheme.atomic,
+            max_fee=max_fee,
+        )
+        self.payments[payment.payment_id] = payment
+        self.collector.on_payment_arrival(payment)
+        self._pending.add(payment.payment_id)
+        payment.attempts += 1
+        self.scheme.attempt(payment, self)
+        self._after_attempt(payment)
+
+    def _poll(self) -> None:
+        if not self._pending:
+            return
+        pending_payments = [self.payments[pid] for pid in self._pending]
+        pending_payments.sort(key=self._policy)
+        for payment in pending_payments:
+            if payment.is_terminal:
+                self._pending.discard(payment.payment_id)
+                continue
+            if payment.expired(self.now):
+                self.fail_payment(payment)
+                continue
+            if self.scheme.atomic:
+                # Atomic payments get one attempt at arrival; they stay in
+                # the pending set only while their settlement is in flight.
+                continue
+            if payment.remaining < self.config.min_unit_value:
+                continue  # fully in flight; waiting on settlements
+            payment.attempts += 1
+            self.scheme.attempt(payment, self)
+            self._after_attempt(payment)
+
+    def _resolve_unit(self, unit: TransactionUnit) -> None:
+        payment = unit.payment
+        # §4.1: the sender withholds the key for units that arrive after the
+        # payment's deadline, cancelling them; everyone refunds.
+        withhold = payment.expired(self.now) and not payment.is_complete
+        if withhold or payment.state is PaymentState.FAILED and payment.atomic:
+            self.network.refund_path(unit.path, unit.htlcs)
+            payment.register_cancelled(unit.amount)
+            unit.mark_cancelled()
+            self.collector.on_unit_cancelled(unit, self.now)
+        else:
+            self.network.settle_path(unit.path, unit.htlcs)
+            was_complete = payment.is_complete
+            payment.register_settled(unit.amount, self.now)
+            payment.fees_paid += unit.fee
+            unit.mark_settled()
+            self.collector.on_unit_settled(unit, self.now)
+            if payment.is_complete and not was_complete:
+                self._pending.discard(payment.payment_id)
+                self.collector.on_payment_completed(payment, self.now)
+        if self.config.check_invariants:
+            self.network.check_invariants()
+
+    def _after_attempt(self, payment: Payment) -> None:
+        if payment.is_terminal:
+            self._pending.discard(payment.payment_id)
+        elif self.scheme.atomic and payment.inflight < _EPS:
+            # An atomic scheme that could not place the payment fails it.
+            self.fail_payment(payment)
+
+    def _finish(self) -> None:
+        """Mark still-pending payments failed at the end of the run."""
+        for pid in list(self._pending):
+            payment = self.payments[pid]
+            if not payment.is_terminal:
+                payment.mark_failed(self.now)
+                self.collector.on_payment_failed(payment, self.now)
+        self._pending.clear()
+        if self._poll_timer is not None:
+            self._poll_timer.stop()

@@ -1,0 +1,87 @@
+"""Scheduling policies for the pending-payment queue.
+
+The paper's simulator keeps "a global queue that tracks all incomplete
+payments ... periodically polled to see if they can make any further
+progress. They are then scheduled according to a scheduling algorithm"
+(§6.1), with SRPT — shortest remaining processing time, i.e. smallest
+incomplete payment amount first — as the evaluated policy (pFabric-style
+prioritisation, [8]).
+
+Each policy is a key function over :class:`~repro.core.payments.Payment`;
+ties break deterministically by payment id.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.payments import Payment
+from repro.errors import ConfigError
+
+__all__ = ["SCHEDULING_POLICIES", "get_policy", "order_payments"]
+
+PolicyKey = Callable[[Payment], tuple]
+
+
+def _srpt(payment: Payment) -> tuple:
+    """Smallest remaining (undelivered) amount first — the paper's default."""
+    return (payment.outstanding, payment.payment_id)
+
+
+def _fifo(payment: Payment) -> tuple:
+    """Oldest arrival first."""
+    return (payment.arrival_time, payment.payment_id)
+
+
+def _lifo(payment: Payment) -> tuple:
+    """Newest arrival first."""
+    return (-payment.arrival_time, payment.payment_id)
+
+
+def _edf(payment: Payment) -> tuple:
+    """Earliest deadline first; deadline-less payments go last."""
+    deadline = payment.deadline if payment.deadline is not None else math.inf
+    return (deadline, payment.payment_id)
+
+
+def _smallest_total(payment: Payment) -> tuple:
+    """Smallest total payment first (size-based, ignores progress)."""
+    return (payment.amount, payment.payment_id)
+
+
+def _largest_remaining(payment: Payment) -> tuple:
+    """Largest remaining amount first (anti-SRPT, for ablations)."""
+    return (-payment.outstanding, payment.payment_id)
+
+
+#: name -> sort key; extendable by users.
+SCHEDULING_POLICIES: Dict[str, PolicyKey] = {
+    "srpt": _srpt,
+    "fifo": _fifo,
+    "lifo": _lifo,
+    "edf": _edf,
+    "smallest-total": _smallest_total,
+    "largest-remaining": _largest_remaining,
+}
+
+
+def get_policy(name: str) -> PolicyKey:
+    """Look up a policy by name.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names, listing the
+    available policies.
+    """
+    try:
+        return SCHEDULING_POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduling policy {name!r}; available: "
+            f"{sorted(SCHEDULING_POLICIES)}"
+        ) from None
+
+
+def order_payments(payments: Sequence[Payment], policy: str = "srpt") -> List[Payment]:
+    """Return ``payments`` sorted according to the named policy."""
+    key = get_policy(policy)
+    return sorted(payments, key=key)

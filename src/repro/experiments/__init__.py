@@ -1,0 +1,20 @@
+"""Experiment harness: configs, runners, sweeps."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    build_size_distribution,
+    build_topology,
+)
+from repro.experiments.runner import compare_schemes, run_experiment
+from repro.experiments.sweeps import capacity_sweep, fee_sweep, parameter_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "build_size_distribution",
+    "build_topology",
+    "capacity_sweep",
+    "compare_schemes",
+    "fee_sweep",
+    "parameter_sweep",
+    "run_experiment",
+]

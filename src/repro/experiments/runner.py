@@ -1,0 +1,88 @@
+"""Experiment execution: configs in, metrics out."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.queueing import QueueingRuntime
+from repro.core.runtime import Runtime
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
+from repro.routing.registry import make_scheme
+
+__all__ = ["build_runtime", "run_experiment", "compare_schemes"]
+
+
+def build_runtime(
+    network,
+    records,
+    scheme,
+    runtime_config,
+    collector: Optional[MetricsCollector] = None,
+) -> Runtime:
+    """Pair ``scheme`` with the runtime it declares and construct it.
+
+    Schemes that declare ``hop_by_hop = True`` (in-network queues, §4.2)
+    get a :class:`~repro.core.queueing.QueueingRuntime`; schemes that
+    declare a ``runtime_class`` (backpressure, windowed transport) get
+    that runtime, constructed with the scheme's ``runtime_kwargs()``;
+    everything else runs on the plain :class:`~repro.core.runtime.Runtime`.
+    """
+    runtime_class = getattr(scheme, "runtime_class", None)
+    if runtime_class is None:
+        runtime_class = (
+            QueueingRuntime if getattr(scheme, "hop_by_hop", False) else Runtime
+        )
+    runtime_kwargs = (
+        scheme.runtime_kwargs() if hasattr(scheme, "runtime_kwargs") else {}
+    )
+    return runtime_class(
+        network=network,
+        records=records,
+        scheme=scheme,
+        config=runtime_config,
+        collector=collector or MetricsCollector(),
+        **runtime_kwargs,
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentMetrics:
+    """Run one scheme on one topology/workload; returns the run metrics.
+
+    The workload and topology depend only on the config's seed and
+    parameters — never on the scheme — so scheme comparisons see identical
+    traces, as in the paper's evaluation.  Schemes that declare
+    ``hop_by_hop = True`` (in-network queues, §4.2) get a
+    :class:`~repro.core.queueing.QueueingRuntime`; schemes that declare a
+    ``runtime_class`` (backpressure, windowed transport) get that runtime,
+    constructed with the scheme's ``runtime_kwargs()``.
+    """
+    topology = config.build_topology()
+    network = topology.build_network(
+        default_capacity=config.capacity,
+        base_fee=config.base_fee,
+        fee_rate=config.fee_rate,
+    )
+    records = config.build_workload(list(topology.nodes))
+    scheme = make_scheme(config.scheme, **config.scheme_params)
+    runtime = build_runtime(network, records, scheme, config.build_runtime_config())
+    return runtime.run()
+
+
+def compare_schemes(
+    base_config: ExperimentConfig,
+    schemes: Sequence[str],
+    scheme_params: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[ExperimentMetrics]:
+    """Run several schemes against the identical trace (Fig. 6 layout).
+
+    ``scheme_params`` optionally maps scheme name → constructor kwargs.
+    """
+    scheme_params = scheme_params or {}
+    results = []
+    for scheme in schemes:
+        config = base_config.with_overrides(
+            scheme=scheme, scheme_params=scheme_params.get(scheme, {})
+        )
+        results.append(run_experiment(config))
+    return results

@@ -1,0 +1,53 @@
+"""Parameter sweeps — the generic machinery behind Fig. 7 and the ablations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.collectors import ExperimentMetrics
+
+__all__ = ["capacity_sweep", "fee_sweep", "parameter_sweep"]
+
+
+def parameter_sweep(
+    base_config: ExperimentConfig,
+    field: str,
+    values: Sequence[object],
+    schemes: Sequence[str],
+) -> Dict[Tuple[str, object], ExperimentMetrics]:
+    """Run ``schemes × values`` over one config field.
+
+    Returns ``{(scheme, value): metrics}``.  Traces are identical across
+    schemes at each value (they may differ across values when the field
+    affects the workload).
+    """
+    results: Dict[Tuple[str, object], ExperimentMetrics] = {}
+    for value in values:
+        for scheme in schemes:
+            config = base_config.with_overrides(**{field: value}, scheme=scheme)
+            results[(scheme, value)] = run_experiment(config)
+    return results
+
+
+def capacity_sweep(
+    base_config: ExperimentConfig,
+    capacities: Sequence[float],
+    schemes: Sequence[str],
+) -> Dict[Tuple[str, float], ExperimentMetrics]:
+    """Fig. 7: success metrics as per-channel capacity varies."""
+    return parameter_sweep(base_config, "capacity", list(capacities), schemes)
+
+
+def fee_sweep(
+    base_config: ExperimentConfig,
+    fee_rates: Sequence[float],
+    schemes: Sequence[str],
+) -> Dict[Tuple[str, float], ExperimentMetrics]:
+    """Success metrics as the proportional forwarding fee varies (§2/§4.1).
+
+    Meaningful together with ``max_fee_fraction`` on the config: higher
+    network fees push more payments over their fee budget.
+    """
+    return parameter_sweep(base_config, "fee_rate", list(fee_rates), schemes)

@@ -1,0 +1,73 @@
+"""Fluid-model theory: paths, circulations, LPs, primal-dual algorithm."""
+
+from repro.fluid.circulation import (
+    CirculationDecomposition,
+    PaymentGraph,
+    bfs_spanning_tree,
+    decompose_payment_graph,
+    is_circulation,
+    is_dag,
+    max_circulation_cycle_cancelling,
+    max_circulation_lp,
+    peel_cycles,
+    route_circulation_on_tree,
+)
+from repro.fluid.lp import (
+    FluidSolution,
+    max_balanced_throughput,
+    max_unbalanced_throughput,
+    solve_fluid_lp,
+    solve_rebalancing_lp,
+    throughput_vs_rebalancing,
+    throughput_with_budget,
+)
+from repro.fluid.fairness import FairnessSolution, jain_index, solve_fairness_lp
+from repro.fluid.primal_dual import (
+    PrimalDualConfig,
+    PrimalDualResult,
+    project_capped_simplex,
+    solve_primal_dual,
+)
+from repro.fluid.paths import (
+    all_simple_paths,
+    bfs_distances,
+    bfs_shortest_path,
+    build_path_set,
+    k_edge_disjoint_paths,
+    k_shortest_paths,
+    path_edges,
+)
+
+__all__ = [
+    "CirculationDecomposition",
+    "FairnessSolution",
+    "FluidSolution",
+    "PaymentGraph",
+    "PrimalDualConfig",
+    "PrimalDualResult",
+    "all_simple_paths",
+    "bfs_distances",
+    "bfs_shortest_path",
+    "bfs_spanning_tree",
+    "build_path_set",
+    "decompose_payment_graph",
+    "is_circulation",
+    "is_dag",
+    "jain_index",
+    "k_edge_disjoint_paths",
+    "k_shortest_paths",
+    "max_balanced_throughput",
+    "max_circulation_cycle_cancelling",
+    "max_circulation_lp",
+    "max_unbalanced_throughput",
+    "path_edges",
+    "peel_cycles",
+    "project_capped_simplex",
+    "route_circulation_on_tree",
+    "solve_fairness_lp",
+    "solve_fluid_lp",
+    "solve_primal_dual",
+    "solve_rebalancing_lp",
+    "throughput_vs_rebalancing",
+    "throughput_with_budget",
+]

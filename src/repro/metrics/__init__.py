@@ -1,0 +1,23 @@
+"""Metrics: per-run collectors, router economics, report formatting."""
+
+from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
+from repro.metrics.incentives import (
+    IncentiveCollector,
+    RouterEconomics,
+    escrow_by_node,
+    fee_yield_report,
+    gini,
+)
+from repro.metrics.report import format_metrics_table, format_table
+
+__all__ = [
+    "ExperimentMetrics",
+    "IncentiveCollector",
+    "MetricsCollector",
+    "RouterEconomics",
+    "escrow_by_node",
+    "fee_yield_report",
+    "format_metrics_table",
+    "format_table",
+    "gini",
+]

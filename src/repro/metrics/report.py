@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's figures plot; this
+module keeps that output readable and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_metrics_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[("" if cell is None else str(cell)) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_metrics_table(metrics: Iterable, title: Optional[str] = None) -> str:
+    """Render a list of :class:`ExperimentMetrics` as a comparison table."""
+    rows = []
+    headers = None
+    for metric in metrics:
+        row = metric.as_row()
+        if headers is None:
+            headers = list(row)
+        rows.append([row[h] for h in headers])
+    if headers is None:
+        return title or ""
+    return format_table(headers, rows, title=title)

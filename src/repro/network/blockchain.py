@@ -1,0 +1,303 @@
+"""The on-chain settlement layer underneath payment channels (§2).
+
+Payment channel networks exist to *avoid* the blockchain, but their
+security model depends on it: a channel is opened by an on-chain escrow
+transaction, closed by publishing the latest co-signed balance, and
+protected by the punishment rule — *"If one party tries to cheat by
+publishing an earlier balance, the cheating party loses all the money they
+escrowed"* (§2, Fig. 1).  §5.2.3's rebalancing rate b_(u,v) is likewise an
+on-chain deposit.
+
+This module implements that substrate:
+
+* :class:`Blockchain` — an append-only ledger of blocks with a fixed
+  per-transaction fee and confirmation latency (the reason on-chain
+  rebalancing is expensive: "expensive ... in time (due to transaction
+  confirmation delays) and in transaction fees");
+* :class:`ChannelContract` — the on-chain lifecycle of one channel:
+  OPEN → (balance updates happen off-chain, each with a monotonically
+  increasing sequence number) → CLOSED, with cooperative close, unilateral
+  close, and the cheat/punish path.
+
+The simulator's :class:`~repro.network.channel.PaymentChannel` holds the
+*off-chain* state; this module notarises its lifecycle.  Experiments use
+it to account on-chain fees for the §5.2.3 rebalancing trade-off.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ChannelError, ConfigError, ReproError
+
+__all__ = [
+    "Blockchain",
+    "BlockchainTransaction",
+    "ChannelContract",
+    "ContractState",
+    "TxKind",
+]
+
+
+class TxKind(enum.Enum):
+    """On-chain transaction types used by the channel lifecycle."""
+
+    OPEN = "open"
+    DEPOSIT = "deposit"
+    COOPERATIVE_CLOSE = "cooperative-close"
+    UNILATERAL_CLOSE = "unilateral-close"
+    PUNISH = "punish"
+
+
+@dataclass(frozen=True)
+class BlockchainTransaction:
+    """One confirmed on-chain transaction."""
+
+    tx_id: int
+    kind: TxKind
+    parties: Tuple[object, ...]
+    amounts: Dict[object, float]
+    fee: float
+    submitted_at: float
+    confirmed_at: float
+    memo: str = ""
+
+
+class Blockchain:
+    """A minimal fee-charging, latency-modelling ledger.
+
+    Parameters
+    ----------
+    fee:
+        Flat fee per transaction (the paper notes median Bitcoin fees
+        regularly exceeded $1 and peaked at $34).
+    confirmation_latency:
+        Seconds from submission to confirmation (tens of minutes for
+        Bitcoin; configurable here).
+    """
+
+    def __init__(self, fee: float = 1.0, confirmation_latency: float = 600.0):
+        if fee < 0:
+            raise ConfigError(f"fee must be non-negative, got {fee!r}")
+        if confirmation_latency < 0:
+            raise ConfigError(
+                f"confirmation_latency must be non-negative, got {confirmation_latency!r}"
+            )
+        self.fee = fee
+        self.confirmation_latency = confirmation_latency
+        self._transactions: List[BlockchainTransaction] = []
+        self._tx_ids = itertools.count(1)
+        self.total_fees = 0.0
+
+    def submit(
+        self,
+        kind: TxKind,
+        parties: Tuple[object, ...],
+        amounts: Dict[object, float],
+        now: float,
+        memo: str = "",
+    ) -> BlockchainTransaction:
+        """Record a transaction; returns it with its confirmation time."""
+        tx = BlockchainTransaction(
+            tx_id=next(self._tx_ids),
+            kind=kind,
+            parties=tuple(parties),
+            amounts=dict(amounts),
+            fee=self.fee,
+            submitted_at=now,
+            confirmed_at=now + self.confirmation_latency,
+            memo=memo,
+        )
+        self._transactions.append(tx)
+        self.total_fees += self.fee
+        return tx
+
+    @property
+    def transactions(self) -> List[BlockchainTransaction]:
+        """All confirmed transactions, oldest first."""
+        return list(self._transactions)
+
+    def transactions_of_kind(self, kind: TxKind) -> List[BlockchainTransaction]:
+        """Filter the ledger by transaction type."""
+        return [tx for tx in self._transactions if tx.kind is kind]
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+
+class ContractState(enum.Enum):
+    """Lifecycle of a channel's on-chain contract."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+@dataclass
+class _SignedState:
+    """One co-signed off-chain balance statement (Fig. 1's messages)."""
+
+    sequence: int
+    balances: Dict[object, float]
+
+
+class ChannelContract:
+    """On-chain lifecycle of one payment channel.
+
+    The parties exchange signed balance statements off-chain; only the
+    latest one is safe to publish.  Publishing an older statement exposes
+    the cheater to punishment: the counterparty claims the entire escrow
+    (§2).
+    """
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        party_a: object,
+        party_b: object,
+        deposit_a: float,
+        deposit_b: float,
+        now: float = 0.0,
+    ):
+        if party_a == party_b:
+            raise ChannelError("contract parties must differ")
+        if deposit_a < 0 or deposit_b < 0 or deposit_a + deposit_b <= 0:
+            raise ChannelError("deposits must be non-negative and not both zero")
+        self.chain = chain
+        self.party_a = party_a
+        self.party_b = party_b
+        self.state = ContractState.OPEN
+        self._escrow = deposit_a + deposit_b
+        self._states: List[_SignedState] = [
+            _SignedState(0, {party_a: deposit_a, party_b: deposit_b})
+        ]
+        self.open_tx = chain.submit(
+            TxKind.OPEN,
+            (party_a, party_b),
+            {party_a: deposit_a, party_b: deposit_b},
+            now,
+            memo="channel open",
+        )
+        self.close_tx: Optional[BlockchainTransaction] = None
+        self.settlement: Optional[Dict[object, float]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def escrow(self) -> float:
+        """Total funds locked in the contract."""
+        return self._escrow
+
+    @property
+    def latest_sequence(self) -> int:
+        """Sequence number of the newest signed state."""
+        return self._states[-1].sequence
+
+    def latest_balances(self) -> Dict[object, float]:
+        """The newest co-signed balance statement."""
+        return dict(self._states[-1].balances)
+
+    def signed_state(self, sequence: int) -> Dict[object, float]:
+        """Look up an old signed state (what a cheater would publish)."""
+        for state in self._states:
+            if state.sequence == sequence:
+                return dict(state.balances)
+        raise ChannelError(f"no signed state with sequence {sequence}")
+
+    # ------------------------------------------------------------------
+    def update(self, balances: Dict[object, float]) -> int:
+        """Record a new co-signed off-chain state; returns its sequence.
+
+        Balances must cover both parties and conserve the escrow.
+        """
+        self._require_open()
+        if set(balances) != {self.party_a, self.party_b}:
+            raise ChannelError("balance statement must cover exactly both parties")
+        if any(v < 0 for v in balances.values()):
+            raise ChannelError("balances cannot be negative")
+        total = sum(balances.values())
+        if abs(total - self._escrow) > 1e-9:
+            raise ChannelError(
+                f"balance statement ({total:.6g}) does not conserve escrow "
+                f"({self._escrow:.6g})"
+            )
+        sequence = self.latest_sequence + 1
+        self._states.append(_SignedState(sequence, dict(balances)))
+        return sequence
+
+    def deposit(self, party: object, amount: float, now: float) -> None:
+        """On-chain top-up (§5.2.3's b_(u,v) rebalancing deposit)."""
+        self._require_open()
+        if party not in (self.party_a, self.party_b):
+            raise ChannelError(f"{party!r} is not a contract party")
+        if amount <= 0:
+            raise ChannelError(f"deposit must be positive, got {amount!r}")
+        balances = self.latest_balances()
+        balances[party] += amount
+        self._escrow += amount
+        self._states.append(_SignedState(self.latest_sequence + 1, balances))
+        self.chain.submit(
+            TxKind.DEPOSIT, (party,), {party: amount}, now, memo="rebalancing deposit"
+        )
+
+    # ------------------------------------------------------------------
+    def cooperative_close(self, now: float) -> Dict[object, float]:
+        """Both parties sign off; latest balances settle on-chain."""
+        self._require_open()
+        balances = self.latest_balances()
+        self.close_tx = self.chain.submit(
+            TxKind.COOPERATIVE_CLOSE,
+            (self.party_a, self.party_b),
+            balances,
+            now,
+            memo="cooperative close",
+        )
+        self.state = ContractState.CLOSED
+        self.settlement = balances
+        return dict(balances)
+
+    def unilateral_close(
+        self,
+        closer: object,
+        published_sequence: int,
+        now: float,
+        counterparty_watches: bool = True,
+    ) -> Dict[object, float]:
+        """``closer`` publishes a signed state; stale states get punished.
+
+        If ``published_sequence`` is not the latest and the counterparty is
+        watching (the normal case), the punishment path triggers and the
+        *entire escrow* goes to the honest party (§2).
+        """
+        self._require_open()
+        if closer not in (self.party_a, self.party_b):
+            raise ChannelError(f"{closer!r} is not a contract party")
+        published = self.signed_state(published_sequence)
+        honest = self.party_b if closer == self.party_a else self.party_a
+        if published_sequence < self.latest_sequence and counterparty_watches:
+            settlement = {closer: 0.0, honest: self._escrow}
+            self.close_tx = self.chain.submit(
+                TxKind.PUNISH,
+                (honest,),
+                settlement,
+                now,
+                memo=f"punished stale state #{published_sequence}",
+            )
+        else:
+            settlement = published
+            self.close_tx = self.chain.submit(
+                TxKind.UNILATERAL_CLOSE,
+                (closer,),
+                settlement,
+                now,
+                memo=f"unilateral close at state #{published_sequence}",
+            )
+        self.state = ContractState.CLOSED
+        self.settlement = settlement
+        return dict(settlement)
+
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self.state is not ContractState.OPEN:
+            raise ChannelError("contract is closed")

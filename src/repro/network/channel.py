@@ -1,0 +1,336 @@
+"""Bidirectional payment channels.
+
+A payment channel escrows a fixed total amount of funds between two parties
+(§2 of the paper).  At any instant the escrow is partitioned into:
+
+* ``balance(u)`` — funds party ``u`` can spend right now,
+* ``inflight(u)`` — funds ``u`` has committed to pending HTLCs that have not
+  yet settled or been refunded (Fig. 3: "pending funds").
+
+The invariant ``balance(u) + balance(v) + inflight(u) + inflight(v) ==
+capacity`` holds at all times and is checked by
+:meth:`PaymentChannel.check_invariant`.
+
+The channel also tracks cumulative flow in each direction, which the metrics
+layer uses to report imbalance, and which Spider's price updates (§5.3) use
+to estimate rate imbalance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.errors import ChannelError, InsufficientFundsError
+from repro.network.htlc import HashLock, Htlc, HtlcState
+
+__all__ = ["PaymentChannel"]
+
+NodeId = Hashable
+
+
+class PaymentChannel:
+    """One bidirectional payment channel between ``node_a`` and ``node_b``.
+
+    Parameters
+    ----------
+    node_a, node_b:
+        Endpoint identifiers (any hashable; the topology layer uses ints).
+    capacity:
+        Total escrowed funds in the channel.
+    balance_a:
+        ``node_a``'s initial spendable balance.  Defaults to an even split,
+        matching the paper's experiments ("equally split between the two
+        parties", §6.2).
+
+    Notes
+    -----
+    All mutating operations are mediated by HTLCs so that funds are held
+    in-flight during the confirmation delay, exactly as in §4.2: *"Funds
+    received on a payment channel remain in a pending state until the final
+    receiver provides the key for the hash lock."*
+    """
+
+    _htlc_ids = itertools.count(1)
+
+    __slots__ = (
+        "node_a",
+        "node_b",
+        "capacity",
+        "base_fee",
+        "fee_rate",
+        "_balances",
+        "_inflight",
+        "_htlcs",
+        "_sent",
+        "_settled_flow",
+        "_num_settled",
+        "_num_refunded",
+        "total_deposited",
+        "_frozen",
+    )
+
+    def __init__(
+        self,
+        node_a: NodeId,
+        node_b: NodeId,
+        capacity: float,
+        balance_a: Optional[float] = None,
+        base_fee: float = 0.0,
+        fee_rate: float = 0.0,
+    ):
+        if node_a == node_b:
+            raise ChannelError(f"channel endpoints must differ, got {node_a!r} twice")
+        if capacity <= 0 or not math.isfinite(capacity):
+            raise ChannelError(f"capacity must be positive and finite, got {capacity!r}")
+        if balance_a is None:
+            balance_a = capacity / 2.0
+        if balance_a < 0 or balance_a > capacity:
+            raise ChannelError(
+                f"balance_a={balance_a!r} outside [0, capacity={capacity!r}]"
+            )
+        if base_fee < 0 or fee_rate < 0:
+            raise ChannelError("fees must be non-negative")
+        self.node_a = node_a
+        self.node_b = node_b
+        self.capacity = float(capacity)
+        self.base_fee = float(base_fee)
+        self.fee_rate = float(fee_rate)
+        self._balances: Dict[NodeId, float] = {
+            node_a: float(balance_a),
+            node_b: float(capacity - balance_a),
+        }
+        self._inflight: Dict[NodeId, float] = {node_a: 0.0, node_b: 0.0}
+        self._htlcs: Dict[int, Htlc] = {}
+        # Cumulative value settled in each direction, keyed by sender.
+        self._settled_flow: Dict[NodeId, float] = {node_a: 0.0, node_b: 0.0}
+        self._sent: Dict[NodeId, float] = {node_a: 0.0, node_b: 0.0}
+        self._num_settled = 0
+        self._num_refunded = 0
+        self.total_deposited = 0.0
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def endpoints(self) -> Tuple[NodeId, NodeId]:
+        """The channel's two endpoints as given at construction."""
+        return (self.node_a, self.node_b)
+
+    def other(self, node: NodeId) -> NodeId:
+        """The counterparty of ``node`` on this channel."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise ChannelError(f"{node!r} is not an endpoint of {self!r}")
+
+    def balance(self, node: NodeId) -> float:
+        """Spendable funds currently held by ``node``."""
+        self._require_endpoint(node)
+        return self._balances[node]
+
+    def inflight(self, node: NodeId) -> float:
+        """Funds ``node`` has locked in pending HTLCs."""
+        self._require_endpoint(node)
+        return self._inflight[node]
+
+    def available(self, sender: NodeId) -> float:
+        """Funds ``sender`` can commit to a new transfer right now.
+
+        This is the quantity routing schemes probe when they measure "path
+        capacity": in-flight funds are excluded because they are unusable
+        until settlement (§6.1).  A frozen channel (closing, or an offline
+        endpoint — see :mod:`repro.network.faults`) accepts nothing.
+        """
+        if self._frozen:
+            return 0.0
+        return self.balance(sender)
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the channel currently rejects new HTLCs.
+
+        Pending HTLCs still resolve — a closing channel (or one with an
+        offline endpoint) lets in-flight transfers finish or time out, it
+        just accepts no new ones.  Freezing never moves funds, so all
+        conservation invariants are unaffected.
+        """
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Stop accepting new HTLCs (channel closure / endpoint outage)."""
+        self._frozen = True
+
+    def unfreeze(self) -> None:
+        """Resume normal operation (endpoint back online)."""
+        self._frozen = False
+
+    def settled_flow(self, sender: NodeId) -> float:
+        """Cumulative value settled in the ``sender →`` direction."""
+        self._require_endpoint(sender)
+        return self._settled_flow[sender]
+
+    def attempted_flow(self, sender: NodeId) -> float:
+        """Cumulative value locked (settled or not) in the ``sender →`` direction."""
+        self._require_endpoint(sender)
+        return self._sent[sender]
+
+    def imbalance(self) -> float:
+        """Absolute difference between the two spendable balances."""
+        return abs(self._balances[self.node_a] - self._balances[self.node_b])
+
+    def flow_imbalance(self) -> float:
+        """|settled flow a→b − settled flow b→a|, the paper's rate-imbalance notion."""
+        return abs(self._settled_flow[self.node_a] - self._settled_flow[self.node_b])
+
+    def forwarding_fee(self, amount: float) -> float:
+        """Fee a router charges to forward ``amount`` over this channel.
+
+        §2: intermediate nodes receive a routing fee.  The standard PCN fee
+        schedule is affine: ``base_fee + fee_rate × amount``; both default
+        to 0 so fee-free experiments match the paper's evaluation.
+        """
+        if amount <= 0:
+            return 0.0
+        return self.base_fee + self.fee_rate * amount
+
+    def pending_htlcs(self) -> Iterator[Htlc]:
+        """Iterate over HTLCs still pending on this channel."""
+        return (h for h in self._htlcs.values() if h.pending)
+
+    @property
+    def num_settled(self) -> int:
+        """Count of HTLCs settled over the channel's lifetime."""
+        return self._num_settled
+
+    @property
+    def num_refunded(self) -> int:
+        """Count of HTLCs refunded over the channel's lifetime."""
+        return self._num_refunded
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def lock(
+        self,
+        sender: NodeId,
+        amount: float,
+        now: float = 0.0,
+        lock: Optional[HashLock] = None,
+    ) -> Htlc:
+        """Lock ``amount`` of ``sender``'s balance into a new pending HTLC.
+
+        Raises
+        ------
+        InsufficientFundsError
+            If ``sender``'s spendable balance is below ``amount``.
+        """
+        self._require_endpoint(sender)
+        if amount <= 0 or not math.isfinite(amount):
+            raise ChannelError(f"lock amount must be positive and finite, got {amount!r}")
+        if self._frozen:
+            raise InsufficientFundsError(
+                f"channel ({self.node_a!r}, {self.node_b!r}) is frozen "
+                "(closing or endpoint offline)"
+            )
+        balance = self._balances[sender]
+        if amount > balance + 1e-9:
+            raise InsufficientFundsError(
+                f"{sender!r} has {balance:.6g} spendable on channel "
+                f"({self.node_a!r}, {self.node_b!r}), cannot lock {amount:.6g}"
+            )
+        amount = min(amount, balance)
+        htlc = Htlc(
+            htlc_id=next(self._htlc_ids),
+            sender=sender,
+            receiver=self.other(sender),
+            amount=amount,
+            created_at=now,
+            lock=lock,
+        )
+        self._balances[sender] -= amount
+        self._inflight[sender] += amount
+        self._sent[sender] += amount
+        self._htlcs[htlc.htlc_id] = htlc
+        return htlc
+
+    def settle(self, htlc: Htlc) -> None:
+        """Complete a pending HTLC: credit the receiver's spendable balance."""
+        self._require_owned(htlc)
+        htlc.mark_settled()
+        self._inflight[htlc.sender] -= htlc.amount
+        self._balances[htlc.receiver] += htlc.amount
+        self._settled_flow[htlc.sender] += htlc.amount
+        self._num_settled += 1
+        del self._htlcs[htlc.htlc_id]
+
+    def refund(self, htlc: Htlc) -> None:
+        """Cancel a pending HTLC: return the funds to the sender."""
+        self._require_owned(htlc)
+        htlc.mark_refunded()
+        self._inflight[htlc.sender] -= htlc.amount
+        self._balances[htlc.sender] += htlc.amount
+        self._num_refunded += 1
+        del self._htlcs[htlc.htlc_id]
+
+    def deposit(self, node: NodeId, amount: float) -> None:
+        """Add fresh on-chain funds to ``node``'s side (§5.2.3 rebalancing).
+
+        This models the ``b_(u,v)`` rebalancing rate: an on-chain transaction
+        that increases both the node's balance and the channel capacity.
+        """
+        self._require_endpoint(node)
+        if amount <= 0 or not math.isfinite(amount):
+            raise ChannelError(f"deposit must be positive and finite, got {amount!r}")
+        self._balances[node] += amount
+        self.capacity += amount
+        self.total_deposited += amount
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariant(self, tolerance: float = 1e-6) -> None:
+        """Assert conservation of escrowed funds; raises on violation."""
+        total = (
+            self._balances[self.node_a]
+            + self._balances[self.node_b]
+            + self._inflight[self.node_a]
+            + self._inflight[self.node_b]
+        )
+        if abs(total - self.capacity) > tolerance:
+            raise ChannelError(
+                f"conservation violated on ({self.node_a!r}, {self.node_b!r}): "
+                f"parts sum to {total:.9g}, capacity is {self.capacity:.9g}"
+            )
+        for node in self.endpoints:
+            if self._balances[node] < -tolerance or self._inflight[node] < -tolerance:
+                raise ChannelError(
+                    f"negative funds at {node!r}: balance={self._balances[node]:.9g}, "
+                    f"inflight={self._inflight[node]:.9g}"
+                )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _require_endpoint(self, node: NodeId) -> None:
+        if node != self.node_a and node != self.node_b:
+            raise ChannelError(
+                f"{node!r} is not an endpoint of channel ({self.node_a!r}, {self.node_b!r})"
+            )
+
+    def _require_owned(self, htlc: Htlc) -> None:
+        if self._htlcs.get(htlc.htlc_id) is not htlc:
+            raise ChannelError(
+                f"HTLC {htlc.htlc_id} is not pending on channel "
+                f"({self.node_a!r}, {self.node_b!r})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PaymentChannel({self.node_a!r}<->{self.node_b!r}, "
+            f"cap={self.capacity:.6g}, "
+            f"bal=({self._balances[self.node_a]:.6g}, {self._balances[self.node_b]:.6g}))"
+        )

@@ -1,0 +1,108 @@
+"""Hash time-locked contract (HTLC) mechanics.
+
+In a payment channel network, an intermediate hop only gets paid if it learns
+the preimage of a hash chosen by the payment's key generator (the sender, in
+Spider's non-atomic design — §4.1 of the paper).  This module models both
+layers:
+
+* :class:`HashLock` — the cryptographic object (key, hash, verification),
+  implemented with SHA-256.  Spider generates a fresh key per transaction
+  unit so the sender can withhold keys for units that arrive past their
+  deadline.
+* :class:`Htlc` — the per-channel conditional transfer record with the
+  ``PENDING → SETTLED | REFUNDED`` state machine that
+  :class:`~repro.network.channel.PaymentChannel` enforces.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ChannelError
+
+__all__ = ["HashLock", "Htlc", "HtlcState"]
+
+_hash_lock_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class HashLock:
+    """A hash lock: ``hash = SHA256(key)``.
+
+    The sender keeps ``key`` secret until it decides the transfer should
+    complete; every hop can verify a revealed key against ``hash_value``.
+    """
+
+    key: bytes
+    hash_value: bytes
+
+    @classmethod
+    def generate(cls, payment_id: int, sequence: int, salt: int = 0) -> "HashLock":
+        """Deterministically derive a fresh lock for a transaction unit.
+
+        Real implementations draw the key from a CSPRNG; for reproducibility
+        the simulator derives it from the (payment, unit) identity, which
+        preserves the uniqueness property the protocol needs.
+        """
+        nonce = next(_hash_lock_counter)
+        key = hashlib.sha256(
+            f"spider-key:{payment_id}:{sequence}:{salt}:{nonce}".encode()
+        ).digest()
+        return cls(key=key, hash_value=hashlib.sha256(key).digest())
+
+    def verify(self, key: bytes) -> bool:
+        """Check whether ``key`` is the preimage of this lock's hash."""
+        return hashlib.sha256(key).digest() == self.hash_value
+
+
+class HtlcState(enum.Enum):
+    """Lifecycle of a conditional transfer on one channel."""
+
+    PENDING = "pending"
+    SETTLED = "settled"
+    REFUNDED = "refunded"
+
+
+@dataclass
+class Htlc:
+    """One hop's conditional transfer.
+
+    ``amount`` is deducted from ``sender``'s spendable balance when the HTLC
+    is created (the funds become *in-flight*, Fig. 3 of the paper).  On
+    settlement the counterparty is credited; on refund the sender is
+    re-credited.  Terminal states are enforced here and double transitions
+    raise :class:`~repro.errors.ChannelError`.
+    """
+
+    htlc_id: int
+    sender: object
+    receiver: object
+    amount: float
+    created_at: float
+    lock: Optional[HashLock] = None
+    state: HtlcState = field(default=HtlcState.PENDING)
+
+    def mark_settled(self) -> None:
+        """Transition ``PENDING → SETTLED``."""
+        if self.state is not HtlcState.PENDING:
+            raise ChannelError(
+                f"HTLC {self.htlc_id} cannot settle from state {self.state.value}"
+            )
+        self.state = HtlcState.SETTLED
+
+    def mark_refunded(self) -> None:
+        """Transition ``PENDING → REFUNDED``."""
+        if self.state is not HtlcState.PENDING:
+            raise ChannelError(
+                f"HTLC {self.htlc_id} cannot refund from state {self.state.value}"
+            )
+        self.state = HtlcState.REFUNDED
+
+    @property
+    def pending(self) -> bool:
+        """Whether the transfer is still conditional."""
+        return self.state is HtlcState.PENDING

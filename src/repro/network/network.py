@@ -1,0 +1,314 @@
+"""The payment channel network state machine.
+
+:class:`PaymentNetwork` owns the node set, the channels, and the only
+operations the routing layer may use to move money:
+
+* :meth:`lock_path` — atomically lock an amount along a path (every hop or
+  none: partial locks are rolled back),
+* :meth:`settle_path` / :meth:`refund_path` — resolve a previously locked
+  transfer.
+
+This mirrors how the paper's simulator treats in-flight funds (§6.1): a
+routed unit holds funds on every hop for the confirmation delay, then either
+settles (each hop credits downstream) or is cancelled (each hop refunds
+upstream).
+
+The class deliberately contains no routing policy; schemes live in
+:mod:`repro.routing` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ChannelError, InsufficientFundsError, TopologyError
+from repro.network.channel import PaymentChannel
+from repro.network.htlc import HashLock, Htlc
+from repro.network.node import Node, NodeRole
+
+__all__ = ["PaymentNetwork", "canonical_edge"]
+
+NodeId = Hashable
+Path = Sequence[NodeId]
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
+    """Order-independent key for the channel between ``u`` and ``v``.
+
+    Uses the natural ordering when the ids are comparable (ints, strings),
+    falling back to ``repr`` ordering for mixed types.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class PaymentNetwork:
+    """A collection of nodes joined by bidirectional payment channels.
+
+    The network exposes a graph view (``neighbors``, ``edges``) for routing
+    algorithms and a funds view (``available``, ``lock_path``...) for the
+    execution layer.
+
+    Notes
+    -----
+    Channels are undirected objects addressed by unordered node pairs, but
+    *funds* are directional: ``available(u, v)`` is what ``u`` can push
+    toward ``v`` right now.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[NodeId, Node] = {}
+        self._channels: Dict[Tuple[NodeId, NodeId], PaymentChannel] = {}
+        self._adjacency: Dict[NodeId, set] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: NodeId, role: NodeRole = NodeRole.HYBRID) -> Node:
+        """Add a node; returns the existing node if already present."""
+        if node_id in self._nodes:
+            return self._nodes[node_id]
+        node = Node(node_id=node_id, role=role)
+        self._nodes[node_id] = node
+        self._adjacency[node_id] = set()
+        return node
+
+    def add_channel(
+        self,
+        u: NodeId,
+        v: NodeId,
+        capacity: float,
+        balance_u: Optional[float] = None,
+        base_fee: float = 0.0,
+        fee_rate: float = 0.0,
+    ) -> PaymentChannel:
+        """Open a channel between ``u`` and ``v`` with total ``capacity`` funds.
+
+        ``balance_u`` defaults to an even split (the paper's setting);
+        ``base_fee``/``fee_rate`` set the affine forwarding-fee schedule
+        (§2), defaulting to fee-free.  Endpoints are created implicitly.
+        Parallel channels between the same pair are not modelled (the
+        paper's topologies have none).
+        """
+        key = canonical_edge(u, v)
+        if key in self._channels:
+            raise TopologyError(f"channel between {u!r} and {v!r} already exists")
+        self.add_node(u)
+        self.add_node(v)
+        channel = PaymentChannel(
+            u, v, capacity, balance_a=balance_u, base_fee=base_fee, fee_rate=fee_rate
+        )
+        self._channels[key] = channel
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        return channel
+
+    # ------------------------------------------------------------------
+    # Graph view
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels (undirected edges)."""
+        return len(self._channels)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node identifiers."""
+        return iter(self._nodes)
+
+    def node(self, node_id: NodeId) -> Node:
+        """Look up the :class:`Node` record for ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is part of the network."""
+        return node_id in self._nodes
+
+    def neighbors(self, node_id: NodeId) -> Iterable[NodeId]:
+        """Nodes sharing a channel with ``node_id``."""
+        try:
+            return self._adjacency[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id!r}") from None
+
+    def degree(self, node_id: NodeId) -> int:
+        """Number of channels incident to ``node_id``."""
+        return len(self._adjacency.get(node_id, ()))
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        """Iterate over channels as canonical (u, v) pairs."""
+        return iter(self._channels)
+
+    def channels(self) -> Iterator[PaymentChannel]:
+        """Iterate over channel objects."""
+        return iter(self._channels.values())
+
+    def has_channel(self, u: NodeId, v: NodeId) -> bool:
+        """Whether a channel exists between ``u`` and ``v``."""
+        return canonical_edge(u, v) in self._channels
+
+    def channel(self, u: NodeId, v: NodeId) -> PaymentChannel:
+        """Return the channel joining ``u`` and ``v``."""
+        try:
+            return self._channels[canonical_edge(u, v)]
+        except KeyError:
+            raise TopologyError(f"no channel between {u!r} and {v!r}") from None
+
+    # ------------------------------------------------------------------
+    # Funds view
+    # ------------------------------------------------------------------
+    def available(self, u: NodeId, v: NodeId) -> float:
+        """Spendable funds in the ``u → v`` direction."""
+        return self.channel(u, v).available(u)
+
+    def bottleneck(self, path: Path) -> float:
+        """Minimum directional availability along ``path``.
+
+        This is the quantity waterfilling and the baselines probe as "path
+        capacity".  Returns ``inf`` for degenerate single-node paths.
+        """
+        self._validate_path(path)
+        if len(path) < 2:
+            return math.inf
+        return min(self.available(a, b) for a, b in zip(path, path[1:]))
+
+    def hop_amounts(self, path: Path, amount: float) -> List[float]:
+        """Per-hop lock amounts delivering ``amount``, fees included.
+
+        Intermediate node ``path[j]`` charges its downstream channel's
+        forwarding fee (§2), so upstream hops must carry the delivered value
+        plus all downstream fees: working backward from the destination,
+        ``amounts[i] = amounts[i+1] + fee(channel_{i+1}, amounts[i+1])``.
+        With fee-free channels every entry equals ``amount``.
+        """
+        self._validate_path(path)
+        hops = list(zip(path, path[1:]))
+        if not hops:
+            return []
+        amounts = [0.0] * len(hops)
+        amounts[-1] = amount
+        for i in range(len(hops) - 2, -1, -1):
+            downstream = self.channel(*hops[i + 1])
+            amounts[i] = amounts[i + 1] + downstream.forwarding_fee(amounts[i + 1])
+        return amounts
+
+    def lock_path(
+        self,
+        path: Path,
+        amount: float,
+        now: float = 0.0,
+        lock: Optional[HashLock] = None,
+        amounts: Optional[Sequence[float]] = None,
+    ) -> List[Htlc]:
+        """Atomically lock funds on every hop of ``path``.
+
+        By default every hop locks ``amount``; passing ``amounts`` locks a
+        different value per hop (how routing fees are carried — see
+        :meth:`hop_amounts`).  Either all hops lock or none do: if an
+        intermediate hop lacks funds, the already-created HTLCs are
+        refunded and :class:`~repro.errors.InsufficientFundsError`
+        propagates.
+
+        Returns the per-hop HTLC list, ordered from source to destination.
+        """
+        self._validate_path(path)
+        if len(path) < 2:
+            raise ChannelError("cannot lock funds on a path with fewer than 2 nodes")
+        hops = list(zip(path, path[1:]))
+        if amounts is None:
+            amounts = [amount] * len(hops)
+        elif len(amounts) != len(hops):
+            raise ChannelError(
+                f"path has {len(hops)} hops but {len(amounts)} amounts were supplied"
+            )
+        htlcs: List[Htlc] = []
+        try:
+            for (a, b), hop_amount in zip(hops, amounts):
+                htlcs.append(
+                    self.channel(a, b).lock(a, hop_amount, now=now, lock=lock)
+                )
+        except InsufficientFundsError:
+            for htlc, (a, b) in zip(htlcs, hops):
+                self.channel(a, b).refund(htlc)
+            raise
+        return htlcs
+
+    def settle_path(self, path: Path, htlcs: Sequence[Htlc]) -> None:
+        """Settle every hop of a previously locked transfer."""
+        self._resolve_path(path, htlcs, settle=True)
+
+    def refund_path(self, path: Path, htlcs: Sequence[Htlc]) -> None:
+        """Refund every hop of a previously locked transfer."""
+        self._resolve_path(path, htlcs, settle=False)
+
+    def _resolve_path(self, path: Path, htlcs: Sequence[Htlc], settle: bool) -> None:
+        hops = list(zip(path, path[1:]))
+        if len(hops) != len(htlcs):
+            raise ChannelError(
+                f"path has {len(hops)} hops but {len(htlcs)} HTLCs were supplied"
+            )
+        for htlc, (a, b) in zip(htlcs, hops):
+            channel = self.channel(a, b)
+            if settle:
+                channel.settle(htlc)
+            else:
+                channel.refund(htlc)
+
+    # ------------------------------------------------------------------
+    # Aggregates & invariants
+    # ------------------------------------------------------------------
+    def total_funds(self) -> float:
+        """Sum of all channel capacities (escrowed collateral)."""
+        return sum(c.capacity for c in self._channels.values())
+
+    def total_inflight(self) -> float:
+        """Funds currently locked in pending HTLCs across the network."""
+        return sum(
+            c.inflight(c.node_a) + c.inflight(c.node_b) for c in self._channels.values()
+        )
+
+    def check_invariants(self) -> None:
+        """Check fund conservation on every channel; raises on violation."""
+        for channel in self._channels.values():
+            channel.check_invariant()
+
+    def balance_snapshot(self) -> Dict[Tuple[NodeId, NodeId], Tuple[float, float]]:
+        """Capture ``(balance_a, balance_b)`` per channel, keyed canonically.
+
+        Intended for tests and what-if analyses; restoring is only valid when
+        no HTLCs are pending.
+        """
+        return {
+            key: (c.balance(c.node_a), c.balance(c.node_b))
+            for key, c in self._channels.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _validate_path(self, path: Path) -> None:
+        if not path:
+            raise ChannelError("empty path")
+        seen = set()
+        for node in path:
+            if node not in self._nodes:
+                raise TopologyError(f"path mentions unknown node {node!r}")
+            if node in seen:
+                raise ChannelError(f"path revisits node {node!r} (paths must be trails)")
+            seen.add(node)
+        for a, b in zip(path, path[1:]):
+            if canonical_edge(a, b) not in self._channels:
+                raise TopologyError(f"path uses missing channel ({a!r}, {b!r})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PaymentNetwork(nodes={self.num_nodes}, channels={self.num_channels})"

@@ -1,0 +1,61 @@
+"""Network nodes.
+
+In Spider's architecture (§4) there are two roles: *hosts* (end points that
+originate and terminate payments, running the transport layer) and *routers*
+(intermediate nodes that forward transaction units and maintain queues and
+prices).  The simulator is centralized — schemes read network state directly,
+as the paper's simulator does — so :class:`Node` mostly carries identity,
+role, and per-node counters used by the metrics layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["Node", "NodeRole"]
+
+
+class NodeRole(enum.Enum):
+    """Whether a node terminates payments, forwards them, or both."""
+
+    HOST = "host"
+    ROUTER = "router"
+    HYBRID = "hybrid"
+
+
+@dataclass
+class Node:
+    """A participant in the payment channel network.
+
+    Attributes
+    ----------
+    node_id:
+        Unique hashable identifier.
+    role:
+        Host/router/hybrid.  Every topology in the paper's evaluation uses
+        hybrid nodes (all nodes both transact and forward).
+    payments_sent, payments_received:
+        Counters of *completed* payments, maintained by the runtime.
+    value_sent, value_received:
+        Total settled value originated / terminated at this node.
+    """
+
+    node_id: Hashable
+    role: NodeRole = NodeRole.HYBRID
+    payments_sent: int = 0
+    payments_received: int = 0
+    value_sent: float = 0.0
+    value_received: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def can_originate(self) -> bool:
+        """Whether this node may be a payment source or destination."""
+        return self.role in (NodeRole.HOST, NodeRole.HYBRID)
+
+    @property
+    def can_forward(self) -> bool:
+        """Whether this node may relay transaction units."""
+        return self.role in (NodeRole.ROUTER, NodeRole.HYBRID)

@@ -1,0 +1,178 @@
+"""Onion routing for transaction units (§4.2).
+
+*"Existing designs like the Lightning Network use Onion routing [12] to
+ensure privacy of user payments.  Spider routers can use similar mechanisms
+for each transaction unit to provide privacy [4]."*
+
+This module implements a simplified Sphinx-style telescoping construction
+sufficient for the simulator's threat model: every relay learns only its
+predecessor, its successor, and (at the destination) the payload — never
+the full route, the source, or its position on the path, and **onions are
+length-invariant**, so a relay cannot infer its distance from the
+destination.
+
+Construction
+------------
+The packet is a fixed-size buffer of ``MAX_HOPS`` hop regions.  Building
+proceeds from the destination outward; for each hop the sender prepends an
+authenticated fixed-size header (next-hop id, or the payload at the
+destination), truncates the buffer back to the fixed size, and encrypts the
+whole buffer with the hop's key (SHA-256 keystream XOR).  Peeling reverses
+one layer: decrypt, verify the header MAC, slide the buffer left one hop
+region and re-pad — the onion handed to the next hop has the same length
+and is indistinguishable from fresh.
+
+Keys: each hop shares a symmetric key with the sender, derived from a
+per-unit ``session_secret`` (standing in for the ECDH handshake of the real
+protocol).  Headers are authenticated with HMAC-SHA256; the body has no
+separate MAC (a real Sphinx uses wide-block techniques; header integrity is
+what the routing semantics need here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "OnionError",
+    "OnionPacket",
+    "build_onion",
+    "peel_onion",
+    "hop_key",
+    "MAX_HOPS",
+]
+
+#: Maximum path length (relays + destination) an onion can address.
+MAX_HOPS = 10
+_HOP_REGION = 256
+_MAC_SIZE = 32
+_HEADER_SIZE = _HOP_REGION  # mac-inclusive
+_PACKET_SIZE = _HOP_REGION * MAX_HOPS
+
+
+class OnionError(ReproError):
+    """Raised on malformed, truncated or tampered onions."""
+
+
+def hop_key(session_secret: bytes, node_id: object) -> bytes:
+    """Derive the symmetric key the sender shares with ``node_id``.
+
+    Stands in for the ECDH handshake of the real protocol; distinct per
+    (session, node).
+    """
+    return hashlib.sha256(
+        b"spider-onion-key:" + session_secret + repr(node_id).encode()
+    ).digest()
+
+
+def _keystream(key: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while len(blocks) * 32 < length:
+        blocks.append(hashlib.sha256(key + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(key: bytes, data: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, _keystream(key, len(data))))
+
+
+def _make_header(key: bytes, record: Dict[str, object]) -> bytes:
+    body = json.dumps(record).encode()
+    if len(body) > _HEADER_SIZE - _MAC_SIZE:
+        raise OnionError(
+            f"header record too large ({len(body)} > {_HEADER_SIZE - _MAC_SIZE} bytes)"
+        )
+    body = body.ljust(_HEADER_SIZE - _MAC_SIZE, b" ")
+    mac = hmac.new(key, body, hashlib.sha256).digest()
+    return body + mac
+
+
+def _read_header(key: bytes, header: bytes) -> Dict[str, object]:
+    body, mac = header[: -_MAC_SIZE], header[-_MAC_SIZE:]
+    expected = hmac.new(key, body, hashlib.sha256).digest()
+    if not hmac.compare_digest(mac, expected):
+        raise OnionError("onion MAC verification failed (wrong key or tampering)")
+    try:
+        return json.loads(body.rstrip(b" "))
+    except json.JSONDecodeError as exc:  # pragma: no cover - MAC passed
+        raise OnionError("corrupt onion header") from exc
+
+
+@dataclass(frozen=True)
+class OnionPacket:
+    """A layered onion as carried on the wire between two hops."""
+
+    blob: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.blob) != _PACKET_SIZE:
+            raise OnionError(
+                f"onion packets are {_PACKET_SIZE} bytes, got {len(self.blob)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.blob)
+
+
+def build_onion(
+    session_secret: bytes,
+    path: Sequence[object],
+    payload: Dict[str, object],
+) -> OnionPacket:
+    """Wrap ``payload`` for delivery along ``path`` (excluding the sender).
+
+    ``path`` lists the relays in forwarding order, ending at the
+    destination.  Each relay's layer names only the next hop; the
+    destination's layer carries the payload.
+    """
+    if not path:
+        raise OnionError("path must contain at least the destination")
+    if len(path) > MAX_HOPS:
+        raise OnionError(f"path length {len(path)} exceeds MAX_HOPS={MAX_HOPS}")
+    buffer = os.urandom(_PACKET_SIZE)
+    for index in range(len(path) - 1, -1, -1):
+        node = path[index]
+        key = hop_key(session_secret, node)
+        if index == len(path) - 1:
+            record: Dict[str, object] = {"payload": payload}
+        else:
+            record = {"next": repr(path[index + 1])}
+        header = _make_header(key, record)
+        buffer = _xor(key, header + buffer[: _PACKET_SIZE - _HEADER_SIZE])
+    return OnionPacket(buffer)
+
+
+def peel_onion(
+    session_secret: bytes,
+    node_id: object,
+    packet: OnionPacket,
+) -> Tuple[Optional[str], Optional[Dict[str, object]], Optional[OnionPacket]]:
+    """Peel one layer as ``node_id``.
+
+    Returns ``(next_hop_repr, payload, inner_packet)``:
+
+    * a relay gets ``(repr(next_hop), None, inner_packet)`` — the inner
+      packet is the same fixed size, ready to forward;
+    * the destination gets ``(None, payload, None)``.
+
+    Raises :class:`OnionError` when this node is not the outer layer's
+    intended recipient (wrong key ⇒ MAC failure) or the onion was tampered
+    with.
+    """
+    key = hop_key(session_secret, node_id)
+    plaintext = _xor(key, packet.blob)
+    record = _read_header(key, plaintext[:_HEADER_SIZE])
+    if "payload" in record:
+        return None, record["payload"], None
+    # Slide one hop region off the front; re-pad to the invariant size.
+    inner = plaintext[_HEADER_SIZE:] + os.urandom(_HEADER_SIZE)
+    return record["next"], None, OnionPacket(inner)

@@ -1,0 +1,111 @@
+"""Routing scheme interface.
+
+A scheme is pure policy: it decides *which paths and how much*, and uses the
+runtime's two primitives (``send_unit`` / ``send_atomic``) to move money.
+The runtime calls :meth:`RoutingScheme.attempt`:
+
+* once at arrival for **atomic** schemes (``atomic = True``) — if the
+  attempt locks nothing, the runtime fails the payment (the paper's
+  baselines try exactly once);
+* at arrival and at every poll for **non-atomic** schemes, while the
+  payment has remaining value and has not expired.
+
+:class:`PathCache` provides the shared "k edge-disjoint shortest paths per
+pair" path sets (§6.1) with lazy computation and memoisation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.fluid.paths import k_edge_disjoint_paths, k_shortest_paths
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.payments import Payment
+    from repro.core.runtime import Runtime
+
+__all__ = ["RoutingScheme", "PathCache"]
+
+Path = Tuple[int, ...]
+
+
+class PathCache:
+    """Lazily computed, memoised path sets over a static topology.
+
+    Parameters
+    ----------
+    adjacency:
+        ``{node: [neighbours]}`` of the channel graph.
+    k:
+        Paths per pair (the paper uses 4).
+    method:
+        ``"edge-disjoint"`` (default, the paper's choice) or ``"yen"``.
+    """
+
+    def __init__(self, adjacency: Dict[int, List[int]], k: int = 4, method: str = "edge-disjoint"):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if method not in ("edge-disjoint", "yen"):
+            raise ValueError(f"unknown path method {method!r}")
+        self._adjacency = adjacency
+        self._k = k
+        self._method = method
+        self._cache: Dict[Tuple[int, int], List[Path]] = {}
+
+    @classmethod
+    def from_network(cls, network, k: int = 4, method: str = "edge-disjoint") -> "PathCache":
+        """Build from a :class:`~repro.network.network.PaymentNetwork`."""
+        adjacency = {
+            node: sorted(network.neighbors(node)) for node in network.nodes()
+        }
+        return cls(adjacency, k=k, method=method)
+
+    @property
+    def k(self) -> int:
+        """Paths requested per pair."""
+        return self._k
+
+    def paths(self, source: int, dest: int) -> List[Path]:
+        """The pair's path set (possibly fewer than k paths; empty if
+        disconnected)."""
+        key = (source, dest)
+        if key not in self._cache:
+            if self._method == "edge-disjoint":
+                found = k_edge_disjoint_paths(self._adjacency, source, dest, self._k)
+            else:
+                found = k_shortest_paths(self._adjacency, source, dest, self._k)
+            self._cache[key] = found
+        return self._cache[key]
+
+    def shortest(self, source: int, dest: int) -> Optional[Path]:
+        """The pair's shortest path, or ``None`` if disconnected."""
+        paths = self.paths(source, dest)
+        return paths[0] if paths else None
+
+
+class RoutingScheme(abc.ABC):
+    """Base class for all routing schemes."""
+
+    #: Human-readable name used in reports.
+    name: str = "base"
+    #: Whether payments are delivered all-or-nothing with a single attempt.
+    atomic: bool = False
+
+    def prepare(self, runtime: "Runtime") -> None:
+        """One-time setup before the trace starts (path/LP precomputation).
+
+        The default implementation builds a :class:`PathCache` as
+        ``self.path_cache`` if the subclass declared a ``num_paths``
+        attribute.
+        """
+        num_paths = getattr(self, "num_paths", None)
+        if num_paths is not None:
+            self.path_cache = PathCache.from_network(runtime.network, k=num_paths)
+
+    @abc.abstractmethod
+    def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
+        """Try to make progress on ``payment`` given current balances."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,141 @@
+"""SilentWhispers-style landmark routing baseline.
+
+SilentWhispers [18] routes every payment through a small set of well-known
+*landmarks*: the sender routes to a landmark, the landmark routes to the
+receiver, and the payment value is split into one share per landmark
+(multi-path but atomic — if the shares cannot jointly cover the value, the
+payment fails).
+
+Faithful simplifications (documented in DESIGN.md):
+
+* landmarks are the ``num_landmarks`` highest-degree nodes, the standard
+  proxy for the "known, central" landmark set;
+* the share split is proportional to each landmark path's probed capacity
+  (as in the SpeedyMurmurs paper's evaluation of SilentWhispers), instead
+  of cryptographic random shares — routing behaviour is identical, privacy
+  machinery is out of scope;
+* paths are concatenations shortest(s→l) ⧺ shortest(l→d) with any loops
+  contracted, matching the landmark-tree construction on a static topology.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.fluid.paths import bfs_shortest_path
+from repro.routing.base import RoutingScheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.payments import Payment
+    from repro.core.runtime import Runtime
+
+__all__ = ["LandmarkScheme", "contract_loops"]
+
+Path = Tuple[int, ...]
+_EPS = 1e-9
+
+
+def contract_loops(path: Sequence[int]) -> Path:
+    """Remove loops from a node sequence, keeping first occurrences.
+
+    ``(s, a, b, a, d)`` contracts to ``(s, a, d)``: when a node re-appears,
+    everything since its first visit is dropped.  The result is a simple
+    path usable for HTLC locking.
+    """
+    out: List[int] = []
+    seen: Dict[int, int] = {}
+    for node in path:
+        if node in seen:
+            del out[seen[node] + 1 :]
+            for removed in list(seen):
+                if seen[removed] > seen[node]:
+                    del seen[removed]
+            continue
+        seen[node] = len(out)
+        out.append(node)
+    return tuple(out)
+
+
+class LandmarkScheme(RoutingScheme):
+    """Landmark (SilentWhispers) routing: atomic, multi-share."""
+
+    name = "silentwhispers"
+    atomic = True
+
+    def __init__(self, num_landmarks: int = 3):
+        if num_landmarks <= 0:
+            raise ValueError(f"num_landmarks must be positive, got {num_landmarks}")
+        self.num_landmarks = num_landmarks
+        self._landmarks: List[int] = []
+        self._adjacency: Dict[int, List[int]] = {}
+        self._path_cache: Dict[Tuple[int, int], List[Path]] = {}
+
+    def prepare(self, runtime: "Runtime") -> None:
+        network = runtime.network
+        self._adjacency = {n: sorted(network.neighbors(n)) for n in network.nodes()}
+        by_degree = sorted(
+            self._adjacency, key=lambda n: (-len(self._adjacency[n]), n)
+        )
+        self._landmarks = by_degree[: self.num_landmarks]
+        self._path_cache = {}
+
+    def landmark_paths(self, source: int, dest: int) -> List[Path]:
+        """One loop-free path per landmark (deduplicated)."""
+        key = (source, dest)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        paths: List[Path] = []
+        seen = set()
+        for landmark in self._landmarks:
+            first = bfs_shortest_path(self._adjacency, source, landmark)
+            second = bfs_shortest_path(self._adjacency, landmark, dest)
+            if first is None or second is None:
+                continue
+            merged = contract_loops(tuple(first) + tuple(second[1:]))
+            if len(merged) < 2 or merged[0] != source or merged[-1] != dest:
+                continue
+            if merged not in seen:
+                seen.add(merged)
+                paths.append(merged)
+        self._path_cache[key] = paths
+        return paths
+
+    def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
+        paths = self.landmark_paths(payment.source, payment.dest)
+        if not paths:
+            runtime.fail_payment(payment)
+            return
+        capacities = [runtime.network.bottleneck(p) for p in paths]
+        total = sum(capacities)
+        if total < payment.amount - 1e-6:
+            runtime.fail_payment(payment)
+            return
+        # Allocate proportionally to capacity, then fix rounding greedily so
+        # no share exceeds its path capacity and the shares sum to amount.
+        allocations: List[Tuple[Path, float]] = []
+        remaining = payment.amount
+        order = sorted(range(len(paths)), key=lambda i: -capacities[i])
+        for rank, i in enumerate(order):
+            if remaining <= _EPS:
+                break
+            if rank == len(order) - 1:
+                share = remaining
+            else:
+                share = min(payment.amount * capacities[i] / total, capacities[i])
+            share = min(share, remaining, capacities[i])
+            if share > _EPS:
+                allocations.append((paths[i], share))
+                remaining -= share
+        # Any residue (rounding) goes to paths with leftover capacity.
+        if remaining > _EPS:
+            for i in order:
+                used = sum(a for p, a in allocations if p == paths[i])
+                slack = capacities[i] - used
+                if slack > _EPS:
+                    take = min(slack, remaining)
+                    allocations.append((paths[i], take))
+                    remaining -= take
+                    if remaining <= _EPS:
+                        break
+        if remaining > 1e-6 or not runtime.send_atomic(payment, allocations):
+            runtime.fail_payment(payment)

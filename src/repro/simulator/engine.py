@@ -1,0 +1,350 @@
+"""Discrete-event simulation engine.
+
+This module is the foundation of the reproduction: the paper evaluates Spider
+inside a discrete-event simulator (a modified version of the SpeedyMurmurs
+simulator).  No third-party simulation framework is available offline, so we
+implement the engine from scratch.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Events are
+callbacks scheduled at absolute simulated times.  Ties are broken by a
+monotonically increasing sequence number so that events scheduled earlier run
+earlier, which makes runs fully deterministic for a fixed seed.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> handle = sim.call_at(2.0, lambda: fired.append("late"))
+>>> _ = sim.call_at(1.0, lambda: fired.append("early"))
+>>> sim.run()
+>>> fired
+['early', 'late']
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "RecurringTimer",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently.
+
+    Examples include scheduling an event in the simulated past or running a
+    simulator that was already stopped and drained.
+    """
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.
+
+    Ordering is ``(time, priority, seq)``: earliest time first, then lowest
+    priority number, then FIFO among equals.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Instances are created by :meth:`Simulator.call_at` /
+    :meth:`Simulator.call_after`; user code should never construct them
+    directly.
+    """
+
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an event that already fired is a no-op; cancellation is
+        idempotent.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has already been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def _fire(self) -> None:
+        self._fired = True
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"Event(t={self.time:.6g}, {state}, cb={getattr(self.callback, '__name__', self.callback)!r})"
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulated clock value, in seconds.  Defaults to ``0.0``.
+
+    Notes
+    -----
+    The simulator makes three guarantees that the payment-channel network
+    substrate relies on:
+
+    1. **Determinism** — events at equal times fire in scheduling order.
+    2. **Causality** — an event may schedule new events at or after the
+       current time, never before it.
+    3. **Reentrancy safety** — callbacks may stop the simulation or cancel
+       other events; the engine skips cancelled entries lazily.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        if not math.isfinite(start_time):
+            raise SimulationError("start_time must be finite")
+        self._now = float(start_time)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queue entries not yet fired (including cancelled ones)."""
+        return sum(1 for entry in self._queue if entry.event.pending)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``.
+
+        Parameters
+        ----------
+        time:
+            Absolute simulated time.  Must be ``>= now`` and finite.
+        callback:
+            Callable invoked when the clock reaches ``time``.
+        priority:
+            Among events at the same time, lower priority numbers fire
+            first.  Defaults to 0.
+
+        Returns
+        -------
+        Event
+            A handle that supports :meth:`Event.cancel`.
+        """
+        if not math.isfinite(time):
+            raise SimulationError(f"cannot schedule event at non-finite time {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past (now={self._now:.6g}, requested={time:.6g})"
+            )
+        event = Event(time, callback, args)
+        heapq.heappush(self._queue, _QueueEntry(time, priority, next(self._seq), event))
+        return event
+
+    def call_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` after a relative ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.call_at(self._now + delay, callback, *args, priority=priority)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that :meth:`run` return before firing the next event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            If given, process events with ``time <= until`` and then advance
+            the clock to exactly ``until``.  If omitted, run until the queue
+            drains.
+        max_events:
+            Optional safety valve bounding the number of callbacks executed
+            by this call.
+
+        Returns
+        -------
+        float
+            The simulated time when the run ended.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run backwards (now={self._now:.6g}, until={until:.6g})"
+            )
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(self._queue)
+                event = entry.event
+                if event.cancelled:
+                    continue
+                self._now = entry.time
+                event._fire()
+                executed += 1
+                self._events_processed += 1
+            if until is not None and not self._stopped:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one pending event.
+
+        Returns ``True`` if an event fired, ``False`` if the queue was empty
+        (cancelled entries are discarded without counting as a step).
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            entry.event._fire()
+            self._events_processed += 1
+            return True
+        return False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].event.cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6g}, pending={len(self._queue)})"
+
+
+class RecurringTimer:
+    """Fixed-interval periodic callback built on :class:`Simulator`.
+
+    The paper's evaluation polls the global pending-payment queue
+    periodically; this helper expresses that pattern.  The callback receives
+    no arguments; it may call :meth:`stop` to cease rescheduling.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving the timer.
+    interval:
+        Seconds between invocations (must be positive).
+    callback:
+        Invoked every ``interval`` seconds until stopped.
+    start_delay:
+        Delay before the first invocation.  Defaults to ``interval``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        start_delay: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval!r}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._active = True
+        self._ticks = 0
+        first = interval if start_delay is None else start_delay
+        self._event: Event = sim.call_after(first, self._tick)
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has run."""
+        return self._ticks
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer will keep firing."""
+        return self._active
+
+    def stop(self) -> None:
+        """Stop the timer; pending invocation is cancelled."""
+        self._active = False
+        self._event.cancel()
+
+    def _tick(self) -> None:
+        if not self._active:
+            return
+        self._ticks += 1
+        self._callback()
+        if self._active:
+            self._event = self._sim.call_after(self._interval, self._tick)

@@ -1,0 +1,232 @@
+"""Canonical and random topology generators.
+
+Everything here is implemented from scratch (no networkx dependency) so the
+substrate is self-contained; :meth:`Topology.to_networkx` exists purely for
+downstream analysis.
+
+The random generators take seeds/Generators through
+:func:`repro.simulator.rng.make_rng` and are fully deterministic for a fixed
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.simulator.rng import SeedLike, make_rng
+from repro.topology.base import Topology
+
+__all__ = [
+    "line_topology",
+    "star_topology",
+    "cycle_topology",
+    "complete_topology",
+    "grid_topology",
+    "balanced_tree_topology",
+    "erdos_renyi_topology",
+    "small_world_topology",
+    "scale_free_topology",
+]
+
+
+def _require_positive(n: int, what: str) -> None:
+    if n <= 0:
+        raise TopologyError(f"{what} must be positive, got {n}")
+
+
+def line_topology(n: int) -> Topology:
+    """Path graph 0–1–2–…–(n−1)."""
+    _require_positive(n, "n")
+    return Topology("line", list(range(n)), [(i, i + 1) for i in range(n - 1)])
+
+
+def star_topology(n_leaves: int) -> Topology:
+    """Hub node 0 connected to ``n_leaves`` leaves."""
+    _require_positive(n_leaves, "n_leaves")
+    return Topology(
+        "star", list(range(n_leaves + 1)), [(0, i) for i in range(1, n_leaves + 1)]
+    )
+
+
+def cycle_topology(n: int) -> Topology:
+    """Ring on ``n >= 3`` nodes."""
+    if n < 3:
+        raise TopologyError(f"a cycle needs at least 3 nodes, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Topology("cycle", list(range(n)), edges)
+
+
+def complete_topology(n: int) -> Topology:
+    """Complete graph K_n."""
+    _require_positive(n, "n")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Topology("complete", list(range(n)), edges)
+
+
+def grid_topology(rows: int, cols: int) -> Topology:
+    """rows × cols lattice with 4-neighbour connectivity."""
+    _require_positive(rows, "rows")
+    _require_positive(cols, "cols")
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Topology("grid", list(range(rows * cols)), edges)
+
+
+def balanced_tree_topology(branching: int, depth: int) -> Topology:
+    """Rooted balanced tree: ``branching`` children per node, ``depth`` levels."""
+    _require_positive(branching, "branching")
+    if depth < 0:
+        raise TopologyError(f"depth must be non-negative, got {depth}")
+    nodes = [0]
+    edges: List[Tuple[int, int]] = []
+    frontier = [0]
+    next_id = 1
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(branching):
+                nodes.append(next_id)
+                edges.append((parent, next_id))
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return Topology("tree", nodes, edges)
+
+
+def erdos_renyi_topology(
+    n: int,
+    p: float,
+    seed: SeedLike = None,
+    ensure_connected: bool = True,
+    max_attempts: int = 100,
+) -> Topology:
+    """G(n, p) random graph.
+
+    With ``ensure_connected`` (default) the generator redraws until the graph
+    is connected, raising after ``max_attempts`` failures — payment networks
+    are useless disconnected.
+    """
+    _require_positive(n, "n")
+    if not 0.0 <= p <= 1.0:
+        raise TopologyError(f"p must lie in [0, 1], got {p!r}")
+    rng = make_rng(seed)
+    for _ in range(max_attempts):
+        edges = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < p
+        ]
+        topo = Topology("erdos-renyi", list(range(n)), edges)
+        if not ensure_connected or topo.is_connected():
+            return topo
+    raise TopologyError(
+        f"could not draw a connected G({n}, {p}) in {max_attempts} attempts"
+    )
+
+
+def small_world_topology(
+    n: int,
+    k: int,
+    beta: float,
+    seed: SeedLike = None,
+) -> Topology:
+    """Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where every node connects to its ``k`` nearest
+    neighbours (``k`` even) and rewires each edge's far endpoint with
+    probability ``beta``.
+    """
+    _require_positive(n, "n")
+    if k % 2 != 0 or k <= 0:
+        raise TopologyError(f"k must be positive and even, got {k}")
+    if k >= n:
+        raise TopologyError(f"k={k} must be smaller than n={n}")
+    if not 0.0 <= beta <= 1.0:
+        raise TopologyError(f"beta must lie in [0, 1], got {beta!r}")
+    rng = make_rng(seed)
+    edge_set = set()
+    for i in range(n):
+        for offset in range(1, k // 2 + 1):
+            j = (i + offset) % n
+            edge_set.add((min(i, j), max(i, j)))
+    edges = sorted(edge_set)
+    rewired = set(edges)
+    for u, v in edges:
+        if rng.random() >= beta:
+            continue
+        rewired.discard((u, v))
+        candidates = [
+            w
+            for w in range(n)
+            if w != u and (min(u, w), max(u, w)) not in rewired
+        ]
+        if not candidates:
+            rewired.add((u, v))
+            continue
+        w = int(rng.choice(candidates))
+        rewired.add((min(u, w), max(u, w)))
+    return Topology("small-world", list(range(n)), sorted(rewired))
+
+
+def scale_free_topology(
+    n: int,
+    m: int,
+    seed: SeedLike = None,
+    m0: Optional[int] = None,
+) -> Topology:
+    """Barabási–Albert preferential attachment graph.
+
+    Each new node attaches to ``m`` distinct existing nodes chosen with
+    probability proportional to degree.  This produces the heavy-tailed
+    degree distribution characteristic of the Ripple/Lightning graphs the
+    paper evaluates on.
+
+    Parameters
+    ----------
+    n:
+        Total node count.
+    m:
+        Edges added per new node.
+    m0:
+        Size of the initial clique (defaults to ``m + 1``).
+    """
+    _require_positive(n, "n")
+    _require_positive(m, "m")
+    if m0 is None:
+        m0 = m + 1
+    if m0 > n:
+        raise TopologyError(f"m0={m0} cannot exceed n={n}")
+    if m > m0:
+        raise TopologyError(f"m={m} cannot exceed the seed clique size m0={m0}")
+    rng = make_rng(seed)
+    edges: List[Tuple[int, int]] = [
+        (i, j) for i in range(m0) for j in range(i + 1, m0)
+    ]
+    # Repeated-node list for preferential attachment: each node appears once
+    # per unit of degree.
+    attachment: List[int] = []
+    for u, v in edges:
+        attachment.append(u)
+        attachment.append(v)
+    if not attachment:  # m0 == 1: bootstrap so node 0 is attachable
+        attachment = [0]
+    for new_node in range(m0, n):
+        targets: set = set()
+        while len(targets) < m:
+            pick = attachment[int(rng.integers(len(attachment)))]
+            targets.add(pick)
+        for target in sorted(targets):
+            edges.append((target, new_node))
+            attachment.append(target)
+            attachment.append(new_node)
+    return Topology("scale-free", list(range(n)), edges)

@@ -1,0 +1,68 @@
+"""The ISP-like evaluation topology.
+
+The paper evaluates on "an ISP-topology [Topology Zoo] ... a graph with 32
+nodes and 152 edges" (§6.1).  The Topology Zoo dataset is not available
+offline, so we build a deterministic synthetic graph with *exactly* 32 nodes
+and 152 edges and the two-level structure typical of the Topology Zoo ISP
+maps: a densely meshed core and a ring-connected edge/aggregation layer
+multi-homed into the core.
+
+Construction (all deterministic, no randomness):
+
+* nodes 0–7 form the core, fully meshed                     → 28 edges
+* nodes 8–31 are edge nodes; edge node ``i`` homes into cores
+  ``i mod 8``, ``(i+1) mod 8`` and ``(i+3) mod 8``          → 72 edges
+* a ring over the 24 edge nodes (offset +1)                 → 24 edges
+* a second ring at offset +2                                → 24 edges
+* four long chords at offset +12                            →  4 edges
+
+Total: 28 + 72 + 24 + 24 + 4 = **152 edges** over **32 nodes**.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.topology.base import Topology
+
+__all__ = ["isp_topology", "ISP_NUM_NODES", "ISP_NUM_EDGES"]
+
+ISP_NUM_NODES = 32
+ISP_NUM_EDGES = 152
+
+_NUM_CORE = 8
+_NUM_EDGE = 24
+
+
+def isp_topology() -> Topology:
+    """Build the deterministic 32-node / 152-edge ISP-like topology."""
+    edges: List[Tuple[int, int]] = []
+
+    # Full mesh over the core.
+    for i in range(_NUM_CORE):
+        for j in range(i + 1, _NUM_CORE):
+            edges.append((i, j))
+
+    # Each edge node multi-homes into three cores.
+    for k in range(_NUM_EDGE):
+        node = _NUM_CORE + k
+        for offset in (0, 1, 3):
+            edges.append(((k + offset) % _NUM_CORE, node))
+
+    # Two rings over the edge nodes.
+    for offset in (1, 2):
+        for k in range(_NUM_EDGE):
+            a = _NUM_CORE + k
+            b = _NUM_CORE + (k + offset) % _NUM_EDGE
+            edges.append((min(a, b), max(a, b)))
+
+    # Four long chords.
+    for k in (0, 3, 6, 9):
+        a = _NUM_CORE + k
+        b = _NUM_CORE + (k + 12) % _NUM_EDGE
+        edges.append((min(a, b), max(a, b)))
+
+    topo = Topology("isp", list(range(ISP_NUM_NODES)), edges)
+    assert topo.num_nodes == ISP_NUM_NODES
+    assert topo.num_edges == ISP_NUM_EDGES, topo.num_edges
+    return topo

@@ -1,0 +1,98 @@
+"""Controlled non-stationarity: same demand matrix, different temporal mix.
+
+§6.2 attributes Spider (LP)'s poor Ripple result to traffic whose demands
+"vary over time" while the LP is solved once against the long-term average.
+To isolate that effect experimentally, this module rearranges *when*
+transactions happen without changing *what* they are:
+
+* :func:`stretch_records` dilates a trace in time (rate scaling);
+* :func:`phase_interleave` takes two traces generated over [0, T/2] and
+  produces either
+
+  - a **stationary** mix — both patterns run concurrently at half rate over
+    [0, T] — or
+  - a **rotating** mix — pattern A occupies the even phase windows and
+    pattern B the odd ones, each at full rate.
+
+Both outputs contain exactly the same transactions, so their long-run
+demand matrices are identical; only the instantaneous demand differs.  An
+offline LP solved on the long-run matrix is correct for the stationary mix
+and wrong at every instant for the rotating one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.errors import ConfigError
+from repro.workload.generator import TransactionRecord
+
+__all__ = ["stretch_records", "phase_interleave"]
+
+
+def _retime(record: TransactionRecord, txn_id: int, time: float) -> TransactionRecord:
+    return TransactionRecord(
+        txn_id=txn_id,
+        arrival_time=time,
+        source=record.source,
+        dest=record.dest,
+        amount=record.amount,
+        deadline=record.deadline,
+    )
+
+
+def stretch_records(
+    records: Sequence[TransactionRecord], factor: float
+) -> List[TransactionRecord]:
+    """Dilate arrival times by ``factor`` (> 1 slows the trace down)."""
+    if factor <= 0:
+        raise ConfigError(f"factor must be positive, got {factor!r}")
+    return [
+        _retime(r, i, r.arrival_time * factor)
+        for i, r in enumerate(sorted(records, key=lambda r: r.arrival_time))
+    ]
+
+
+def phase_interleave(
+    records_a: Sequence[TransactionRecord],
+    records_b: Sequence[TransactionRecord],
+    phase_length: float,
+    rotate: bool,
+) -> List[TransactionRecord]:
+    """Combine two half-duration traces into one full-duration trace.
+
+    Parameters
+    ----------
+    records_a, records_b:
+        Traces generated over the *same* interval [0, T/2].
+    phase_length:
+        Rotation window L (seconds), used only when ``rotate`` is true.
+    rotate:
+        False — stationary mix: both traces stretched 2× so each runs at
+        half rate over [0, T].
+        True — rotating mix: trace A is cut into L-second slices placed in
+        even windows of [0, T]; trace B's slices go in odd windows.
+
+    Both modes emit exactly ``len(records_a) + len(records_b)``
+    transactions with identical (source, dest, amount) multisets — the
+    long-run demand matrices match by construction.
+    """
+    if phase_length <= 0:
+        raise ConfigError(f"phase_length must be positive, got {phase_length!r}")
+
+    combined: List[TransactionRecord] = []
+    if not rotate:
+        for record in records_a:
+            combined.append(_retime(record, 0, record.arrival_time * 2.0))
+        for record in records_b:
+            combined.append(_retime(record, 0, record.arrival_time * 2.0))
+    else:
+        for offset, records in ((0, records_a), (1, records_b)):
+            for record in records:
+                window = int(record.arrival_time // phase_length)
+                within = record.arrival_time - window * phase_length
+                time = (2 * window + offset) * phase_length + within
+                combined.append(_retime(record, 0, time))
+    combined.sort(key=lambda r: r.arrival_time)
+    return [_retime(r, i, r.arrival_time) for i, r in enumerate(combined)]

@@ -1,0 +1,65 @@
+"""Trace serialisation.
+
+CSV-like text format, one transaction per line:
+``txn_id,arrival_time,source,dest,amount[,deadline]``.
+Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import ConfigError
+from repro.workload.generator import TransactionRecord
+
+__all__ = ["dump_trace", "dumps_trace", "load_trace", "loads_trace"]
+
+
+def dumps_trace(records: Sequence[TransactionRecord]) -> str:
+    """Serialise a trace to text."""
+    out = io.StringIO()
+    out.write("# txn_id,arrival_time,source,dest,amount[,deadline]\n")
+    for r in records:
+        base = f"{r.txn_id},{r.arrival_time!r},{r.source},{r.dest},{r.amount!r}"
+        if r.deadline is not None:
+            base += f",{r.deadline!r}"
+        out.write(base + "\n")
+    return out.getvalue()
+
+
+def dump_trace(records: Sequence[TransactionRecord], path: Union[str, Path]) -> None:
+    """Write a trace to ``path``."""
+    Path(path).write_text(dumps_trace(records))
+
+
+def loads_trace(text: str) -> List[TransactionRecord]:
+    """Parse a trace from text."""
+    records: List[TransactionRecord] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) not in (5, 6):
+            raise ConfigError(f"line {line_number}: expected 5 or 6 fields, got {len(parts)}")
+        try:
+            records.append(
+                TransactionRecord(
+                    txn_id=int(parts[0]),
+                    arrival_time=float(parts[1]),
+                    source=int(parts[2]),
+                    dest=int(parts[3]),
+                    amount=float(parts[4]),
+                    deadline=float(parts[5]) if len(parts) == 6 else None,
+                )
+            )
+        except ValueError as exc:
+            raise ConfigError(f"line {line_number}: malformed trace line {raw!r}") from exc
+    return records
+
+
+def load_trace(path: Union[str, Path]) -> List[TransactionRecord]:
+    """Read a trace from ``path``."""
+    return loads_trace(Path(path).read_text())

@@ -1,0 +1,66 @@
+"""Tests for token-bucket congestion control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.congestion import TokenBucket
+from repro.errors import ConfigError
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0)
+        assert bucket.available(0.0) == 5.0
+
+    def test_consume_reduces_tokens(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0)
+        assert bucket.consume(3.0, now=0.0)
+        assert bucket.available(0.0) == pytest.approx(2.0)
+
+    def test_consume_beyond_tokens_fails(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0)
+        assert not bucket.consume(6.0, now=0.0)
+        assert bucket.available(0.0) == 5.0
+
+    def test_refill_follows_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=10.0)
+        bucket.consume(10.0, now=0.0)
+        assert bucket.available(3.0) == pytest.approx(6.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=5.0)
+        bucket.consume(5.0, now=0.0)
+        assert bucket.available(1000.0) == 5.0
+
+    def test_zero_rate_never_refills(self):
+        bucket = TokenBucket(rate=0.0, burst=4.0)
+        bucket.consume(4.0, now=0.0)
+        assert bucket.available(100.0) == 0.0
+
+    def test_set_rate_refills_first(self):
+        bucket = TokenBucket(rate=1.0, burst=10.0)
+        bucket.consume(10.0, now=0.0)
+        bucket.set_rate(5.0, now=2.0)  # 2 tokens accrued at old rate
+        assert bucket.available(3.0) == pytest.approx(2.0 + 5.0)
+
+    def test_set_burst_clips_tokens(self):
+        bucket = TokenBucket(rate=0.0, burst=10.0)
+        bucket.set_burst(3.0, now=0.0)
+        assert bucket.available(0.0) == 3.0
+
+    def test_time_going_backwards_raises(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, now=5.0)
+        with pytest.raises(ConfigError):
+            bucket.available(4.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ConfigError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+    def test_invalid_consume(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ConfigError):
+            bucket.consume(0.0, now=0.0)

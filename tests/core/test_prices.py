@@ -1,0 +1,97 @@
+"""Tests for the online price state (eqs. 23–24, normalised)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prices import ChannelPriceState, PriceTable
+from repro.errors import ConfigError
+from repro.network.network import PaymentNetwork
+
+
+@pytest.fixture
+def network():
+    net = PaymentNetwork()
+    net.add_channel(0, 1, 100.0)
+    net.add_channel(1, 2, 100.0)
+    return net
+
+
+class TestChannelPriceState:
+    def test_initial_prices_are_zero(self):
+        state = ChannelPriceState(0, 1)
+        assert state.price(0, 1) == 0.0
+        assert state.price(1, 0) == 0.0
+
+    def test_imbalanced_traffic_raises_directional_price(self):
+        state = ChannelPriceState(0, 1)
+        state.observe(0, 1, 50.0)
+        state.update(dt=1.0, capacity_rate=100.0, eta=0.1, kappa=0.1)
+        assert state.price(0, 1) > 0.0
+        # The reverse direction's mu cannot go negative; its price stays at
+        # lambda - mu_forward < price(0,1).
+        assert state.price(1, 0) < state.price(0, 1)
+
+    def test_balanced_traffic_keeps_mu_flat(self):
+        state = ChannelPriceState(0, 1)
+        state.observe(0, 1, 30.0)
+        state.observe(1, 0, 30.0)
+        state.update(dt=1.0, capacity_rate=100.0, eta=0.1, kappa=0.1)
+        assert state.mu[(0, 1)] == pytest.approx(0.0)
+        assert state.mu[(1, 0)] == pytest.approx(0.0)
+
+    def test_overload_raises_lambda(self):
+        state = ChannelPriceState(0, 1)
+        state.observe(0, 1, 100.0)
+        state.observe(1, 0, 100.0)
+        state.update(dt=1.0, capacity_rate=100.0, eta=0.1, kappa=0.1)
+        assert state.lam > 0.0
+
+    def test_underload_decays_lambda_to_zero(self):
+        state = ChannelPriceState(0, 1)
+        state.lam = 0.05
+        state.update(dt=1.0, capacity_rate=100.0, eta=0.1, kappa=0.1)
+        assert state.lam == pytest.approx(0.0)  # clamped at zero
+
+    def test_window_resets_after_update(self):
+        state = ChannelPriceState(0, 1)
+        state.observe(0, 1, 10.0)
+        state.update(dt=1.0, capacity_rate=100.0, eta=0.1, kappa=0.1)
+        assert state.window[(0, 1)] == 0.0
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ConfigError):
+            ChannelPriceState(0, 1).update(dt=0.0, capacity_rate=1.0, eta=0.1, kappa=0.1)
+
+
+class TestPriceTable:
+    def test_path_price_sums_hops(self, network):
+        table = PriceTable(network, delta=0.5)
+        table.state(0, 1).mu[(0, 1)] = 0.2
+        table.state(1, 2).mu[(1, 2)] = 0.3
+        assert table.path_price([0, 1, 2]) == pytest.approx(0.5)
+
+    def test_observe_path_feeds_both_hops(self, network):
+        table = PriceTable(network, delta=0.5)
+        table.observe_path([0, 1, 2], 10.0)
+        assert table.state(0, 1).window[(0, 1)] == 10.0
+        assert table.state(1, 2).window[(1, 2)] == 10.0
+
+    def test_update_all_moves_prices(self, network):
+        table = PriceTable(network, delta=0.5)
+        table.observe_path([0, 1], 500.0)
+        table.update_all(dt=1.0, eta=0.1, kappa=0.1)
+        assert table.state(0, 1).price(0, 1) > 0.0
+
+    def test_imbalance_price_steers_against_skewed_direction(self, network):
+        """The §5.3 property: heavy one-way traffic must make that direction
+        expensive relative to the reverse, steering senders to rebalance."""
+        table = PriceTable(network, delta=0.5)
+        for _ in range(10):
+            table.observe_path([0, 1], 100.0)
+            table.update_all(dt=1.0, eta=0.05, kappa=0.05)
+        assert table.path_price([0, 1]) > table.path_price([1, 0])
+
+    def test_invalid_delta_rejected(self, network):
+        with pytest.raises(ConfigError):
+            PriceTable(network, delta=0.0)

@@ -1,0 +1,188 @@
+"""Tests for in-network router queues (§4.2, hop-by-hop forwarding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queueing import QueueingRuntime, SpiderQueueingScheme
+from repro.core.runtime import Runtime, RuntimeConfig
+from repro.routing.base import RoutingScheme
+from repro.topology.generators import line_topology
+from repro.workload.generator import TransactionRecord
+
+
+class LaunchOnLine(RoutingScheme):
+    """Minimal hop-by-hop scheme: launch the remaining value on the line path."""
+
+    name = "test-hop-launch"
+    atomic = False
+    hop_by_hop = True
+
+    def attempt(self, payment, runtime):
+        step = 1 if payment.dest >= payment.source else -1
+        path = tuple(range(payment.source, payment.dest + step, step))
+        runtime.send_unit_hop_by_hop(payment, path, payment.remaining)
+
+
+def make_runtime(records, capacity=100.0, nodes=4, scheme=None, end_time=30.0, **kwargs):
+    network = line_topology(nodes).build_network(default_capacity=capacity)
+    defaults = dict(
+        hop_delay=0.05, queue_timeout=5.0, settle_delay=0.5
+    )
+    defaults.update(kwargs)
+    runtime = QueueingRuntime(
+        network,
+        records,
+        scheme or LaunchOnLine(),
+        RuntimeConfig(end_time=end_time, check_invariants=True),
+        **defaults,
+    )
+    return runtime
+
+
+def record(txn_id, t, source, dest, amount, deadline=None):
+    return TransactionRecord(txn_id, t, source, dest, amount, deadline)
+
+
+class TestHopByHopDelivery:
+    def test_simple_payment_completes(self):
+        runtime = make_runtime([record(0, 1.0, 0, 3, 10.0)])
+        metrics = runtime.run()
+        assert metrics.completed == 1
+        # Arrival after 3 hops x 0.05s + settle 0.5s.
+        assert runtime.payments[0].completed_at == pytest.approx(1.0 + 2 * 0.05 + 0.5)
+        runtime.network.check_invariants()
+
+    def test_funds_settle_at_every_hop(self):
+        runtime = make_runtime([record(0, 1.0, 0, 3, 10.0)])
+        runtime.run()
+        network = runtime.network
+        assert network.channel(0, 1).balance(0) == pytest.approx(40.0)
+        assert network.channel(2, 3).balance(3) == pytest.approx(60.0)
+        assert network.total_inflight() == 0.0
+
+    def test_unit_queues_when_mid_path_is_dry(self):
+        """The §4.2 behaviour the source-routed model cannot express: the
+        unit advances to the dry hop and waits there, not at the source."""
+        runtime = make_runtime([record(0, 1.0, 0, 3, 40.0)])
+        # Drain channel 1->2 before the run (held HTLC, never resolved).
+        runtime.network.channel(1, 2).lock(1, 45.0)
+        metrics = runtime.run()
+        # The unit queued at router 1 (possibly several times: the pending
+        # queue relaunches it after each timeout refund).
+        assert runtime.units_queued >= 1
+        assert runtime.units_timed_out >= 1
+        assert metrics.completed == 0
+        # All payment funds refunded; only the held test HTLC stays in flight.
+        assert runtime.network.total_inflight() == pytest.approx(45.0)
+
+    def test_queued_unit_released_by_reverse_traffic(self):
+        """Funds arriving from the other side release the queue (Fig. 3)."""
+        runtime = make_runtime(
+            [
+                record(0, 1.0, 0, 3, 30.0),  # queues at router 1 (5 available)
+                record(1, 2.0, 3, 0, 40.0),  # reverse flow replenishes 1->2
+            ],
+            queue_timeout=20.0,
+        )
+        # Leave only 5 spendable in the 1->2 direction.
+        held = runtime.network.channel(1, 2).lock(1, 45.0)
+        metrics = runtime.run()
+        assert runtime.units_queued >= 1
+        assert runtime.payments[0].is_complete
+        assert metrics.completed == 2
+        assert runtime.mean_queue_delay > 0.0
+
+    def test_timeout_refunds_upstream_hops(self):
+        runtime = make_runtime(
+            [record(0, 1.0, 0, 3, 40.0)], queue_timeout=1.0, end_time=3.5
+        )
+        runtime.network.channel(2, 3).lock(2, 45.0)
+        runtime.run()
+        # Hops 0->1 and 1->2 were locked, then refunded on timeout (the
+        # relaunch cycle repeats while the run lasts).
+        assert runtime.units_timed_out >= 1
+        assert runtime.network.channel(0, 1).balance(0) == pytest.approx(50.0)
+        assert runtime.network.channel(1, 2).balance(1) == pytest.approx(50.0)
+
+    def test_deadline_withholds_key_at_settlement(self):
+        records = [record(0, 1.0, 0, 3, 10.0, deadline=1.2)]
+        runtime = make_runtime(records)
+        metrics = runtime.run()
+        # Arrival at ~1.1, settlement due at ~1.6 > deadline -> withheld.
+        assert metrics.delivered_value == 0.0
+        assert runtime.network.total_inflight() == 0.0
+
+    def test_stranded_queue_drained_at_end_of_run(self):
+        runtime = make_runtime([record(0, 1.0, 0, 3, 40.0)], queue_timeout=500.0)
+        runtime.network.channel(1, 2).lock(1, 45.0)
+        runtime.run()
+        # The stranded unit was aborted and refunded; only the held test
+        # HTLC remains in flight.
+        assert runtime.network.total_inflight() == pytest.approx(45.0)
+        assert runtime.payments[0].inflight == pytest.approx(0.0)
+
+    def test_srpt_queue_policy_orders_by_remaining(self):
+        # Two units queue at router 1; when funds free up, SRPT services the
+        # smaller payment first.
+        records = [
+            record(0, 1.0, 0, 3, 45.0),                 # drains
+            record(1, 1.2, 0, 3, 30.0),                 # queues (larger)
+            record(2, 1.3, 0, 3, 5.0),                  # queues (smaller)
+            record(3, 3.0, 3, 0, 12.0),                 # frees 12
+        ]
+        runtime = make_runtime(records, queue_policy="srpt", queue_timeout=30.0)
+        runtime.run()
+        small = runtime.payments[2]
+        large = runtime.payments[1]
+        assert small.is_complete
+        assert not large.is_complete
+
+    def test_invalid_parameters(self):
+        network = line_topology(3).build_network(default_capacity=10.0)
+        with pytest.raises(ValueError):
+            QueueingRuntime(network, [], LaunchOnLine(), hop_delay=-1.0)
+        with pytest.raises(ValueError):
+            QueueingRuntime(network, [], LaunchOnLine(), queue_timeout=0.0)
+        with pytest.raises(ValueError):
+            QueueingRuntime(network, [], LaunchOnLine(), queue_policy="bogus")
+
+
+class TestSpiderQueueingScheme:
+    def test_runs_under_queueing_runtime(self):
+        records = [record(0, 1.0, 0, 3, 30.0), record(1, 2.0, 3, 0, 30.0)]
+        network = line_topology(4).build_network(default_capacity=100.0)
+        runtime = QueueingRuntime(
+            network,
+            records,
+            SpiderQueueingScheme(),
+            RuntimeConfig(end_time=30.0, check_invariants=True),
+        )
+        metrics = runtime.run()
+        assert metrics.completed == 2
+
+    def test_rejects_plain_runtime(self):
+        records = [record(0, 1.0, 0, 2, 10.0)]
+        network = line_topology(3).build_network(default_capacity=100.0)
+        runtime = Runtime(
+            network, records, SpiderQueueingScheme(), RuntimeConfig(end_time=5.0)
+        )
+        with pytest.raises(TypeError):
+            runtime.run()
+
+    def test_registry_and_runner_integration(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        metrics = run_experiment(
+            ExperimentConfig(
+                scheme="spider-queueing",
+                topology="cycle-5",
+                capacity=2_000.0,
+                num_transactions=100,
+                arrival_rate=50.0,
+                seed=3,
+                check_invariants=True,
+            )
+        )
+        assert metrics.attempted == 100
+        assert metrics.completed > 0

@@ -1,0 +1,80 @@
+"""Tests for pending-queue scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.payments import Payment
+from repro.core.scheduling import SCHEDULING_POLICIES, get_policy, order_payments
+from repro.errors import ConfigError
+
+
+def payment(pid, amount, arrival, delivered=0.0, deadline=None):
+    p = Payment(
+        payment_id=pid,
+        source=0,
+        dest=1,
+        amount=amount,
+        arrival_time=arrival,
+        deadline=deadline,
+    )
+    if delivered:
+        p.register_inflight(delivered)
+        p.register_settled(delivered, now=arrival)
+    return p
+
+
+class TestSrpt:
+    def test_orders_by_remaining_amount(self):
+        payments = [payment(1, 100.0, 0.0), payment(2, 10.0, 1.0), payment(3, 50.0, 2.0)]
+        ordered = order_payments(payments, "srpt")
+        assert [p.payment_id for p in ordered] == [2, 3, 1]
+
+    def test_partial_delivery_moves_payment_forward(self):
+        big_but_almost_done = payment(1, 100.0, 0.0, delivered=95.0)
+        small_fresh = payment(2, 10.0, 1.0)
+        ordered = order_payments([small_fresh, big_but_almost_done], "srpt")
+        assert ordered[0].payment_id == 1  # 5 remaining < 10 remaining
+
+    def test_ties_break_by_id(self):
+        payments = [payment(2, 10.0, 0.0), payment(1, 10.0, 5.0)]
+        ordered = order_payments(payments, "srpt")
+        assert [p.payment_id for p in ordered] == [1, 2]
+
+
+class TestOtherPolicies:
+    def test_fifo(self):
+        payments = [payment(1, 5.0, 3.0), payment(2, 50.0, 1.0)]
+        assert [p.payment_id for p in order_payments(payments, "fifo")] == [2, 1]
+
+    def test_lifo(self):
+        payments = [payment(1, 5.0, 3.0), payment(2, 50.0, 1.0)]
+        assert [p.payment_id for p in order_payments(payments, "lifo")] == [1, 2]
+
+    def test_edf_orders_by_deadline(self):
+        payments = [
+            payment(1, 5.0, 0.0, deadline=100.0),
+            payment(2, 5.0, 0.0, deadline=10.0),
+            payment(3, 5.0, 0.0),  # no deadline -> last
+        ]
+        assert [p.payment_id for p in order_payments(payments, "edf")] == [2, 1, 3]
+
+    def test_smallest_total_ignores_progress(self):
+        nearly_done_big = payment(1, 100.0, 0.0, delivered=99.0)
+        fresh_small = payment(2, 10.0, 0.0)
+        ordered = order_payments([nearly_done_big, fresh_small], "smallest-total")
+        assert ordered[0].payment_id == 2
+
+    def test_largest_remaining_is_reverse_srpt(self):
+        payments = [payment(1, 100.0, 0.0), payment(2, 10.0, 0.0)]
+        assert [p.payment_id for p in order_payments(payments, "largest-remaining")] == [1, 2]
+
+
+class TestRegistry:
+    def test_all_policies_are_callable(self):
+        for name in SCHEDULING_POLICIES:
+            assert callable(get_policy(name))
+
+    def test_unknown_policy_raises_with_listing(self):
+        with pytest.raises(ConfigError, match="srpt"):
+            get_policy("bogus")

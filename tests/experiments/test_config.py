@@ -1,0 +1,92 @@
+"""Tests for experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import (
+    ExperimentConfig,
+    build_size_distribution,
+    build_topology,
+)
+
+
+class TestBuildTopology:
+    @pytest.mark.parametrize(
+        "spec,nodes",
+        [
+            ("isp", 32),
+            ("fig4", 5),
+            ("line-7", 7),
+            ("star-4", 5),
+            ("cycle-6", 6),
+            ("complete-5", 5),
+            ("grid-2x3", 6),
+            ("tree-2x2", 7),
+            ("scale-free-30", 30),
+        ],
+    )
+    def test_specs_build(self, spec, nodes):
+        assert build_topology(spec).num_nodes == nodes
+
+    def test_ripple_spec(self):
+        topo = build_topology("ripple-tiny")
+        assert topo.num_nodes == 60
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            build_topology("mystery-9")
+
+
+class TestBuildSizes:
+    def test_named_specs(self):
+        assert build_size_distribution("isp").mean == 170.0
+        assert build_size_distribution("ripple").mean == 345.0
+
+    def test_parameterised_specs(self):
+        assert build_size_distribution("constant:25").mean == 25.0
+        assert build_size_distribution("exp:50").mean == 50.0
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            build_size_distribution("weird")
+
+
+class TestExperimentConfig:
+    def test_defaults_build(self):
+        config = ExperimentConfig()
+        topo = config.build_topology()
+        assert topo.num_nodes == 32
+        assert all(c == config.capacity for c in topo.capacities.values())
+
+    def test_workload_is_seeded(self):
+        config = ExperimentConfig(num_transactions=50)
+        nodes = list(range(32))
+        assert config.build_workload(nodes) == config.build_workload(nodes)
+
+    def test_workload_independent_of_scheme(self):
+        base = ExperimentConfig(num_transactions=50)
+        a = base.with_overrides(scheme="max-flow")
+        b = base.with_overrides(scheme="shortest-path")
+        nodes = list(range(32))
+        assert a.build_workload(nodes) == b.build_workload(nodes)
+
+    def test_with_overrides_copies(self):
+        base = ExperimentConfig(capacity=100.0)
+        changed = base.with_overrides(capacity=200.0)
+        assert base.capacity == 100.0
+        assert changed.capacity == 200.0
+
+    def test_runtime_config_propagates(self):
+        config = ExperimentConfig(mtu=10.0, poll_interval=0.25, scheduling_policy="fifo")
+        runtime_config = config.build_runtime_config()
+        assert runtime_config.mtu == 10.0
+        assert runtime_config.poll_interval == 0.25
+        assert runtime_config.scheduling_policy == "fifo"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(capacity=0.0)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(num_transactions=0)

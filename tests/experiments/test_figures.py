@@ -1,0 +1,72 @@
+"""Tests for programmatic figure regeneration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    FIG6_SCHEMES,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    generate_all,
+    rebalancing_curve_data,
+)
+
+
+class TestFigureData:
+    def test_fig4_exact_numbers(self):
+        data = fig4_data()
+        assert data["shortest_path_throughput"] == pytest.approx(5.0)
+        assert data["optimal_throughput"] == pytest.approx(8.0)
+        assert data["total_demand"] == pytest.approx(12.0)
+
+    def test_fig5_exact_numbers(self):
+        data = fig5_data()
+        assert data["circulation"] == pytest.approx(8.0)
+        assert data["dag"] == pytest.approx(4.0)
+        assert data["circulation_fraction"] == pytest.approx(2.0 / 3.0)
+
+    def test_fig6_runs_all_schemes(self):
+        results = fig6_data("isp", seed=3)
+        assert [m.scheme for m in results] == FIG6_SCHEMES
+        assert all(m.attempted > 0 for m in results)
+
+    def test_fig7_shape(self):
+        sweep = fig7_data(capacities=[800.0, 8_000.0], schemes=["shortest-path"])
+        assert set(sweep) == {("shortest-path", 800.0), ("shortest-path", 8_000.0)}
+        assert (
+            sweep[("shortest-path", 8_000.0)].success_volume
+            >= sweep[("shortest-path", 800.0)].success_volume
+        )
+
+    def test_rebalancing_curve_endpoints(self):
+        curve = rebalancing_curve_data(budgets=[0.0, 10.0])
+        assert curve[0][1] == pytest.approx(8.0, abs=1e-6)
+        assert curve[1][1] == pytest.approx(12.0, abs=1e-6)
+
+
+class TestGenerateAll:
+    def test_writes_every_figure_file(self, tmp_path):
+        written = generate_all(tmp_path)
+        names = {p.name for p in written}
+        assert names == {
+            "fig4_motivating.txt",
+            "fig5_decomposition.txt",
+            "fig6_isp.txt",
+            "fig6_ripple.txt",
+            "fig7_ratio.txt",
+            "fig7_volume.txt",
+            "rebalancing_curve.txt",
+            "baselines.txt",
+        }
+        for path in written:
+            assert path.read_text().strip()
+
+    def test_cli_figures_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["figures", "--out", str(tmp_path / "r")]) == 0
+        out = capsys.readouterr().out
+        assert "fig6_isp.txt" in out

@@ -1,0 +1,78 @@
+"""Property-based tests for circulation theory (Proposition 1 invariants)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid.circulation import (
+    PaymentGraph,
+    decompose_payment_graph,
+    is_circulation,
+    is_dag,
+    max_circulation_cycle_cancelling,
+    max_circulation_lp,
+)
+
+
+@st.composite
+def payment_graphs(draw, max_nodes=7):
+    """Random payment graphs with integer-ish demands."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), min_size=1, max_size=12, unique=True)
+    )
+    demands = {}
+    for pair in chosen:
+        demands[pair] = float(draw(st.integers(min_value=1, max_value=9)))
+    return PaymentGraph(demands)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payment_graphs())
+def test_lp_and_cycle_cancelling_agree(graph):
+    """Two independent ν(C*) computations must agree."""
+    lp_value = sum(max_circulation_lp(graph).values())
+    cc_value = sum(max_circulation_cycle_cancelling(graph).values())
+    assert lp_value == pytest.approx(cc_value, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payment_graphs())
+def test_decomposition_invariants(graph):
+    """circulation + DAG == demands; circulation balanced; remainder acyclic;
+    0 <= nu <= total demand."""
+    decomposition = decompose_payment_graph(graph, method="lp")
+    assert is_circulation(decomposition.circulation)
+    assert is_dag(decomposition.dag)
+    assert -1e-9 <= decomposition.value <= graph.total_demand() + 1e-9
+    for edge, rate in graph.demands.items():
+        parts = decomposition.circulation.get(edge, 0.0) + decomposition.dag.get(edge, 0.0)
+        assert parts == pytest.approx(rate, abs=1e-6)
+    # Circulation never exceeds per-edge demand.
+    for edge, flow in decomposition.circulation.items():
+        assert flow <= graph.demands[edge] + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(payment_graphs(), st.integers(min_value=1, max_value=5))
+def test_scaling_demands_scales_circulation(graph, factor):
+    """ν(k·H) == k·ν(H): the LP is positively homogeneous."""
+    scaled = PaymentGraph({e: r * factor for e, r in graph.demands.items()})
+    base = sum(max_circulation_lp(graph).values())
+    scaled_value = sum(max_circulation_lp(scaled).values())
+    assert scaled_value == pytest.approx(base * factor, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(payment_graphs())
+def test_adding_reverse_demand_never_decreases_circulation(graph):
+    """Adding demand can only help: ν is monotone in the demand matrix."""
+    base = sum(max_circulation_lp(graph).values())
+    edges = graph.edges()
+    first = edges[0]
+    augmented = PaymentGraph(graph.demands)
+    augmented.add_demand(first[1], first[0], 1.0)
+    assert sum(max_circulation_lp(augmented).values()) >= base - 1e-6

@@ -1,0 +1,128 @@
+"""Tests for the proportional-fairness LP (§5.3 closing remark)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fluid.fairness import jain_index, solve_fairness_lp
+from repro.fluid.lp import solve_fluid_lp
+from repro.fluid.paths import all_simple_paths
+from repro.topology.examples import FIG4_DEMANDS, fig4_topology
+from repro.topology.generators import line_topology
+
+
+@pytest.fixture
+def contended_line():
+    """Line 0-1-2-3 where the middle channel is the shared bottleneck."""
+    adjacency = line_topology(4).adjacency()
+    demands = {(0, 3): 10.0, (3, 0): 10.0, (1, 2): 10.0, (2, 1): 10.0}
+    path_set = {pair: all_simple_paths(adjacency, *pair) for pair in demands}
+    capacities = {(1, 2): 10.0}
+    return demands, path_set, capacities
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_or_zero(self):
+        assert jain_index([]) == 0.0
+        assert jain_index([0.0, 0.0]) == 0.0
+
+
+class TestFairnessLP:
+    def test_no_pair_is_starved(self, contended_line):
+        demands, path_set, capacities = contended_line
+        solution = solve_fairness_lp(demands, path_set, capacities, delta=1.0)
+        for pair in demands:
+            assert solution.pair_flows[pair] > 0.01
+
+    def test_max_throughput_starves_but_fairness_does_not(self, contended_line):
+        demands, path_set, capacities = contended_line
+        greedy = solve_fluid_lp(
+            demands, path_set, capacities=capacities, delta=1.0, balance="equality"
+        )
+        fair = solve_fairness_lp(demands, path_set, capacities, delta=1.0)
+        greedy_flows = [greedy.pair_flows.get(p, 0.0) for p in demands]
+        fair_flows = [fair.pair_flows[p] for p in demands]
+        assert min(greedy_flows) == pytest.approx(0.0, abs=1e-6)
+        assert min(fair_flows) > 0.0
+        assert jain_index(fair_flows) > jain_index(greedy_flows) + 0.2
+
+    def test_fairness_costs_bounded_throughput(self, contended_line):
+        demands, path_set, capacities = contended_line
+        greedy = solve_fluid_lp(
+            demands, path_set, capacities=capacities, delta=1.0, balance="equality"
+        )
+        fair = solve_fairness_lp(demands, path_set, capacities, delta=1.0)
+        assert fair.throughput <= greedy.throughput + 1e-6
+        # Proportional fairness never collapses throughput to zero.
+        assert fair.throughput > 0.5 * greedy.throughput
+
+    def test_balance_constraint_respected(self, contended_line):
+        demands, path_set, capacities = contended_line
+        solution = solve_fairness_lp(demands, path_set, capacities, delta=1.0)
+        edge_flows = {}
+        from repro.fluid.paths import path_edges
+
+        for (pair, path), flow in solution.path_flows.items():
+            for edge in path_edges(path):
+                edge_flows[edge] = edge_flows.get(edge, 0.0) + flow
+        for (u, v), flow in edge_flows.items():
+            assert edge_flows.get((v, u), 0.0) == pytest.approx(flow, abs=1e-5)
+
+    def test_weights_shift_allocation(self, contended_line):
+        demands, path_set, capacities = contended_line
+        favoured = solve_fairness_lp(
+            demands,
+            path_set,
+            capacities,
+            delta=1.0,
+            weights={(0, 3): 5.0, (3, 0): 5.0},
+        )
+        neutral = solve_fairness_lp(demands, path_set, capacities, delta=1.0)
+        assert favoured.pair_flows[(0, 3)] > neutral.pair_flows[(0, 3)]
+
+    def test_unconstrained_fairness_saturates_demand(self):
+        adjacency = line_topology(3).adjacency()
+        demands = {(0, 2): 4.0, (2, 0): 4.0}
+        path_set = {pair: all_simple_paths(adjacency, *pair) for pair in demands}
+        solution = solve_fairness_lp(demands, path_set, None, delta=1.0)
+        assert solution.throughput == pytest.approx(8.0, rel=0.02)
+
+    def test_fig4_fairness_respects_prop1_bound(self):
+        adjacency = fig4_topology().adjacency()
+        path_set = {pair: all_simple_paths(adjacency, *pair) for pair in FIG4_DEMANDS}
+        solution = solve_fairness_lp(FIG4_DEMANDS, path_set, None, delta=1.0)
+        # Prop. 1: no balanced routing (fair or not) exceeds nu(C*) = 8.
+        assert solution.throughput <= 8.0 + 1e-6
+
+    def test_more_tangents_tighten_the_approximation(self, contended_line):
+        demands, path_set, capacities = contended_line
+        coarse = solve_fairness_lp(
+            demands, path_set, capacities, delta=1.0, num_tangents=3
+        )
+        fine = solve_fairness_lp(
+            demands, path_set, capacities, delta=1.0, num_tangents=25
+        )
+        # The true proportionally-fair utility is approached from below.
+        assert fine.utility >= coarse.utility - 1e-6
+
+    def test_empty_demands(self):
+        solution = solve_fairness_lp({}, {})
+        assert solution.throughput == 0.0
+
+    def test_validation(self, contended_line):
+        demands, path_set, capacities = contended_line
+        with pytest.raises(ConfigError):
+            solve_fairness_lp(demands, path_set, capacities, delta=0.0)
+        with pytest.raises(ConfigError):
+            solve_fairness_lp(demands, path_set, capacities, num_tangents=1)
+        with pytest.raises(ConfigError):
+            solve_fairness_lp(demands, path_set, capacities, min_rate_fraction=2.0)
+        with pytest.raises(ConfigError):
+            solve_fairness_lp({(0, 1): 1.0}, {})

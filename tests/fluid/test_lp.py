@@ -1,0 +1,181 @@
+"""Tests for the fluid LPs (eqs. 1–18)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fluid.lp import (
+    max_balanced_throughput,
+    max_unbalanced_throughput,
+    solve_fluid_lp,
+    solve_rebalancing_lp,
+    throughput_vs_rebalancing,
+    throughput_with_budget,
+)
+from repro.fluid.paths import all_simple_paths, bfs_shortest_path
+from repro.topology.examples import (
+    FIG4_DEMANDS,
+    FIG4_MAX_CIRCULATION,
+    FIG4_OPTIMAL_THROUGHPUT,
+    FIG4_SHORTEST_PATH_THROUGHPUT,
+    FIG4_TOTAL_DEMAND,
+    fig4_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4_paths():
+    adjacency = fig4_topology().adjacency()
+    return {pair: all_simple_paths(adjacency, *pair) for pair in FIG4_DEMANDS}
+
+
+@pytest.fixture(scope="module")
+def fig4_sp_paths():
+    adjacency = fig4_topology().adjacency()
+    return {pair: [bfs_shortest_path(adjacency, *pair)] for pair in FIG4_DEMANDS}
+
+
+class TestFig4Numbers:
+    """The paper's §5.1 example, end to end."""
+
+    def test_optimal_balanced_throughput_is_8(self, fig4_paths):
+        solution = max_balanced_throughput(FIG4_DEMANDS, fig4_paths)
+        assert solution.throughput == pytest.approx(FIG4_OPTIMAL_THROUGHPUT)
+
+    def test_shortest_path_balanced_throughput_is_5(self, fig4_sp_paths):
+        solution = max_balanced_throughput(FIG4_DEMANDS, fig4_sp_paths)
+        assert solution.throughput == pytest.approx(FIG4_SHORTEST_PATH_THROUGHPUT)
+
+    def test_optimal_equals_max_circulation(self, fig4_paths):
+        # Proposition 1: balanced throughput == nu(C*) with ample capacity.
+        solution = max_balanced_throughput(FIG4_DEMANDS, fig4_paths)
+        assert solution.throughput == pytest.approx(FIG4_MAX_CIRCULATION)
+
+    def test_unbalanced_throughput_hits_total_demand(self, fig4_paths):
+        solution = max_unbalanced_throughput(FIG4_DEMANDS, fig4_paths)
+        assert solution.throughput == pytest.approx(FIG4_TOTAL_DEMAND)
+
+    def test_edge_flows_are_balanced(self, fig4_paths):
+        solution = max_balanced_throughput(FIG4_DEMANDS, fig4_paths)
+        for (u, v), flow in solution.edge_flows.items():
+            reverse = solution.edge_flows.get((v, u), 0.0)
+            assert flow == pytest.approx(reverse, abs=1e-6)
+
+    def test_pair_flows_respect_demands(self, fig4_paths):
+        solution = max_balanced_throughput(FIG4_DEMANDS, fig4_paths)
+        for pair, flow in solution.pair_flows.items():
+            assert flow <= FIG4_DEMANDS[pair] + 1e-6
+
+    def test_demand_fraction(self, fig4_paths):
+        solution = max_balanced_throughput(FIG4_DEMANDS, fig4_paths)
+        assert solution.demand_fraction(FIG4_DEMANDS) == pytest.approx(8.0 / 12.0)
+
+
+class TestCapacityConstraints:
+    def test_capacity_caps_throughput(self, fig4_paths):
+        tight = {edge: 1.0 for edge in fig4_topology().edges}
+        solution = max_balanced_throughput(
+            FIG4_DEMANDS, fig4_paths, capacities=tight, delta=1.0
+        )
+        assert solution.throughput < 8.0
+
+    def test_delta_scales_capacity(self, fig4_paths):
+        capacities = {edge: 4.0 for edge in fig4_topology().edges}
+        fast = max_balanced_throughput(FIG4_DEMANDS, fig4_paths, capacities, delta=1.0)
+        slow = max_balanced_throughput(FIG4_DEMANDS, fig4_paths, capacities, delta=4.0)
+        assert slow.throughput < fast.throughput
+
+    def test_missing_capacity_treated_as_unlimited(self, fig4_paths):
+        solution = max_balanced_throughput(FIG4_DEMANDS, fig4_paths, capacities={})
+        assert solution.throughput == pytest.approx(8.0)
+
+
+class TestRebalancingLP:
+    def test_large_gamma_recovers_balanced_solution(self, fig4_paths):
+        solution = solve_rebalancing_lp(FIG4_DEMANDS, fig4_paths, None, gamma=100.0)
+        assert solution.throughput == pytest.approx(8.0, abs=1e-5)
+        assert solution.total_rebalancing == pytest.approx(0.0, abs=1e-5)
+
+    def test_small_gamma_unlocks_full_demand(self, fig4_paths):
+        solution = solve_rebalancing_lp(FIG4_DEMANDS, fig4_paths, None, gamma=0.01)
+        assert solution.throughput == pytest.approx(12.0, abs=1e-5)
+        assert solution.total_rebalancing > 0.0
+
+    def test_throughput_and_objective_decrease_with_gamma(self, fig4_paths):
+        # §5.2.3: as gamma grows, throughput and rebalancing both shrink
+        # toward the balanced optimum.
+        gammas = [0.1, 0.5, 1.0, 2.0, 100.0]
+        solutions = [
+            solve_rebalancing_lp(FIG4_DEMANDS, fig4_paths, None, gamma=g)
+            for g in gammas
+        ]
+        throughputs = [s.throughput for s in solutions]
+        rebalancing = [s.total_rebalancing for s in solutions]
+        for a, b in zip(throughputs, throughputs[1:]):
+            assert b <= a + 1e-6
+        for a, b in zip(rebalancing, rebalancing[1:]):
+            assert b <= a + 1e-6
+        assert throughputs[-1] == pytest.approx(8.0, abs=1e-5)
+
+    def test_dag_flows_can_share_rebalancing(self, fig4_paths):
+        # At gamma == 1 the optimum routes part of the DAG because opposing
+        # DAG flows cancel imbalance: 2 extra units of throughput cost only
+        # 1 unit of rebalancing, so the objective exceeds the balanced 8.
+        solution = solve_rebalancing_lp(FIG4_DEMANDS, fig4_paths, None, gamma=1.0)
+        assert solution.objective == pytest.approx(9.0, abs=1e-5)
+        assert solution.throughput == pytest.approx(10.0, abs=1e-5)
+        assert solution.total_rebalancing == pytest.approx(1.0, abs=1e-5)
+
+    def test_negative_gamma_rejected(self, fig4_paths):
+        with pytest.raises(ConfigError):
+            solve_rebalancing_lp(FIG4_DEMANDS, fig4_paths, None, gamma=-1.0)
+
+
+class TestBudgetCurve:
+    def test_zero_budget_equals_balanced(self, fig4_paths):
+        solution = throughput_with_budget(FIG4_DEMANDS, fig4_paths, None, budget=0.0)
+        assert solution.throughput == pytest.approx(8.0, abs=1e-6)
+
+    def test_large_budget_reaches_total_demand(self, fig4_paths):
+        solution = throughput_with_budget(FIG4_DEMANDS, fig4_paths, None, budget=100.0)
+        assert solution.throughput == pytest.approx(12.0, abs=1e-6)
+
+    def test_curve_is_non_decreasing_and_concave(self, fig4_paths):
+        budgets = [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 10.0]
+        curve = throughput_vs_rebalancing(FIG4_DEMANDS, fig4_paths, None, budgets)
+        values = [t for _, t in curve]
+        # Non-decreasing (§5.2.3).
+        for a, b in zip(values, values[1:]):
+            assert b >= a - 1e-6
+        # Concave: discrete second differences non-positive on the uniform
+        # prefix of the budget grid.
+        uniform = values[:5]  # budgets 0..4 step 1
+        for i in range(1, len(uniform) - 1):
+            assert uniform[i + 1] - uniform[i] <= uniform[i] - uniform[i - 1] + 1e-6
+
+    def test_missing_budget_rejected(self, fig4_paths):
+        with pytest.raises(ConfigError):
+            solve_fluid_lp(FIG4_DEMANDS, fig4_paths, balance="budget")
+
+
+class TestValidation:
+    def test_unknown_balance_mode_rejected(self, fig4_paths):
+        with pytest.raises(ConfigError):
+            solve_fluid_lp(FIG4_DEMANDS, fig4_paths, balance="bogus")
+
+    def test_missing_paths_rejected(self):
+        with pytest.raises(ConfigError):
+            solve_fluid_lp({(0, 1): 1.0}, {})
+
+    def test_degenerate_path_rejected(self):
+        with pytest.raises(ConfigError):
+            solve_fluid_lp({(0, 1): 1.0}, {(0, 1): [(0,)]})
+
+    def test_empty_demands_give_zero(self, fig4_paths):
+        solution = solve_fluid_lp({}, fig4_paths)
+        assert solution.throughput == 0.0
+
+    def test_non_positive_delta_rejected(self, fig4_paths):
+        with pytest.raises(ConfigError):
+            solve_fluid_lp(FIG4_DEMANDS, fig4_paths, delta=0.0)

@@ -1,0 +1,109 @@
+"""Property-based tests for the fluid LPs.
+
+Invariant chain checked on random instances over the Fig. 4 topology:
+
+    0 <= balanced <= budget(B) <= unbalanced <= total demand
+    balanced <= nu(C*)                        (Proposition 1)
+    budget(0) == balanced
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fluid.circulation import PaymentGraph, max_circulation_lp
+from repro.fluid.lp import solve_fluid_lp, throughput_with_budget
+from repro.fluid.paths import all_simple_paths
+from repro.topology.examples import fig4_topology
+
+_ADJACENCY = fig4_topology().adjacency()
+_PAIRS = [(i, j) for i in range(1, 6) for j in range(1, 6) if i != j]
+_PATHS = {pair: all_simple_paths(_ADJACENCY, *pair) for pair in _PAIRS}
+
+
+@st.composite
+def demand_matrices(draw):
+    chosen = draw(
+        st.lists(st.sampled_from(_PAIRS), min_size=1, max_size=8, unique=True)
+    )
+    return {pair: float(draw(st.integers(min_value=1, max_value=6))) for pair in chosen}
+
+
+@settings(max_examples=50, deadline=None)
+@given(demand_matrices())
+def test_throughput_ordering_chain(demands):
+    path_set = {pair: _PATHS[pair] for pair in demands}
+    total = sum(demands.values())
+    balanced = solve_fluid_lp(demands, path_set, balance="equality").throughput
+    unbalanced = solve_fluid_lp(demands, path_set, balance="none").throughput
+    mid_budget = throughput_with_budget(demands, path_set, None, budget=1.0).throughput
+    assert -1e-9 <= balanced <= mid_budget + 1e-6
+    assert mid_budget <= unbalanced + 1e-6
+    assert unbalanced <= total + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(demand_matrices())
+def test_balanced_never_exceeds_max_circulation(demands):
+    """Proposition 1's converse on random demands."""
+    path_set = {pair: _PATHS[pair] for pair in demands}
+    balanced = solve_fluid_lp(demands, path_set, balance="equality").throughput
+    nu = sum(max_circulation_lp(PaymentGraph(demands)).values())
+    assert balanced <= nu + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(demand_matrices())
+def test_zero_budget_equals_balanced(demands):
+    path_set = {pair: _PATHS[pair] for pair in demands}
+    balanced = solve_fluid_lp(demands, path_set, balance="equality").throughput
+    budget_zero = throughput_with_budget(demands, path_set, None, budget=0.0).throughput
+    assert budget_zero == pytest.approx(balanced, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(demand_matrices(), st.floats(min_value=0.5, max_value=4.0))
+def test_budget_curve_monotone(demands, budget):
+    path_set = {pair: _PATHS[pair] for pair in demands}
+    smaller = throughput_with_budget(demands, path_set, None, budget=budget / 2).throughput
+    larger = throughput_with_budget(demands, path_set, None, budget=budget).throughput
+    assert larger >= smaller - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(demand_matrices())
+def test_edge_flows_are_balanced_in_equality_mode(demands):
+    path_set = {pair: _PATHS[pair] for pair in demands}
+    solution = solve_fluid_lp(demands, path_set, balance="equality")
+    for (u, v), flow in solution.edge_flows.items():
+        assert solution.edge_flows.get((v, u), 0.0) == pytest.approx(flow, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(demand_matrices())
+def test_waterfill_allocation_properties(demands):
+    """waterfill_allocation: caps respected, total preserved, max-min."""
+    from repro.core.amp import waterfill_allocation
+
+    capacities = [float(v) for v in demands.values()]
+    amount = sum(capacities) / 2.0
+    allocation = waterfill_allocation(amount, capacities)
+    assert sum(allocation) == pytest.approx(min(amount, sum(capacities)))
+    for share, cap in zip(allocation, capacities):
+        assert -1e-9 <= share <= cap + 1e-9
+    # Max-min structure: any path left with residual above the minimum
+    # residual must be fully unused or all residuals equal-ish.
+    residuals = [c - a for c, a in zip(capacities, allocation)]
+    used_residuals = [r for a, r in zip(allocation, residuals) if a > 1e-9]
+    if used_residuals:
+        level = used_residuals[0]
+        for capacity, share, residual in zip(capacities, allocation, residuals):
+            if share > 1e-9:
+                # Every touched path drains to the common water level.
+                assert residual == pytest.approx(level, abs=1e-6)
+            else:
+                # Untouched paths were already at/below the water level.
+                assert residual == pytest.approx(capacity)
+                assert capacity <= level + 1e-6

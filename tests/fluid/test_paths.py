@@ -1,0 +1,160 @@
+"""Tests for path enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoPathError
+from repro.fluid.paths import (
+    all_simple_paths,
+    bfs_distances,
+    bfs_shortest_path,
+    build_path_set,
+    k_edge_disjoint_paths,
+    k_shortest_paths,
+    path_edges,
+)
+from repro.topology.generators import cycle_topology, grid_topology, line_topology
+from repro.topology.isp import isp_topology
+
+
+@pytest.fixture
+def diamond():
+    """0-1-3 and 0-2-3 plus a long detour 0-4-5-3."""
+    return {
+        0: [1, 2, 4],
+        1: [0, 3],
+        2: [0, 3],
+        3: [1, 2, 5],
+        4: [0, 5],
+        5: [3, 4],
+    }
+
+
+class TestShortestPath:
+    def test_trivial_path(self, diamond):
+        assert bfs_shortest_path(diamond, 0, 0) == (0,)
+
+    def test_shortest_hop_count(self, diamond):
+        path = bfs_shortest_path(diamond, 0, 3)
+        assert len(path) == 3
+        assert path[0] == 0 and path[-1] == 3
+
+    def test_deterministic_tie_break(self, diamond):
+        # 0-1-3 and 0-2-3 tie; sorted neighbour order picks 1 first.
+        assert bfs_shortest_path(diamond, 0, 3) == (0, 1, 3)
+
+    def test_unreachable_returns_none(self):
+        adj = {0: [1], 1: [0], 2: []}
+        assert bfs_shortest_path(adj, 0, 2) is None
+
+    def test_forbidden_edges_respected(self, diamond):
+        path = bfs_shortest_path(diamond, 0, 3, forbidden_edges={(0, 1), (1, 0)})
+        assert path == (0, 2, 3)
+
+    def test_distances(self, diamond):
+        dist = bfs_distances(diamond, 0)
+        assert dist[0] == 0
+        assert dist[3] == 2
+        assert dist[5] == 2
+
+
+class TestAllSimplePaths:
+    def test_diamond_has_three_paths(self, diamond):
+        paths = all_simple_paths(diamond, 0, 3)
+        assert (0, 1, 3) in paths
+        assert (0, 2, 3) in paths
+        assert (0, 4, 5, 3) in paths
+        assert len(paths) == 3
+
+    def test_sorted_by_length_then_lex(self, diamond):
+        paths = all_simple_paths(diamond, 0, 3)
+        assert paths[0] == (0, 1, 3)
+        assert paths[-1] == (0, 4, 5, 3)
+
+    def test_cutoff_limits_length(self, diamond):
+        paths = all_simple_paths(diamond, 0, 3, cutoff=2)
+        assert all(len(p) <= 3 for p in paths)
+        assert len(paths) == 2
+
+    def test_line_has_single_path(self):
+        adj = line_topology(5).adjacency()
+        assert all_simple_paths(adj, 0, 4) == [(0, 1, 2, 3, 4)]
+
+    def test_paths_are_simple(self):
+        adj = grid_topology(3, 3).adjacency()
+        for path in all_simple_paths(adj, 0, 8):
+            assert len(set(path)) == len(path)
+
+
+class TestKShortest:
+    def test_returns_k_loopless_paths(self, diamond):
+        paths = k_shortest_paths(diamond, 0, 3, 3)
+        assert len(paths) == 3
+        assert paths[0] == (0, 1, 3)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_fewer_paths_than_k(self):
+        adj = line_topology(4).adjacency()
+        paths = k_shortest_paths(adj, 0, 3, 5)
+        assert len(paths) == 1
+
+    def test_k_zero(self, diamond):
+        assert k_shortest_paths(diamond, 0, 3, 0) == []
+
+    def test_no_duplicates(self):
+        adj = grid_topology(3, 3).adjacency()
+        paths = k_shortest_paths(adj, 0, 8, 6)
+        assert len(paths) == len(set(paths))
+
+
+class TestEdgeDisjoint:
+    def test_paths_are_edge_disjoint(self, diamond):
+        paths = k_edge_disjoint_paths(diamond, 0, 3, 4)
+        used = set()
+        for path in paths:
+            for edge in path_edges(path):
+                key = frozenset(edge)
+                assert key not in used
+                used.add(key)
+
+    def test_diamond_yields_three_disjoint_paths(self, diamond):
+        paths = k_edge_disjoint_paths(diamond, 0, 3, 4)
+        assert len(paths) == 3
+
+    def test_first_path_is_shortest(self, diamond):
+        paths = k_edge_disjoint_paths(diamond, 0, 3, 2)
+        assert paths[0] == bfs_shortest_path(diamond, 0, 3)
+
+    def test_cycle_has_two_disjoint_paths(self):
+        adj = cycle_topology(6).adjacency()
+        paths = k_edge_disjoint_paths(adj, 0, 3, 4)
+        assert len(paths) == 2
+
+    def test_isp_topology_supports_four_paths(self):
+        adj = isp_topology().adjacency()
+        paths = k_edge_disjoint_paths(adj, 8, 20, 4)
+        assert len(paths) == 4
+
+
+class TestBuildPathSet:
+    def test_methods_agree_on_structure(self, diamond):
+        pairs = [(0, 3), (3, 0)]
+        for method in ("edge-disjoint", "yen", "all"):
+            path_set = build_path_set(diamond, pairs, k=2, method=method)
+            assert set(path_set) == set(pairs)
+            assert all(paths for paths in path_set.values())
+
+    def test_disconnected_pair_raises(self):
+        adj = {0: [1], 1: [0], 2: []}
+        with pytest.raises(NoPathError):
+            build_path_set(adj, [(0, 2)])
+
+    def test_unknown_method_rejected(self, diamond):
+        with pytest.raises(ValueError):
+            build_path_set(diamond, [(0, 3)], method="bogus")
+
+    def test_path_edges_helper(self):
+        assert path_edges((1, 2, 3)) == [(1, 2), (2, 3)]
+        assert path_edges((7,)) == []

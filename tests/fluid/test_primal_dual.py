@@ -1,0 +1,134 @@
+"""Tests for the §5.3 primal-dual algorithm (fluid iterates)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fluid.lp import solve_fluid_lp
+from repro.fluid.paths import all_simple_paths
+from repro.fluid.primal_dual import (
+    PrimalDualConfig,
+    project_capped_simplex,
+    solve_primal_dual,
+)
+from repro.topology.examples import FIG4_DEMANDS, fig4_topology
+
+
+@pytest.fixture(scope="module")
+def fig4_paths():
+    adjacency = fig4_topology().adjacency()
+    return {pair: all_simple_paths(adjacency, *pair) for pair in FIG4_DEMANDS}
+
+
+class TestProjection:
+    def test_inside_set_is_unchanged(self):
+        x = np.array([1.0, 2.0])
+        assert np.allclose(project_capped_simplex(x, 5.0), x)
+
+    def test_negative_components_are_clipped(self):
+        assert np.allclose(project_capped_simplex(np.array([-1.0, 2.0]), 5.0), [0.0, 2.0])
+
+    def test_sum_cap_enforced(self):
+        projected = project_capped_simplex(np.array([3.0, 3.0]), 4.0)
+        assert projected.sum() == pytest.approx(4.0)
+        assert np.allclose(projected, [2.0, 2.0])
+
+    def test_projection_is_euclidean(self):
+        # Projecting (5, 1) onto sum <= 4 must give (4, 0): the threshold
+        # theta = 1 subtracts uniformly and clips.
+        projected = project_capped_simplex(np.array([5.0, 1.0]), 4.0)
+        assert projected.sum() == pytest.approx(4.0)
+        assert projected[0] > projected[1]
+
+    def test_cap_zero_gives_zero(self):
+        assert np.allclose(project_capped_simplex(np.array([3.0, 1.0]), 0.0), [0.0, 0.0])
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            project_capped_simplex(np.array([1.0]), -1.0)
+
+
+class TestConvergence:
+    def test_converges_to_balanced_optimum_on_fig4(self, fig4_paths):
+        """Without rebalancing (gamma = inf) the iterates must reach the
+        balanced LP optimum nu(C*) = 8 on the paper's example."""
+        config = PrimalDualConfig(
+            alpha=0.02, eta=0.05, kappa=0.05, gamma=math.inf, iterations=25_000
+        )
+        result = solve_primal_dual(FIG4_DEMANDS, fig4_paths, config=config)
+        assert result.throughput == pytest.approx(8.0, abs=0.1)
+
+    def test_matches_rebalancing_lp_at_small_gamma(self, fig4_paths):
+        config = PrimalDualConfig(
+            alpha=0.02, eta=0.05, kappa=0.05, beta=0.05, gamma=0.1, iterations=25_000
+        )
+        result = solve_primal_dual(FIG4_DEMANDS, fig4_paths, config=config)
+        lp = solve_fluid_lp(FIG4_DEMANDS, fig4_paths, balance="rebalance", gamma=0.1)
+        assert result.throughput == pytest.approx(lp.throughput, abs=0.2)
+        assert result.total_rebalancing == pytest.approx(lp.total_rebalancing, abs=0.3)
+
+    def test_flows_respect_demand_caps(self, fig4_paths):
+        config = PrimalDualConfig(iterations=5_000, gamma=math.inf)
+        result = solve_primal_dual(FIG4_DEMANDS, fig4_paths, config=config)
+        per_pair = {}
+        for (pair, _), flow in result.path_flows.items():
+            per_pair[pair] = per_pair.get(pair, 0.0) + flow
+        for pair, flow in per_pair.items():
+            assert flow <= FIG4_DEMANDS[pair] + 1e-6
+
+    def test_history_is_recorded(self, fig4_paths):
+        config = PrimalDualConfig(iterations=500, gamma=math.inf)
+        result = solve_primal_dual(FIG4_DEMANDS, fig4_paths, config=config)
+        assert len(result.history) <= 500
+        assert len(result.history) > 0
+
+    def test_single_pair_single_path_saturates_demand(self):
+        demands = {(0, 1): 3.0}
+        paths = {(0, 1): [(0, 1)]}
+        config = PrimalDualConfig(alpha=0.05, iterations=5_000, gamma=math.inf)
+        result = solve_primal_dual(demands, paths, config=config)
+        # A lone directional demand cannot be balanced: flow converges to 0.
+        assert result.throughput == pytest.approx(0.0, abs=0.1)
+
+    def test_two_way_demand_is_fully_served(self):
+        demands = {(0, 1): 2.0, (1, 0): 2.0}
+        paths = {(0, 1): [(0, 1)], (1, 0): [(1, 0)]}
+        config = PrimalDualConfig(alpha=0.05, iterations=10_000, gamma=math.inf)
+        result = solve_primal_dual(demands, paths, config=config)
+        assert result.throughput == pytest.approx(4.0, abs=0.1)
+
+    def test_capacity_constraint_respected(self):
+        demands = {(0, 1): 10.0, (1, 0): 10.0}
+        paths = {(0, 1): [(0, 1)], (1, 0): [(1, 0)]}
+        config = PrimalDualConfig(alpha=0.05, eta=0.05, iterations=15_000, gamma=math.inf)
+        result = solve_primal_dual(
+            demands, paths, capacities={(0, 1): 8.0}, delta=1.0, config=config
+        )
+        # Total two-way flow is capped at c/delta = 8.
+        assert result.throughput <= 8.0 + 0.3
+
+    def test_empty_demands(self):
+        result = solve_primal_dual({}, {})
+        assert result.throughput == 0.0
+
+    def test_missing_paths_rejected(self):
+        with pytest.raises(ConfigError):
+            solve_primal_dual({(0, 1): 1.0}, {})
+
+
+class TestConfigValidation:
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            PrimalDualConfig(alpha=-0.1)
+
+    def test_non_positive_iterations_rejected(self):
+        with pytest.raises(ConfigError):
+            PrimalDualConfig(iterations=0)
+
+    def test_bad_averaging_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            PrimalDualConfig(averaging_fraction=0.0)

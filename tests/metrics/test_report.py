@@ -1,0 +1,25 @@
+"""Tests for table rendering."""
+
+from __future__ import annotations
+
+from repro.metrics.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert all(len(line) >= len("a    bbbb") - 1 for line in lines[:2])
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_none_renders_empty(self):
+        text = format_table(["x", "y"], [[None, 1]])
+        assert "None" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

@@ -1,0 +1,148 @@
+"""Tests for the on-chain settlement substrate (§2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelError, ConfigError
+from repro.network.blockchain import (
+    Blockchain,
+    ChannelContract,
+    ContractState,
+    TxKind,
+)
+
+
+@pytest.fixture
+def chain():
+    return Blockchain(fee=1.0, confirmation_latency=600.0)
+
+
+@pytest.fixture
+def contract(chain):
+    """Alice escrows 3, Bob escrows 4 (the paper's Fig. 1 numbers)."""
+    return ChannelContract(chain, "alice", "bob", 3.0, 4.0, now=0.0)
+
+
+class TestBlockchain:
+    def test_fees_accumulate(self, chain):
+        chain.submit(TxKind.OPEN, ("a",), {"a": 1.0}, now=0.0)
+        chain.submit(TxKind.DEPOSIT, ("a",), {"a": 1.0}, now=1.0)
+        assert chain.total_fees == 2.0
+        assert len(chain) == 2
+
+    def test_confirmation_latency(self, chain):
+        tx = chain.submit(TxKind.OPEN, ("a",), {"a": 1.0}, now=5.0)
+        assert tx.confirmed_at == 605.0
+
+    def test_kind_filter(self, chain):
+        chain.submit(TxKind.OPEN, ("a",), {"a": 1.0}, now=0.0)
+        chain.submit(TxKind.PUNISH, ("b",), {"b": 1.0}, now=0.0)
+        assert len(chain.transactions_of_kind(TxKind.PUNISH)) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            Blockchain(fee=-1.0)
+        with pytest.raises(ConfigError):
+            Blockchain(confirmation_latency=-1.0)
+
+
+class TestContractLifecycle:
+    def test_open_records_escrow(self, contract, chain):
+        assert contract.escrow == 7.0
+        assert contract.state is ContractState.OPEN
+        assert chain.transactions_of_kind(TxKind.OPEN)[0].amounts == {
+            "alice": 3.0,
+            "bob": 4.0,
+        }
+
+    def test_fig1_update_sequence(self, contract):
+        """Bob pays 1, then Alice pays 2 — the exact Fig. 1 story."""
+        contract.update({"alice": 4.0, "bob": 3.0})
+        contract.update({"alice": 2.0, "bob": 5.0})
+        assert contract.latest_sequence == 2
+        assert contract.latest_balances() == {"alice": 2.0, "bob": 5.0}
+
+    def test_update_must_conserve_escrow(self, contract):
+        with pytest.raises(ChannelError):
+            contract.update({"alice": 4.0, "bob": 4.0})
+
+    def test_update_must_cover_both_parties(self, contract):
+        with pytest.raises(ChannelError):
+            contract.update({"alice": 7.0})
+
+    def test_negative_balances_rejected(self, contract):
+        with pytest.raises(ChannelError):
+            contract.update({"alice": -1.0, "bob": 8.0})
+
+    def test_cooperative_close_settles_latest(self, contract, chain):
+        contract.update({"alice": 4.0, "bob": 3.0})
+        settlement = contract.cooperative_close(now=10.0)
+        assert settlement == {"alice": 4.0, "bob": 3.0}
+        assert contract.state is ContractState.CLOSED
+        assert chain.transactions_of_kind(TxKind.COOPERATIVE_CLOSE)
+
+    def test_operations_after_close_rejected(self, contract):
+        contract.cooperative_close(now=1.0)
+        with pytest.raises(ChannelError):
+            contract.update({"alice": 3.0, "bob": 4.0})
+        with pytest.raises(ChannelError):
+            contract.cooperative_close(now=2.0)
+
+
+class TestUnilateralCloseAndPunishment:
+    def test_honest_unilateral_close(self, contract):
+        contract.update({"alice": 4.0, "bob": 3.0})
+        settlement = contract.unilateral_close("alice", 1, now=5.0)
+        assert settlement == {"alice": 4.0, "bob": 3.0}
+
+    def test_cheater_loses_entire_escrow(self, contract, chain):
+        """§2: publishing an earlier balance forfeits the escrow."""
+        contract.update({"alice": 4.0, "bob": 3.0})   # state 1
+        contract.update({"alice": 2.0, "bob": 5.0})   # state 2 (latest)
+        # Alice prefers state 1 (4 > 2) and cheats.
+        settlement = contract.unilateral_close("alice", 1, now=5.0)
+        assert settlement == {"alice": 0.0, "bob": 7.0}
+        assert chain.transactions_of_kind(TxKind.PUNISH)
+
+    def test_cheating_succeeds_only_without_a_watcher(self, contract):
+        contract.update({"alice": 4.0, "bob": 3.0})
+        contract.update({"alice": 2.0, "bob": 5.0})
+        settlement = contract.unilateral_close(
+            "alice", 1, now=5.0, counterparty_watches=False
+        )
+        assert settlement == {"alice": 4.0, "bob": 3.0}
+
+    def test_unknown_state_rejected(self, contract):
+        with pytest.raises(ChannelError):
+            contract.unilateral_close("alice", 9, now=1.0)
+
+    def test_non_party_cannot_close(self, contract):
+        with pytest.raises(ChannelError):
+            contract.unilateral_close("carol", 0, now=1.0)
+
+
+class TestDeposits:
+    def test_deposit_grows_escrow_and_pays_fee(self, contract, chain):
+        fees_before = chain.total_fees
+        contract.deposit("alice", 5.0, now=2.0)
+        assert contract.escrow == 12.0
+        assert contract.latest_balances()["alice"] == 8.0
+        assert chain.total_fees == fees_before + 1.0
+
+    def test_rebalancing_cost_model(self, chain):
+        """§5.2.3: the on-chain cost of a rebalancing schedule is visible as
+        accumulated fees plus confirmation latency."""
+        contract = ChannelContract(chain, "u", "v", 10.0, 10.0, now=0.0)
+        for step in range(5):
+            contract.deposit("u", 2.0, now=float(step))
+        deposits = chain.transactions_of_kind(TxKind.DEPOSIT)
+        assert len(deposits) == 5
+        assert all(tx.confirmed_at - tx.submitted_at == 600.0 for tx in deposits)
+        assert contract.escrow == 30.0
+
+    def test_invalid_deposits(self, contract):
+        with pytest.raises(ChannelError):
+            contract.deposit("carol", 1.0, now=0.0)
+        with pytest.raises(ChannelError):
+            contract.deposit("alice", 0.0, now=0.0)

@@ -1,0 +1,177 @@
+"""Tests for the payment channel state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelError, InsufficientFundsError
+from repro.network.channel import PaymentChannel
+
+
+@pytest.fixture
+def channel() -> PaymentChannel:
+    """Alice–Bob channel: 7 total, Alice holds 3 (the paper's Fig. 1)."""
+    return PaymentChannel("alice", "bob", capacity=7.0, balance_a=3.0)
+
+
+class TestConstruction:
+    def test_default_split_is_even(self):
+        channel = PaymentChannel(0, 1, capacity=100.0)
+        assert channel.balance(0) == 50.0
+        assert channel.balance(1) == 50.0
+
+    def test_explicit_split(self, channel):
+        assert channel.balance("alice") == 3.0
+        assert channel.balance("bob") == 4.0
+
+    def test_self_channel_rejected(self):
+        with pytest.raises(ChannelError):
+            PaymentChannel("a", "a", capacity=1.0)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(ChannelError):
+            PaymentChannel("a", "b", capacity=0.0)
+        with pytest.raises(ChannelError):
+            PaymentChannel("a", "b", capacity=-5.0)
+
+    def test_balance_outside_capacity_rejected(self):
+        with pytest.raises(ChannelError):
+            PaymentChannel("a", "b", capacity=10.0, balance_a=11.0)
+        with pytest.raises(ChannelError):
+            PaymentChannel("a", "b", capacity=10.0, balance_a=-1.0)
+
+    def test_other_endpoint(self, channel):
+        assert channel.other("alice") == "bob"
+        assert channel.other("bob") == "alice"
+        with pytest.raises(ChannelError):
+            channel.other("carol")
+
+    def test_non_endpoint_queries_rejected(self, channel):
+        with pytest.raises(ChannelError):
+            channel.balance("carol")
+
+
+class TestFig1Scenario:
+    """The exact bidirectional sequence of the paper's Fig. 1."""
+
+    def test_bob_pays_one_then_alice_pays_two(self, channel, sim_time=0.0):
+        # Bob -> Alice: 1 token.
+        htlc = channel.lock("bob", 1.0)
+        channel.settle(htlc)
+        assert channel.balance("alice") == 4.0
+        assert channel.balance("bob") == 3.0
+        # Alice -> Bob: 2 tokens.
+        htlc = channel.lock("alice", 2.0)
+        channel.settle(htlc)
+        assert channel.balance("alice") == 2.0
+        assert channel.balance("bob") == 5.0
+        channel.check_invariant()
+
+
+class TestLocking:
+    def test_lock_moves_funds_to_inflight(self, channel):
+        channel.lock("alice", 2.0)
+        assert channel.balance("alice") == 1.0
+        assert channel.inflight("alice") == 2.0
+        channel.check_invariant()
+
+    def test_lock_beyond_balance_raises(self, channel):
+        with pytest.raises(InsufficientFundsError):
+            channel.lock("alice", 3.5)
+
+    def test_inflight_funds_are_unspendable(self, channel):
+        channel.lock("alice", 3.0)
+        with pytest.raises(InsufficientFundsError):
+            channel.lock("alice", 0.5)
+
+    def test_non_positive_lock_raises(self, channel):
+        with pytest.raises(ChannelError):
+            channel.lock("alice", 0.0)
+        with pytest.raises(ChannelError):
+            channel.lock("alice", -1.0)
+
+    def test_settle_credits_counterparty(self, channel):
+        htlc = channel.lock("alice", 2.0)
+        channel.settle(htlc)
+        assert channel.balance("bob") == 6.0
+        assert channel.inflight("alice") == 0.0
+        assert channel.num_settled == 1
+
+    def test_refund_returns_to_sender(self, channel):
+        htlc = channel.lock("alice", 2.0)
+        channel.refund(htlc)
+        assert channel.balance("alice") == 3.0
+        assert channel.balance("bob") == 4.0
+        assert channel.num_refunded == 1
+
+    def test_settle_unknown_htlc_raises(self, channel):
+        htlc = channel.lock("alice", 1.0)
+        channel.settle(htlc)
+        with pytest.raises(ChannelError):
+            channel.settle(htlc)
+
+    def test_multiple_concurrent_htlcs(self, channel):
+        first = channel.lock("alice", 1.0)
+        second = channel.lock("alice", 1.5)
+        third = channel.lock("bob", 2.0)
+        assert channel.inflight("alice") == 2.5
+        assert channel.inflight("bob") == 2.0
+        channel.settle(first)
+        channel.refund(second)
+        channel.settle(third)
+        # alice: 3 − 1 − 1.5 + 1.5 (refund) + 2 (from bob) = 4
+        assert channel.balance("alice") == 4.0
+        # bob:   4 − 2 + 1 (from alice) = 3
+        assert channel.balance("bob") == 3.0
+        channel.check_invariant()
+
+
+class TestAccounting:
+    def test_flow_counters(self, channel):
+        htlc = channel.lock("alice", 2.0)
+        channel.settle(htlc)
+        htlc = channel.lock("alice", 1.0)
+        channel.refund(htlc)
+        assert channel.settled_flow("alice") == 2.0
+        assert channel.attempted_flow("alice") == 3.0
+        assert channel.settled_flow("bob") == 0.0
+
+    def test_imbalance_tracks_balances(self, channel):
+        assert channel.imbalance() == 1.0  # |3 - 4|
+        htlc = channel.lock("bob", 1.0)
+        channel.settle(htlc)
+        assert channel.imbalance() == 1.0  # |4 - 3|
+
+    def test_flow_imbalance(self, channel):
+        htlc = channel.lock("alice", 2.0)
+        channel.settle(htlc)
+        assert channel.flow_imbalance() == 2.0
+
+    def test_capacity_is_conserved_through_traffic(self, channel):
+        for _ in range(10):
+            htlc = channel.lock("alice", 1.0)
+            channel.settle(htlc)
+            htlc = channel.lock("bob", 1.0)
+            channel.settle(htlc)
+        assert channel.balance("alice") + channel.balance("bob") == pytest.approx(7.0)
+        channel.check_invariant()
+
+
+class TestDeposit:
+    def test_deposit_grows_capacity_and_balance(self, channel):
+        channel.deposit("alice", 5.0)
+        assert channel.balance("alice") == 8.0
+        assert channel.capacity == 12.0
+        assert channel.total_deposited == 5.0
+        channel.check_invariant()
+
+    def test_non_positive_deposit_raises(self, channel):
+        with pytest.raises(ChannelError):
+            channel.deposit("alice", 0.0)
+
+    def test_deposit_enables_larger_sends(self, channel):
+        with pytest.raises(InsufficientFundsError):
+            channel.lock("alice", 5.0)
+        channel.deposit("alice", 5.0)
+        channel.lock("alice", 5.0)
+        channel.check_invariant()

@@ -1,0 +1,70 @@
+"""Tests for hash locks and HTLC state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.network.htlc import HashLock, Htlc, HtlcState
+
+
+class TestHashLock:
+    def test_generated_key_verifies(self):
+        lock = HashLock.generate(payment_id=1, sequence=0)
+        assert lock.verify(lock.key)
+
+    def test_wrong_key_fails_verification(self):
+        lock = HashLock.generate(payment_id=1, sequence=0)
+        other = HashLock.generate(payment_id=1, sequence=1)
+        assert not lock.verify(other.key)
+
+    def test_distinct_units_get_distinct_locks(self):
+        locks = {HashLock.generate(1, s).hash_value for s in range(100)}
+        assert len(locks) == 100
+
+    def test_repeated_generation_is_unique(self):
+        # The nonce makes even identical (payment, sequence) pairs unique,
+        # matching "the sender generates a new key for every transaction
+        # unit" (§4.1).
+        a = HashLock.generate(1, 0)
+        b = HashLock.generate(1, 0)
+        assert a.hash_value != b.hash_value
+
+
+class TestHtlcStateMachine:
+    def _htlc(self) -> Htlc:
+        return Htlc(htlc_id=1, sender="a", receiver="b", amount=5.0, created_at=0.0)
+
+    def test_initial_state_pending(self):
+        htlc = self._htlc()
+        assert htlc.state is HtlcState.PENDING
+        assert htlc.pending
+
+    def test_settle_transition(self):
+        htlc = self._htlc()
+        htlc.mark_settled()
+        assert htlc.state is HtlcState.SETTLED
+        assert not htlc.pending
+
+    def test_refund_transition(self):
+        htlc = self._htlc()
+        htlc.mark_refunded()
+        assert htlc.state is HtlcState.REFUNDED
+
+    def test_double_settle_raises(self):
+        htlc = self._htlc()
+        htlc.mark_settled()
+        with pytest.raises(ChannelError):
+            htlc.mark_settled()
+
+    def test_settle_after_refund_raises(self):
+        htlc = self._htlc()
+        htlc.mark_refunded()
+        with pytest.raises(ChannelError):
+            htlc.mark_settled()
+
+    def test_refund_after_settle_raises(self):
+        htlc = self._htlc()
+        htlc.mark_settled()
+        with pytest.raises(ChannelError):
+            htlc.mark_refunded()

@@ -1,0 +1,108 @@
+"""Tests for onion routing (§4.2 privacy substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.onion import (
+    MAX_HOPS,
+    OnionError,
+    OnionPacket,
+    build_onion,
+    hop_key,
+    peel_onion,
+)
+
+SECRET = b"unit-42-secret"
+PAYLOAD = {"payment_id": 7, "sequence": 3, "amount": 12.5}
+
+
+def full_relay(path):
+    """Peel an onion along a path, returning what each hop learned."""
+    packet = build_onion(SECRET, path, PAYLOAD)
+    learned = []
+    for node in path:
+        next_hop, payload, inner = peel_onion(SECRET, node, packet)
+        learned.append((node, next_hop, payload))
+        if inner is None:
+            break
+        packet = inner
+    return learned
+
+
+class TestRouting:
+    def test_payload_reaches_destination(self):
+        learned = full_relay([1, 2, 3])
+        assert learned[-1] == (3, None, PAYLOAD)
+
+    def test_relays_learn_only_next_hop(self):
+        learned = full_relay([1, 2, 3, 4])
+        for node, next_hop, payload in learned[:-1]:
+            assert payload is None
+            assert next_hop is not None
+        assert [n for n, _, _ in learned] == [1, 2, 3, 4]
+        assert [nh for _, nh, _ in learned[:-1]] == ["2", "3", "4"]
+
+    def test_single_hop_path(self):
+        learned = full_relay([9])
+        assert learned == [(9, None, PAYLOAD)]
+
+    def test_max_hops_path_works(self):
+        path = list(range(MAX_HOPS))
+        learned = full_relay(path)
+        assert learned[-1][2] == PAYLOAD
+
+    def test_too_long_path_rejected(self):
+        with pytest.raises(OnionError):
+            build_onion(SECRET, list(range(MAX_HOPS + 1)), PAYLOAD)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(OnionError):
+            build_onion(SECRET, [], PAYLOAD)
+
+
+class TestPrivacy:
+    def test_packets_are_length_invariant(self):
+        packet = build_onion(SECRET, [1, 2, 3, 4, 5], PAYLOAD)
+        sizes = {len(packet)}
+        node_path = [1, 2, 3, 4, 5]
+        for node in node_path[:-1]:
+            _, _, packet = peel_onion(SECRET, node, packet)
+            sizes.add(len(packet))
+        assert len(sizes) == 1
+
+    def test_short_and_long_paths_are_indistinguishable_by_size(self):
+        short = build_onion(SECRET, [1, 2], PAYLOAD)
+        long = build_onion(SECRET, list(range(MAX_HOPS)), PAYLOAD)
+        assert len(short) == len(long)
+
+    def test_wrong_node_cannot_peel(self):
+        packet = build_onion(SECRET, [1, 2, 3], PAYLOAD)
+        with pytest.raises(OnionError):
+            peel_onion(SECRET, 2, packet)  # node 2 is not the outer layer
+
+    def test_wrong_session_cannot_peel(self):
+        packet = build_onion(SECRET, [1, 2], PAYLOAD)
+        with pytest.raises(OnionError):
+            peel_onion(b"other-session", 1, packet)
+
+    def test_tampering_detected(self):
+        packet = build_onion(SECRET, [1, 2], PAYLOAD)
+        flipped = bytearray(packet.blob)
+        flipped[5] ^= 0xFF
+        with pytest.raises(OnionError):
+            peel_onion(SECRET, 1, OnionPacket(bytes(flipped)))
+
+    def test_hop_keys_are_distinct(self):
+        assert hop_key(SECRET, 1) != hop_key(SECRET, 2)
+        assert hop_key(SECRET, 1) != hop_key(b"other", 1)
+
+
+class TestPacketValidation:
+    def test_wrong_size_rejected(self):
+        with pytest.raises(OnionError):
+            OnionPacket(b"short")
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(OnionError):
+            build_onion(SECRET, [1], {"blob": "x" * 500})

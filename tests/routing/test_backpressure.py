@@ -1,0 +1,257 @@
+"""Tests for Celer-style backpressure routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import RuntimeConfig
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.routing.backpressure import BackpressureRuntime, CelerScheme
+from repro.topology.generators import cycle_topology, line_topology, star_topology
+from repro.workload.generator import TransactionRecord
+
+
+def run(records, network, scheme=None, end_time=30.0, config=None, **runtime_kwargs):
+    scheme = scheme or CelerScheme()
+    runtime = BackpressureRuntime(
+        network,
+        records,
+        scheme,
+        config or RuntimeConfig(end_time=end_time, check_invariants=True),
+        **runtime_kwargs,
+    )
+    return runtime.run(), runtime
+
+
+class TestDelivery:
+    def test_delivers_on_a_line(self):
+        network = line_topology(3).build_network(default_capacity=100.0)
+        metrics, runtime = run([TransactionRecord(0, 1.0, 0, 2, 10.0)], network)
+        assert metrics.completed == 1
+        assert metrics.delivered_value == pytest.approx(10.0)
+        assert runtime.network.channel(0, 1).settled_flow(0) == pytest.approx(10.0)
+        assert runtime.network.channel(1, 2).settled_flow(1) == pytest.approx(10.0)
+
+    def test_delivers_across_a_star(self):
+        network = star_topology(5).build_network(default_capacity=100.0)
+        records = [
+            TransactionRecord(i, 1.0 + 0.1 * i, 1 + i, 1 + (i + 1) % 4, 5.0)
+            for i in range(4)
+        ]
+        metrics, _ = run(records, network)
+        assert metrics.completed == 4
+
+    def test_unit_never_revisits_a_node(self):
+        # A unit on a cycle cannot loop: each settled trail is simple.
+        network = cycle_topology(5).build_network(default_capacity=100.0)
+        metrics, runtime = run([TransactionRecord(0, 1.0, 0, 2, 10.0)], network)
+        assert metrics.completed == 1
+        assert runtime.total_hops <= 3  # 0-1-2 or part of the long way
+
+    def test_splits_into_capped_units(self):
+        network = line_topology(3).build_network(default_capacity=200.0)
+        scheme = CelerScheme(unit_cap=10.0)
+        metrics, runtime = run(
+            [TransactionRecord(0, 1.0, 0, 2, 50.0)], network, scheme=scheme
+        )
+        assert metrics.completed == 1
+        assert runtime.units_injected == 5
+
+    def test_gradient_uses_the_second_route_under_contention(self):
+        # Two disjoint routes 0→3 on a 6-cycle; a payment too big for one
+        # route's balance must use both to finish.
+        network = cycle_topology(6).build_network(default_capacity=100.0)
+        scheme = CelerScheme(unit_cap=25.0)
+        metrics, runtime = run(
+            [TransactionRecord(0, 1.0, 0, 3, 80.0)], network, scheme=scheme
+        )
+        assert metrics.delivered_value == pytest.approx(80.0)
+        # Both of node 0's outgoing directions carried value.
+        assert runtime.network.channel(0, 1).settled_flow(0) > 0
+        assert runtime.network.channel(0, 5).settled_flow(0) > 0
+
+
+class TestBacktracking:
+    def test_stuck_unit_backtracks_out_of_a_dead_end(self):
+        # Star with centre 0.  Edge order is chosen so that pure
+        # backpressure (beta=0) pushes the unit into dead-end leaf 3 before
+        # direction (0, 2) is serviced.  Reverse pressure then pops it back
+        # (refunding the 0->3 HTLC) and it delivers over 1-0-2.
+        from repro.network.network import PaymentNetwork
+        from repro.metrics.collectors import MetricsCollector
+
+        network = PaymentNetwork()
+        network.add_channel(1, 0, 100.0)
+        network.add_channel(0, 3, 100.0)
+        network.add_channel(0, 2, 100.0)
+
+        class TrailCollector(MetricsCollector):
+            def __init__(self):
+                super().__init__()
+                self.trails = []
+
+            def on_unit_settled(self, unit, now):
+                super().on_unit_settled(unit, now)
+                self.trails.append(unit.path)
+
+        collector = TrailCollector()
+        runtime = BackpressureRuntime(
+            network,
+            [TransactionRecord(0, 1.0, 1, 2, 10.0)],
+            CelerScheme(),
+            RuntimeConfig(end_time=30.0, check_invariants=True),
+            beta=0.0,
+            stuck_after=0.5,
+            collector=collector,
+        )
+        metrics = runtime.run()
+        assert metrics.completed == 1
+        assert runtime.total_pops >= 1  # it did visit and leave the dead end
+        assert collector.trails == [(1, 0, 2)]  # settled trail is the clean path
+        # The popped hop refunded: leaf 3's channel is untouched at the end.
+        channel = runtime.network.channel(0, 3)
+        assert channel.balance(0) == pytest.approx(50.0)
+        assert channel.inflight(0) == pytest.approx(0.0)
+
+    def test_pop_to_wrong_node_is_rejected(self):
+        from repro.core.payments import Payment
+        from repro.routing.backpressure import BackpressureUnit
+
+        network = line_topology(3).build_network(default_capacity=100.0)
+        runtime = BackpressureRuntime(network, [], CelerScheme(), RuntimeConfig())
+        payment = Payment(payment_id=1, source=0, dest=2, amount=5.0, arrival_time=0.0)
+        payment.register_inflight(5.0)
+        unit = BackpressureUnit(payment, 5.0, now=0.0)
+        with pytest.raises(AssertionError):
+            runtime._pop_hop(unit, 1)  # no hops to pop
+
+
+class TestBookkeeping:
+    def test_backlog_tracks_injected_value(self):
+        network = line_topology(3).build_network(default_capacity=100.0)
+        scheme = CelerScheme()
+        runtime = BackpressureRuntime(
+            network,
+            [TransactionRecord(0, 1.0, 0, 2, 10.0)],
+            scheme,
+            RuntimeConfig(end_time=30.0),
+        )
+        payment_records = runtime.records
+        assert payment_records  # sanity: the trace is loaded
+        # Drive manually: inject then inspect before any service epoch.
+        from repro.core.payments import Payment
+
+        payment = Payment(
+            payment_id=7, source=0, dest=2, amount=10.0, arrival_time=0.0
+        )
+        assert runtime.inject(payment, 10.0)
+        assert runtime.backlog(0, 2) == pytest.approx(10.0)
+        assert runtime.backlog(1, 2) == 0.0
+        assert payment.remaining == 0.0  # value is owned by the queues
+
+    def test_injection_rejects_dust(self):
+        network = line_topology(3).build_network(default_capacity=100.0)
+        runtime = BackpressureRuntime(
+            network, [], CelerScheme(), RuntimeConfig(min_unit_value=1.0)
+        )
+        from repro.core.payments import Payment
+
+        payment = Payment(payment_id=1, source=0, dest=2, amount=0.5, arrival_time=0.0)
+        assert not runtime.inject(payment, 0.5)
+
+    def test_unreachable_destination_fails_payment(self):
+        network = line_topology(3).build_network(default_capacity=100.0)
+        network.add_node(99)
+        metrics, _ = run([TransactionRecord(0, 1.0, 0, 99, 10.0)], network)
+        assert metrics.failed == 1
+        assert metrics.completed == 0
+
+    def test_funds_conserved_under_contention(self):
+        network = cycle_topology(6).build_network(default_capacity=50.0)
+        records = [
+            TransactionRecord(i, 1.0 + 0.2 * i, i % 6, (i + 3) % 6, 30.0)
+            for i in range(10)
+        ]
+        metrics, runtime = run(records, network)
+        runtime.network.check_invariants()  # explicit, beyond per-event checks
+        assert metrics.attempted == 10
+
+
+class TestExpiry:
+    def test_max_hops_expires_and_value_returns(self):
+        # max_hops=1 can never reach a 2-hop destination: every unit is
+        # refunded and the payment fails at the end of the run.
+        network = line_topology(3).build_network(default_capacity=100.0)
+        metrics, runtime = run(
+            [TransactionRecord(0, 1.0, 0, 2, 10.0)],
+            network,
+            end_time=5.0,
+            max_hops=1,
+        )
+        assert metrics.completed == 0
+        assert runtime.units_expired > 0
+        # Refunds restored every balance: no money evaporated.
+        runtime.network.check_invariants()
+        assert runtime.network.total_inflight() == pytest.approx(0.0)
+
+    def test_deadline_withholds_late_settlement(self):
+        network = line_topology(3).build_network(default_capacity=100.0)
+        records = [TransactionRecord(0, 1.0, 0, 2, 10.0, deadline=1.05)]
+        # Settlement takes settle_delay=0.5 > the 0.05s deadline slack.
+        metrics, runtime = run(records, network, end_time=10.0)
+        assert metrics.completed == 0
+        assert metrics.delivered_value == pytest.approx(0.0)
+        runtime.network.check_invariants()
+
+
+class TestConstructionAndIntegration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"service_interval": 0.0},
+            {"service_interval": -1.0},
+            {"beta": -0.1},
+            {"max_hops": 0},
+        ],
+    )
+    def test_runtime_rejects_bad_parameters(self, kwargs):
+        network = line_topology(3).build_network(default_capacity=100.0)
+        with pytest.raises(ValueError):
+            BackpressureRuntime(network, [], CelerScheme(), RuntimeConfig(), **kwargs)
+
+    def test_scheme_rejects_bad_unit_cap(self):
+        with pytest.raises(ValueError):
+            CelerScheme(unit_cap=0.0)
+
+    def test_scheme_requires_backpressure_runtime(self):
+        from repro.core.runtime import Runtime
+        from repro.core.payments import Payment
+
+        network = line_topology(3).build_network(default_capacity=100.0)
+        runtime = Runtime(network, [], CelerScheme())
+        payment = Payment(payment_id=1, source=0, dest=2, amount=1.0, arrival_time=0.0)
+        with pytest.raises(TypeError):
+            CelerScheme().attempt(payment, runtime)
+
+    def test_registered_and_runs_via_experiment_runner(self):
+        config = ExperimentConfig(
+            scheme="celer",
+            scheme_params={"beta": 2.0, "max_hops": 8},
+            topology="line-4",
+            capacity=5_000.0,
+            num_transactions=50,
+            arrival_rate=25.0,
+            seed=3,
+        )
+        metrics = run_experiment(config)
+        assert metrics.attempted == 50
+        assert metrics.completed > 0
+
+    def test_runtime_kwargs_plumbed(self):
+        scheme = CelerScheme(service_interval=0.25, beta=3.0, max_hops=6)
+        assert scheme.runtime_kwargs() == {
+            "service_interval": 0.25,
+            "beta": 3.0,
+            "max_hops": 6,
+            "stuck_after": 1.0,
+        }

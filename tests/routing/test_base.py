@@ -1,0 +1,49 @@
+"""Tests for the scheme base class and path cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing.base import PathCache
+from repro.topology.generators import cycle_topology, line_topology
+from repro.topology.isp import isp_topology
+
+
+class TestPathCache:
+    def test_paths_are_memoised(self):
+        cache = PathCache(cycle_topology(6).adjacency(), k=2)
+        first = cache.paths(0, 3)
+        second = cache.paths(0, 3)
+        assert first is second
+
+    def test_k_limits_path_count(self):
+        cache = PathCache(isp_topology().adjacency(), k=4)
+        assert len(cache.paths(8, 20)) == 4
+        cache1 = PathCache(isp_topology().adjacency(), k=1)
+        assert len(cache1.paths(8, 20)) == 1
+
+    def test_shortest_returns_first(self):
+        cache = PathCache(cycle_topology(6).adjacency(), k=2)
+        shortest = cache.shortest(0, 2)
+        assert shortest == (0, 1, 2)
+
+    def test_disconnected_pair_returns_empty(self):
+        cache = PathCache({0: [1], 1: [0], 2: []}, k=2)
+        assert cache.paths(0, 2) == []
+        assert cache.shortest(0, 2) is None
+
+    def test_from_network(self):
+        network = line_topology(4).build_network(default_capacity=10.0)
+        cache = PathCache.from_network(network, k=3)
+        assert cache.paths(0, 3) == [(0, 1, 2, 3)]
+
+    def test_yen_method(self):
+        cache = PathCache(cycle_topology(6).adjacency(), k=2, method="yen")
+        paths = cache.paths(0, 3)
+        assert len(paths) == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PathCache({}, k=0)
+        with pytest.raises(ValueError):
+            PathCache({}, k=1, method="bogus")

@@ -1,0 +1,60 @@
+"""Tests for the scheme registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.routing.base import RoutingScheme
+from repro.routing.registry import (
+    available_schemes,
+    make_scheme,
+    register_scheme,
+    SCHEME_FACTORIES,
+)
+
+
+class TestRegistry:
+    def test_all_builtins_instantiate(self):
+        for name in available_schemes():
+            scheme = make_scheme(name)
+            assert isinstance(scheme, RoutingScheme)
+            assert scheme.name  # every scheme has a display name
+
+    def test_expected_schemes_present(self):
+        names = available_schemes()
+        for expected in (
+            "shortest-path",
+            "max-flow",
+            "silentwhispers",
+            "speedymurmurs",
+            "spider-waterfilling",
+            "spider-lp",
+            "spider-primal-dual",
+        ):
+            assert expected in names
+
+    def test_kwargs_forwarded(self):
+        scheme = make_scheme("spider-waterfilling", num_paths=2)
+        assert scheme.num_paths == 2
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError, match="spider-waterfilling"):
+            make_scheme("bogus")
+
+    def test_register_custom_scheme(self):
+        class Custom(RoutingScheme):
+            name = "custom-test"
+
+            def attempt(self, payment, runtime):
+                return None
+
+        register_scheme("custom-test", Custom, overwrite=True)
+        try:
+            assert isinstance(make_scheme("custom-test"), Custom)
+        finally:
+            del SCHEME_FACTORIES["custom-test"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_scheme("max-flow", lambda: None)

@@ -1,0 +1,82 @@
+"""Tests for seeded RNG utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.rng import derive_seed, exponential_weights, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+    def test_generator_passes_through(self):
+        rng = make_rng(7)
+        assert make_rng(rng) is rng
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(9)
+        rng = make_rng(seq)
+        assert isinstance(rng, np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent_and_stable(self):
+        first = [g.random(3) for g in spawn(5, 3)]
+        second = [g.random(3) for g in spawn(5, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_count_zero_gives_empty(self):
+        assert spawn(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+    def test_spawn_from_generator(self):
+        children = spawn(make_rng(3), 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "workload") == derive_seed(1, "workload")
+
+    def test_labels_change_seed(self):
+        assert derive_seed(1, "workload") != derive_seed(1, "topology")
+
+    def test_base_changes_seed(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_mixed_components(self):
+        value = derive_seed(5, "trial", 3)
+        assert isinstance(value, int)
+        assert 0 <= value < 2**63
+
+
+class TestExponentialWeights:
+    def test_weights_form_distribution(self):
+        weights = exponential_weights(50, 1.0, make_rng(0))
+        assert weights.shape == (50,)
+        assert np.all(weights > 0)
+        assert abs(weights.sum() - 1.0) < 1e-12
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            exponential_weights(0, 1.0, make_rng(0))
+        with pytest.raises(ValueError):
+            exponential_weights(5, 0.0, make_rng(0))
+
+    def test_weights_are_skewed(self):
+        # Exponential popularity: the max weight should dominate the min.
+        weights = exponential_weights(100, 1.0, make_rng(1))
+        assert weights.max() / weights.min() > 10

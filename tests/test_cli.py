@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "spider-waterfilling"
+        assert args.topology == "isp"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "bogus"])
+
+
+class TestCommands:
+    def test_schemes_lists_all(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "spider-waterfilling" in out
+        assert "max-flow" in out
+
+    def test_run_prints_table(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scheme",
+                "shortest-path",
+                "--topology",
+                "line-4",
+                "--transactions",
+                "30",
+                "--capacity",
+                "1000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success_ratio_%" in out
+        assert "shortest-path" in out
+
+    def test_compare_runs_multiple_schemes(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--schemes",
+                "shortest-path,spider-waterfilling",
+                "--topology",
+                "cycle-5",
+                "--transactions",
+                "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shortest-path" in out
+        assert "spider-waterfilling" in out
+
+    def test_sweep_prints_rows_per_capacity(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--capacities",
+                "500,1000",
+                "--schemes",
+                "shortest-path",
+                "--topology",
+                "cycle-5",
+                "--transactions",
+                "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "500" in out and "1000" in out
+
+    def test_decompose_fig4(self, capsys):
+        assert main(["decompose", "--topology", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "nu(C*): 8" in out
+        assert "66.67%" in out
+
+    def test_decompose_workload(self, capsys):
+        code = main(
+            ["decompose", "--topology", "cycle-5", "--transactions", "50"]
+        )
+        assert code == 0
+        assert "circulation fraction" in capsys.readouterr().out

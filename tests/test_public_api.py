@@ -1,0 +1,89 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.core
+        import repro.experiments
+        import repro.fluid
+        import repro.metrics
+        import repro.network
+        import repro.routing
+        import repro.simulator
+        import repro.topology
+        import repro.workload
+
+        for module in (
+            repro.core,
+            repro.experiments,
+            repro.fluid,
+            repro.metrics,
+            repro.network,
+            repro.routing,
+            repro.simulator,
+            repro.topology,
+            repro.workload,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+class TestQuickstartDoctest:
+    def test_module_docstring_examples_run(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1  # the quickstart example
+
+
+class TestEndToEndSurface:
+    def test_readme_snippet(self):
+        """The README quickstart, verbatim in spirit."""
+        from repro import ExperimentConfig, run_experiment
+
+        config = ExperimentConfig(
+            scheme="spider-waterfilling",
+            topology="isp",
+            capacity=3_000.0,
+            num_transactions=200,
+            arrival_rate=100.0,
+            sizes="isp",
+            seed=42,
+        )
+        metrics = run_experiment(config)
+        assert 0.0 <= metrics.success_ratio <= 1.0
+        assert 0.0 <= metrics.success_volume <= 1.0
+
+    def test_throughput_series_covers_active_period(self):
+        from repro import ExperimentConfig, run_experiment
+
+        metrics = run_experiment(
+            ExperimentConfig(
+                scheme="shortest-path",
+                topology="cycle-5",
+                capacity=5_000.0,
+                num_transactions=300,
+                arrival_rate=50.0,
+                seed=1,
+            )
+        )
+        assert metrics.throughput_series, "settled value must produce a series"
+        times = [t for t, _ in metrics.throughput_series]
+        values = [v for _, v in metrics.throughput_series]
+        assert times == sorted(times)
+        assert all(v > 0 for v in values)
+        assert sum(values) == pytest.approx(metrics.delivered_value)

@@ -1,0 +1,95 @@
+"""Tests for the Topology datatype."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        topo = Topology("t", [0, 1, 2], [(0, 1), (1, 2)])
+        assert topo.num_nodes == 3
+        assert topo.num_edges == 2
+
+    def test_edges_are_canonicalised(self):
+        topo = Topology("t", [0, 1, 10], [(10, 1), (1, 0)])
+        assert (1, 10) in topo.edges
+        assert (0, 1) in topo.edges
+
+    def test_duplicate_edges_are_merged(self):
+        topo = Topology("t", [0, 1], [(0, 1), (1, 0)])
+        assert topo.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology("t", [0, 1], [(0, 0)])
+
+    def test_unknown_node_in_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology("t", [0, 1], [(0, 5)])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology("t", [0, 0, 1], [])
+
+
+class TestAnalysis:
+    def test_degree_sequence(self):
+        topo = Topology("t", [0, 1, 2], [(0, 1), (0, 2)])
+        assert topo.degree_sequence() == [2, 1, 1]
+
+    def test_adjacency_is_sorted(self):
+        topo = Topology("t", [0, 1, 2], [(0, 2), (0, 1)])
+        assert topo.adjacency()[0] == [1, 2]
+
+    def test_connectivity(self):
+        connected = Topology("t", [0, 1, 2], [(0, 1), (1, 2)])
+        disconnected = Topology("t", [0, 1, 2], [(0, 1)])
+        assert connected.is_connected()
+        assert not disconnected.is_connected()
+
+    def test_empty_topology_is_connected(self):
+        assert Topology("t", [], []).is_connected()
+
+
+class TestBuildNetwork:
+    def test_network_matches_topology(self):
+        topo = Topology("t", [0, 1, 2], [(0, 1), (1, 2)])
+        network = topo.build_network(default_capacity=10.0)
+        assert network.num_nodes == 3
+        assert network.num_channels == 2
+        assert network.channel(0, 1).capacity == 10.0
+
+    def test_balance_fraction(self):
+        topo = Topology("t", [0, 1], [(0, 1)])
+        network = topo.build_network(default_capacity=10.0, balance_fraction=0.8)
+        assert network.channel(0, 1).balance(0) == pytest.approx(8.0)
+
+    def test_per_edge_capacities_override_default(self):
+        topo = Topology("t", [0, 1, 2], [(0, 1), (1, 2)], capacities={(0, 1): 99.0})
+        network = topo.build_network(default_capacity=10.0)
+        assert network.channel(0, 1).capacity == 99.0
+        assert network.channel(1, 2).capacity == 10.0
+
+    def test_invalid_build_arguments(self):
+        topo = Topology("t", [0, 1], [(0, 1)])
+        with pytest.raises(TopologyError):
+            topo.build_network(default_capacity=0.0)
+        with pytest.raises(TopologyError):
+            topo.build_network(default_capacity=1.0, balance_fraction=1.5)
+
+    def test_with_capacity_sets_every_edge(self):
+        topo = Topology("t", [0, 1, 2], [(0, 1), (1, 2)])
+        scaled = topo.with_capacity(5.0)
+        assert scaled.capacities == {(0, 1): 5.0, (1, 2): 5.0}
+        # The original is untouched.
+        assert topo.capacities == {}
+
+    def test_to_networkx_roundtrip(self):
+        topo = Topology("t", [0, 1, 2], [(0, 1), (1, 2)])
+        graph = topo.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2

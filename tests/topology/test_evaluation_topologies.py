@@ -1,0 +1,93 @@
+"""Tests for the ISP and Ripple evaluation topologies and the Fig. 4 example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.examples import (
+    FIG4_DEMANDS,
+    FIG4_MAX_CIRCULATION,
+    FIG4_TOTAL_DEMAND,
+    fig4_payment_graph,
+    fig4_topology,
+)
+from repro.topology.isp import ISP_NUM_EDGES, ISP_NUM_NODES, isp_topology
+from repro.topology.ripple import RIPPLE_EDGE_NODE_RATIO, ripple_topology
+
+
+class TestIsp:
+    def test_paper_dimensions(self):
+        topo = isp_topology()
+        assert topo.num_nodes == ISP_NUM_NODES == 32
+        assert topo.num_edges == ISP_NUM_EDGES == 152
+
+    def test_connected(self):
+        assert isp_topology().is_connected()
+
+    def test_deterministic(self):
+        assert isp_topology().edges == isp_topology().edges
+
+    def test_core_is_denser_than_edge(self):
+        topo = isp_topology()
+        adjacency = topo.adjacency()
+        core_degrees = [len(adjacency[n]) for n in range(8)]
+        edge_degrees = [len(adjacency[n]) for n in range(8, 32)]
+        assert min(core_degrees) > max(edge_degrees)
+
+
+class TestRipple:
+    def test_presets_have_target_ratio(self):
+        for scale in ("tiny", "small"):
+            topo = ripple_topology(scale, seed=0)
+            ratio = topo.num_edges / topo.num_nodes
+            assert ratio == pytest.approx(RIPPLE_EDGE_NODE_RATIO, rel=0.02)
+
+    def test_connected_and_deterministic(self):
+        a = ripple_topology("tiny", seed=3)
+        b = ripple_topology("tiny", seed=3)
+        assert a.edges == b.edges
+        assert a.is_connected()
+
+    def test_seed_changes_graph(self):
+        a = ripple_topology("tiny", seed=1)
+        b = ripple_topology("tiny", seed=2)
+        assert a.edges != b.edges
+
+    def test_heavy_tailed_degrees(self):
+        topo = ripple_topology("small", seed=0)
+        degrees = topo.degree_sequence()
+        assert degrees[0] >= 8 * degrees[-1]
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(TopologyError):
+            ripple_topology("enormous")
+
+
+class TestFig4Example:
+    def test_topology_shape(self):
+        topo = fig4_topology()
+        assert topo.num_nodes == 5
+        assert topo.num_edges == 6
+        assert topo.is_connected()
+
+    def test_total_demand(self):
+        assert sum(FIG4_DEMANDS.values()) == FIG4_TOTAL_DEMAND == 12.0
+
+    def test_weight_multiset_matches_figure(self):
+        weights = sorted(FIG4_DEMANDS.values())
+        assert weights == [1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
+
+    def test_prose_demands_present(self):
+        # §5.1: node 1 sends rate 1 to nodes 2 and 5; node 2 sends rate 2 to 4.
+        assert FIG4_DEMANDS[(1, 2)] == 1.0
+        assert FIG4_DEMANDS[(1, 5)] == 1.0
+        assert FIG4_DEMANDS[(2, 4)] == 2.0
+
+    def test_payment_graph_wrapper(self):
+        graph = fig4_payment_graph()
+        assert graph.total_demand() == FIG4_TOTAL_DEMAND
+        assert graph.rate(2, 4) == 2.0
+
+    def test_max_circulation_constant(self):
+        assert FIG4_MAX_CIRCULATION == 8.0

@@ -1,0 +1,137 @@
+"""Tests for canonical and random topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.generators import (
+    balanced_tree_topology,
+    complete_topology,
+    cycle_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    line_topology,
+    scale_free_topology,
+    small_world_topology,
+    star_topology,
+)
+
+
+class TestCanonical:
+    def test_line(self):
+        topo = line_topology(5)
+        assert topo.num_nodes == 5
+        assert topo.num_edges == 4
+        assert topo.is_connected()
+
+    def test_star(self):
+        topo = star_topology(6)
+        assert topo.num_nodes == 7
+        assert topo.num_edges == 6
+        assert topo.degree_sequence()[0] == 6
+
+    def test_cycle(self):
+        topo = cycle_topology(5)
+        assert topo.num_edges == 5
+        assert set(topo.degree_sequence()) == {2}
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            cycle_topology(2)
+
+    def test_complete(self):
+        topo = complete_topology(6)
+        assert topo.num_edges == 15
+
+    def test_grid(self):
+        topo = grid_topology(3, 4)
+        assert topo.num_nodes == 12
+        assert topo.num_edges == 3 * 3 + 2 * 4  # vertical + horizontal
+        assert topo.is_connected()
+
+    def test_tree(self):
+        topo = balanced_tree_topology(2, 3)
+        assert topo.num_nodes == 1 + 2 + 4 + 8
+        assert topo.num_edges == topo.num_nodes - 1
+        assert topo.is_connected()
+
+    def test_tree_depth_zero_is_single_node(self):
+        topo = balanced_tree_topology(3, 0)
+        assert topo.num_nodes == 1
+        assert topo.num_edges == 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(TopologyError):
+            line_topology(0)
+        with pytest.raises(TopologyError):
+            balanced_tree_topology(2, -1)
+
+
+class TestErdosRenyi:
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi_topology(20, 0.3, seed=1)
+        b = erdos_renyi_topology(20, 0.3, seed=1)
+        assert a.edges == b.edges
+
+    def test_connected_by_default(self):
+        topo = erdos_renyi_topology(30, 0.2, seed=2)
+        assert topo.is_connected()
+
+    def test_p_one_gives_complete_graph(self):
+        topo = erdos_renyi_topology(10, 1.0, seed=0)
+        assert topo.num_edges == 45
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_topology(10, 1.5)
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_topology(30, 0.0, seed=0, max_attempts=3)
+
+
+class TestSmallWorld:
+    def test_ring_structure_preserved_at_beta_zero(self):
+        topo = small_world_topology(12, 4, 0.0, seed=0)
+        assert topo.num_edges == 12 * 2  # n*k/2
+        assert set(topo.degree_sequence()) == {4}
+
+    def test_rewiring_keeps_edge_count(self):
+        topo = small_world_topology(20, 4, 0.5, seed=3)
+        assert topo.num_edges == 40
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            small_world_topology(10, 3, 0.1)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(TopologyError):
+            small_world_topology(4, 4, 0.1)
+
+
+class TestScaleFree:
+    def test_node_and_edge_counts(self):
+        topo = scale_free_topology(50, m=3, seed=0)
+        assert topo.num_nodes == 50
+        # m0 = 4 seed clique (6 edges) + 46 nodes × 3 edges
+        assert topo.num_edges == 6 + 46 * 3
+        assert topo.is_connected()
+
+    def test_heavy_tail(self):
+        topo = scale_free_topology(300, m=2, seed=1)
+        degrees = topo.degree_sequence()
+        assert degrees[0] > 5 * degrees[-1]
+
+    def test_deterministic_for_seed(self):
+        a = scale_free_topology(40, m=2, seed=5)
+        b = scale_free_topology(40, m=2, seed=5)
+        assert a.edges == b.edges
+
+    def test_m_larger_than_m0_rejected(self):
+        with pytest.raises(TopologyError):
+            scale_free_topology(10, m=5, m0=3)
+
+    def test_m0_larger_than_n_rejected(self):
+        with pytest.raises(TopologyError):
+            scale_free_topology(3, m=3, m0=5)

@@ -1,0 +1,58 @@
+"""Tests for topology serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.topology.io import dump_topology, dumps_topology, load_topology, loads_topology
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology("demo", [0, 1, 2], [(0, 1), (1, 2)], capacities={(0, 1): 30.5})
+
+
+class TestRoundtrip:
+    def test_string_roundtrip(self, topo):
+        parsed = loads_topology(dumps_topology(topo))
+        assert parsed.name == topo.name
+        assert parsed.nodes == topo.nodes
+        assert parsed.edges == topo.edges
+        assert parsed.capacities == topo.capacities
+
+    def test_file_roundtrip(self, topo, tmp_path):
+        path = tmp_path / "topo.txt"
+        dump_topology(topo, path)
+        parsed = load_topology(path)
+        assert parsed.edges == topo.edges
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        topology c
+        node 0
+        node 1
+        edge 0 1  # trailing comment
+        """
+        parsed = loads_topology(text)
+        assert parsed.num_edges == 1
+
+    def test_edges_without_capacity(self):
+        parsed = loads_topology("topology x\nnode 0\nnode 1\nedge 0 1\n")
+        assert parsed.capacities == {}
+
+
+class TestErrors:
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(TopologyError):
+            loads_topology("frobnicate 1 2\n")
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            loads_topology("node 0\nedge 0\n")
+
+    def test_non_numeric_node_rejected(self):
+        with pytest.raises(TopologyError):
+            loads_topology("node zero\n")

@@ -1,0 +1,112 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.distributions import ConstantSize
+from repro.workload.generator import TransactionRecord, WorkloadConfig, generate_workload
+
+
+def make_config(**overrides):
+    defaults = dict(num_transactions=500, arrival_rate=100.0, seed=3)
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestGeneration:
+    def test_trace_length(self):
+        records = generate_workload(range(10), make_config())
+        assert len(records) == 500
+
+    def test_arrival_times_are_increasing(self):
+        records = generate_workload(range(10), make_config())
+        times = [r.arrival_time for r in records]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_arrival_rate_approximately_respected(self):
+        records = generate_workload(range(10), make_config(num_transactions=5000))
+        duration = records[-1].arrival_time
+        assert 5000 / duration == pytest.approx(100.0, rel=0.1)
+
+    def test_sources_differ_from_destinations(self):
+        records = generate_workload(range(5), make_config())
+        assert all(r.source != r.dest for r in records)
+
+    def test_nodes_are_from_supplied_set(self):
+        nodes = [3, 7, 11, 19]
+        records = generate_workload(nodes, make_config())
+        used = {r.source for r in records} | {r.dest for r in records}
+        assert used <= set(nodes)
+
+    def test_sender_distribution_is_skewed(self):
+        # Exponential sender popularity: busiest sender should dominate.
+        records = generate_workload(range(20), make_config(num_transactions=5000))
+        counts = {}
+        for r in records:
+            counts[r.source] = counts.get(r.source, 0) + 1
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] > 3 * np.median(values)
+
+    def test_size_distribution_is_used(self):
+        config = make_config(size_distribution=ConstantSize(42.0))
+        records = generate_workload(range(5), config)
+        assert all(r.amount == 42.0 for r in records)
+
+    def test_deadline_is_relative_to_arrival(self):
+        config = make_config(deadline=5.0)
+        records = generate_workload(range(5), config)
+        assert all(r.deadline == pytest.approx(r.arrival_time + 5.0) for r in records)
+
+    def test_determinism(self):
+        a = generate_workload(range(8), make_config())
+        b = generate_workload(range(8), make_config())
+        assert a == b
+
+    def test_seed_changes_trace(self):
+        a = generate_workload(range(8), make_config(seed=1))
+        b = generate_workload(range(8), make_config(seed=2))
+        assert a != b
+
+
+class TestRotation:
+    def test_rotation_changes_sender_mix_over_time(self):
+        quiet = generate_workload(
+            range(30), make_config(num_transactions=6000, rotation_interval=None)
+        )
+        rotating = generate_workload(
+            range(30),
+            make_config(num_transactions=6000, rotation_interval=5.0),
+        )
+
+        def top_sender(records):
+            counts = {}
+            for r in records:
+                counts[r.source] = counts.get(r.source, 0) + 1
+            return max(counts, key=counts.get)
+
+        halves_quiet = {top_sender(quiet[:3000]), top_sender(quiet[3000:])}
+        halves_rotating = {top_sender(rotating[:3000]), top_sender(rotating[3000:])}
+        # The stationary trace keeps one dominant sender over both halves;
+        # the rotating trace (almost surely) does not.
+        assert len(halves_quiet) == 1
+        assert len(halves_rotating) == 2
+
+
+class TestValidation:
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_workload([1], make_config())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_transactions=0, arrival_rate=1.0)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_transactions=1, arrival_rate=0.0)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_transactions=1, arrival_rate=1.0, rotation_interval=0.0)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_transactions=1, arrival_rate=1.0, deadline=-1.0)

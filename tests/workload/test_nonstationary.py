@@ -1,0 +1,126 @@
+"""Tests for non-stationary workload construction."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.demand import (
+    estimate_demand_matrix,
+    rotating_records_from_demand,
+)
+from repro.workload.generator import TransactionRecord, WorkloadConfig, generate_workload
+from repro.workload.nonstationary import phase_interleave, stretch_records
+
+
+def trace(seed, n=200):
+    return generate_workload(
+        range(10), WorkloadConfig(num_transactions=n, arrival_rate=50.0, seed=seed)
+    )
+
+
+class TestStretch:
+    def test_times_scale(self):
+        records = trace(1, n=50)
+        stretched = stretch_records(records, 2.0)
+        assert stretched[-1].arrival_time == pytest.approx(
+            2.0 * records[-1].arrival_time
+        )
+
+    def test_contents_preserved(self):
+        records = trace(1, n=50)
+        stretched = stretch_records(records, 3.0)
+        assert Counter((r.source, r.dest, r.amount) for r in records) == Counter(
+            (r.source, r.dest, r.amount) for r in stretched
+        )
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigError):
+            stretch_records([], 0.0)
+
+
+class TestPhaseInterleave:
+    def test_both_modes_have_identical_transactions(self):
+        a, b = trace(1), trace(2)
+        stationary = phase_interleave(a, b, 2.0, rotate=False)
+        rotating = phase_interleave(a, b, 2.0, rotate=True)
+        key = lambda rs: Counter((r.source, r.dest, round(r.amount, 9)) for r in rs)
+        assert key(stationary) == key(rotating)
+        assert len(stationary) == len(a) + len(b)
+
+    def test_long_run_demand_matrices_match(self):
+        a, b = trace(1), trace(2)
+        stationary = phase_interleave(a, b, 2.0, rotate=False)
+        rotating = phase_interleave(a, b, 2.0, rotate=True)
+        duration = max(
+            stationary[-1].arrival_time, rotating[-1].arrival_time
+        )
+        d1 = estimate_demand_matrix(stationary, duration)
+        d2 = estimate_demand_matrix(rotating, duration)
+        assert set(d1) == set(d2)
+        for pair in d1:
+            assert d1[pair] == pytest.approx(d2[pair])
+
+    def test_rotation_separates_patterns_in_time(self):
+        a, b = trace(1), trace(2)
+        length = 2.0
+        rotating = phase_interleave(a, b, length, rotate=True)
+        a_keys = {(r.source, r.dest, round(r.amount, 9)) for r in a}
+        for record in rotating:
+            window = int(record.arrival_time // length)
+            is_a = (record.source, record.dest, round(record.amount, 9)) in a_keys
+            if is_a:
+                assert window % 2 == 0
+        # And the stationary mode mixes them.
+        stationary = phase_interleave(a, b, length, rotate=False)
+        windows_with_a = set()
+        for record in stationary:
+            if (record.source, record.dest, round(record.amount, 9)) in a_keys:
+                windows_with_a.add(int(record.arrival_time // length) % 2)
+        assert windows_with_a == {0, 1}
+
+    def test_ids_follow_arrival_order(self):
+        a, b = trace(1, n=30), trace(2, n=30)
+        combined = phase_interleave(a, b, 1.0, rotate=True)
+        assert [r.txn_id for r in combined] == list(range(60))
+        times = [r.arrival_time for r in combined]
+        assert times == sorted(times)
+
+    def test_invalid_phase_length(self):
+        with pytest.raises(ConfigError):
+            phase_interleave([], [], 0.0, rotate=True)
+
+
+class TestRotatingRecordsFromDemand:
+    def test_long_run_rate_matches_demand(self):
+        demands = {(0, 1): 40.0, (2, 3): 40.0, (4, 5): 40.0, (6, 7): 40.0}
+        records = rotating_records_from_demand(
+            demands, duration=100.0, mean_size=4.0, num_phases=2, phase_length=5.0, seed=1
+        )
+        estimated = estimate_demand_matrix(records, duration=100.0)
+        for pair, rate in demands.items():
+            assert estimated[pair] == pytest.approx(rate, rel=0.25)
+
+    def test_pairs_are_active_only_in_their_windows(self):
+        demands = {(0, 1): 50.0, (2, 3): 50.0}
+        records = rotating_records_from_demand(
+            demands, duration=40.0, mean_size=2.0, num_phases=2, phase_length=5.0, seed=1
+        )
+        for record in records:
+            window = int(record.arrival_time // 5.0)
+            if (record.source, record.dest) == (0, 1):
+                assert window % 2 == 0
+            else:
+                assert window % 2 == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            rotating_records_from_demand({}, 10.0, 1.0, num_phases=0, phase_length=1.0)
+        with pytest.raises(ConfigError):
+            rotating_records_from_demand({}, 10.0, 1.0, num_phases=2, phase_length=0.0)
+        with pytest.raises(ConfigError):
+            rotating_records_from_demand({}, 0.0, 1.0, num_phases=2, phase_length=1.0)
+        with pytest.raises(ConfigError):
+            rotating_records_from_demand({}, 10.0, 0.0, num_phases=2, phase_length=1.0)

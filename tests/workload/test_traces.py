@@ -1,0 +1,45 @@
+"""Tests for trace serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.generator import TransactionRecord
+from repro.workload.traces import dump_trace, dumps_trace, load_trace, loads_trace
+
+
+@pytest.fixture
+def records():
+    return [
+        TransactionRecord(0, 0.5, 1, 2, 17.25),
+        TransactionRecord(1, 1.5, 2, 3, 3.125, deadline=11.5),
+    ]
+
+
+class TestRoundtrip:
+    def test_string_roundtrip(self, records):
+        assert loads_trace(dumps_trace(records)) == records
+
+    def test_file_roundtrip(self, records, tmp_path):
+        path = tmp_path / "trace.csv"
+        dump_trace(records, path)
+        assert load_trace(path) == records
+
+    def test_deadline_preserved(self, records):
+        parsed = loads_trace(dumps_trace(records))
+        assert parsed[0].deadline is None
+        assert parsed[1].deadline == 11.5
+
+    def test_comments_ignored(self):
+        assert loads_trace("# comment\n\n") == []
+
+
+class TestErrors:
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ConfigError):
+            loads_trace("1,2,3\n")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigError):
+            loads_trace("a,b,c,d,e\n")
