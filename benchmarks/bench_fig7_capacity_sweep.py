@@ -23,7 +23,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import FIG6_SCHEMES, run_once
-from repro.experiments import ExperimentConfig, capacity_sweep
+from repro.experiments import ExperimentConfig, SweepExecutor
 from repro.metrics import format_table
 
 CAPACITIES = [1_000.0, 3_000.0, 5_000.0, 10_000.0]
@@ -41,7 +41,11 @@ def base_config():
 
 @pytest.fixture(scope="module")
 def sweep_results():
-    return capacity_sweep(base_config(), CAPACITIES, FIG6_SCHEMES)
+    # 24 cells (6 schemes × 4 capacities) across worker processes on the
+    # SimulationSession engine.  reseed_cells=False keeps one seed for the
+    # whole grid so the monotonicity checks below compare identical traces.
+    executor = SweepExecutor(base_config(), processes=4, reseed_cells=False)
+    return executor.capacity_sweep(CAPACITIES, FIG6_SCHEMES)
 
 
 def _series(results, scheme, metric):

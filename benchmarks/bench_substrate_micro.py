@@ -6,10 +6,24 @@ bound how large a simulation the library can run.
 Run with::
 
     pytest benchmarks/bench_substrate_micro.py --benchmark-only
+
+The module is also directly executable as the engine-comparison smoke run
+used by CI (finishes in seconds)::
+
+    python benchmarks/bench_substrate_micro.py --out BENCH_substrate.json
+
+which times the legacy float-time ``Simulator`` against the new slab-queue
+``TickEngine`` on two event workloads (chained timers = shallow heap,
+pre-scheduled fan-out = deep heap) and records the events/sec and speedup.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import time
+
+from repro.engine.events import TickEngine
 from repro.fluid import solve_fluid_lp
 from repro.fluid.paths import k_edge_disjoint_paths
 from repro.network.network import PaymentNetwork
@@ -20,24 +34,83 @@ from repro.topology.examples import FIG4_DEMANDS, fig4_topology
 from repro.fluid.paths import all_simple_paths
 
 
+# ----------------------------------------------------------------------
+# Event-engine workloads (shared by the pytest benchmarks and the smoke
+# comparison): chained timers keep the heap shallow and stress per-event
+# overhead; the fan-out pre-schedules every event, so the heap is deep and
+# ordering comparisons dominate.
+# ----------------------------------------------------------------------
+def _chained_legacy(n: int) -> int:
+    sim = Simulator()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < n:
+            sim.call_after(0.001, tick)
+
+    sim.call_after(0.001, tick)
+    sim.run()
+    return count
+
+
+def _chained_tick(n: int) -> int:
+    eng = TickEngine()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < n:
+            eng.schedule_after(0.001, tick)
+
+    eng.schedule_after(0.001, tick)
+    eng.run()
+    return count
+
+
+def _fanout_legacy(n: int) -> int:
+    sim = Simulator()
+    count = 0
+
+    def fire():
+        nonlocal count
+        count += 1
+
+    for i in range(n):
+        sim.call_at(((i * 2654435761) % n) * 0.001, fire)
+    sim.run()
+    return count
+
+
+def _fanout_tick(n: int) -> int:
+    eng = TickEngine()
+    count = 0
+
+    def fire():
+        nonlocal count
+        count += 1
+
+    for i in range(n):
+        eng.schedule_at_tick(((i * 2654435761) % n) * 1000, fire)
+    eng.run()
+    return count
+
+
 def test_engine_event_throughput(benchmark):
-    """Schedule-and-run 10k chained events."""
+    """Schedule-and-run 10k chained events on the legacy engine."""
+    assert benchmark(_chained_legacy, 10_000) == 10_000
 
-    def run():
-        sim = Simulator()
-        count = 0
 
-        def tick():
-            nonlocal count
-            count += 1
-            if count < 10_000:
-                sim.call_after(0.001, tick)
+def test_tick_engine_event_throughput(benchmark):
+    """Schedule-and-run 10k chained events on the new slab-queue engine."""
+    assert benchmark(_chained_tick, 10_000) == 10_000
 
-        sim.call_after(0.001, tick)
-        sim.run()
-        return count
 
-    assert benchmark(run) == 10_000
+def test_tick_engine_fanout_throughput(benchmark):
+    """Drain 10k pre-scheduled events (deep heap) on the new engine."""
+    assert benchmark(_fanout_tick, 10_000) == 10_000
 
 
 def test_channel_lock_settle_throughput(benchmark):
@@ -103,3 +176,74 @@ def test_fluid_lp_on_fig4(benchmark):
         lambda: solve_fluid_lp(FIG4_DEMANDS, path_set, balance="equality")
     )
     assert solution.throughput > 0
+
+
+# ----------------------------------------------------------------------
+# Engine-comparison smoke run (CI: writes BENCH_substrate.json in seconds)
+# ----------------------------------------------------------------------
+def _events_per_second(fn, n: int, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fired = fn(n)
+        elapsed = time.perf_counter() - start
+        assert fired == n
+        best = min(best, elapsed)
+    return n / best
+
+
+def run_engine_comparison(events: int = 100_000, repeats: int = 3) -> dict:
+    """Legacy vs. tick-engine events/sec on both workloads.
+
+    Returns the result dict written to ``BENCH_substrate.json``; the
+    headline ``speedup`` is total events over total best-case time, so both
+    workloads weigh in.
+    """
+    results = {}
+    for workload, legacy_fn, tick_fn in (
+        ("chained", _chained_legacy, _chained_tick),
+        ("fanout", _fanout_legacy, _fanout_tick),
+    ):
+        legacy_eps = _events_per_second(legacy_fn, events, repeats)
+        tick_eps = _events_per_second(tick_fn, events, repeats)
+        results[workload] = {
+            "events": events,
+            "legacy_events_per_sec": round(legacy_eps),
+            "tick_events_per_sec": round(tick_eps),
+            "speedup": round(tick_eps / legacy_eps, 3),
+        }
+    total_legacy = sum(
+        r["events"] / r["legacy_events_per_sec"] for r in results.values()
+    )
+    total_tick = sum(r["events"] / r["tick_events_per_sec"] for r in results.values())
+    return {
+        "benchmark": "engine_event_throughput",
+        "workloads": results,
+        "speedup": round(total_legacy / total_tick, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_substrate.json", help="result file")
+    parser.add_argument(
+        "--events", type=int, default=100_000, help="events per workload per repeat"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    args = parser.parse_args(argv)
+    report = run_engine_comparison(events=args.events, repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for workload, numbers in report["workloads"].items():
+        print(
+            f"{workload:8s} legacy {numbers['legacy_events_per_sec']:>9,} ev/s   "
+            f"tick {numbers['tick_events_per_sec']:>9,} ev/s   "
+            f"{numbers['speedup']:.2f}x"
+        )
+    print(f"overall speedup: {report['speedup']:.2f}x  ->  {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -15,7 +15,9 @@ True
 
 Package map
 -----------
-``repro.simulator``    discrete-event engine and seeded RNG streams
+``repro.engine``       unified engine: tick clock, slab event queue,
+                       array-backed channel store, SimulationSession
+``repro.simulator``    legacy discrete-event engine and seeded RNG streams
 ``repro.network``      payment channels, HTLCs, the network state machine
 ``repro.topology``     evaluation topologies (ISP, Ripple-like, Fig. 4)
 ``repro.workload``     transaction traces, size distributions, demand matrices
@@ -47,8 +49,10 @@ from repro.errors import (
     ReproError,
     TopologyError,
 )
+from repro.engine import ChannelStateStore, SimulationSession, TickEngine
 from repro.experiments import (
     ExperimentConfig,
+    SweepExecutor,
     capacity_sweep,
     compare_schemes,
     parameter_sweep,
@@ -66,6 +70,7 @@ from repro.metrics import (
     IncentiveCollector,
     MetricsCollector,
     format_metrics_table,
+    metrics_to_json,
 )
 from repro.network import (
     ChannelClosure,
@@ -92,6 +97,7 @@ __all__ = [
     "CelerScheme",
     "ChannelClosure",
     "ChannelError",
+    "ChannelStateStore",
     "ConfigError",
     "ExperimentConfig",
     "ExperimentMetrics",
@@ -111,9 +117,12 @@ __all__ = [
     "ReproError",
     "Runtime",
     "RuntimeConfig",
+    "SimulationSession",
     "Simulator",
     "SpiderLPScheme",
     "SpiderPrimalDualScheme",
+    "SweepExecutor",
+    "TickEngine",
     "Topology",
     "TopologyError",
     "TransactionRecord",
@@ -130,6 +139,7 @@ __all__ = [
     "isp_topology",
     "make_scheme",
     "max_balanced_throughput",
+    "metrics_to_json",
     "parameter_sweep",
     "random_churn_schedule",
     "register_scheme",

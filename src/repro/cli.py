@@ -27,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import SweepExecutor
 from repro.experiments.runner import compare_schemes, run_experiment
 from repro.experiments.sweeps import capacity_sweep
 from repro.fluid.circulation import decompose_payment_graph
@@ -62,6 +63,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--policy", default="srpt", help="pending-queue scheduling policy"
+    )
+    parser.add_argument(
+        "--engine",
+        default="session",
+        choices=("session", "legacy"),
+        help="execution engine: unified tick-engine session (default) or "
+        "the deprecated Runtime/Simulator pair",
     )
 
 
@@ -117,6 +125,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="spider-waterfilling,shortest-path",
         help="comma-separated scheme names",
     )
+    sweep_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run sweep cells on N worker processes through SweepExecutor "
+        "(0 = serial, identical traces across schemes per cell)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for per-cell JSON result caching (sweep only)",
+    )
     _add_common_options(sweep_parser)
 
     decompose_parser = sub.add_parser(
@@ -144,13 +165,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        metrics = run_experiment(_config_from_args(args, scheme=args.scheme))
+        metrics = run_experiment(
+            _config_from_args(args, scheme=args.scheme), engine=args.engine
+        )
         print(format_metrics_table([metrics], title=f"{args.scheme} on {args.topology}"))
         return 0
 
     if args.command == "compare":
         schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-        results = compare_schemes(_config_from_args(args), schemes)
+        results = compare_schemes(_config_from_args(args), schemes, engine=args.engine)
         print(
             format_metrics_table(
                 results,
@@ -165,7 +188,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         capacities = [float(c) for c in args.capacities.split(",") if c.strip()]
         schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-        results = capacity_sweep(_config_from_args(args), capacities, schemes)
+        if args.parallel > 0 or args.cache_dir is not None:
+            executor = SweepExecutor(
+                _config_from_args(args),
+                processes=max(1, args.parallel),
+                cache_dir=args.cache_dir,
+                engine=args.engine,
+                reseed_cells=False,  # match the serial sweep cell for cell
+            )
+            results = executor.capacity_sweep(capacities, schemes)
+        else:
+            results = capacity_sweep(_config_from_args(args), capacities, schemes)
         rows = []
         for capacity in capacities:
             for scheme in schemes:

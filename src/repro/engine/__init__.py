@@ -1,0 +1,41 @@
+"""Unified simulation engine.
+
+This package is the execution core of the reproduction:
+
+``clock``    integer-tick clock (float seconds only at the API boundary)
+``events``   slab-allocated event queue and the :class:`TickEngine`
+``store``    flat NumPy arrays holding every channel's mutable state
+``session``  :class:`SimulationSession` — the one facade that runs a trace
+
+The legacy pair (:class:`repro.simulator.engine.Simulator` +
+:class:`repro.core.runtime.Runtime`) remains as a deprecated
+compatibility path; see :mod:`repro.engine.session` for the migration
+story.
+"""
+
+from repro.engine.clock import DEFAULT_QUANTUM, TickClock
+from repro.engine.events import SlabEventQueue, TickEngine, TickHandle, TickTimer
+from repro.engine.store import ChannelStateStore
+
+
+def __getattr__(name: str):
+    # SimulationSession pulls in the payments/network layers, which
+    # themselves build on this package's store — import it lazily so
+    # low-level modules (e.g. repro.network.channel) can import
+    # repro.engine.store without a cycle.
+    if name == "SimulationSession":
+        from repro.engine.session import SimulationSession
+
+        return SimulationSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ChannelStateStore",
+    "DEFAULT_QUANTUM",
+    "SimulationSession",
+    "SlabEventQueue",
+    "TickClock",
+    "TickEngine",
+    "TickHandle",
+    "TickTimer",
+]

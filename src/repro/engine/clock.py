@@ -1,0 +1,56 @@
+"""Integer-tick simulation clock.
+
+The legacy :class:`~repro.simulator.engine.Simulator` keys its event heap on
+float seconds.  Floats are fine for ordering but awkward for determinism
+(accumulated ``now + delay`` round-off) and slow to pack into the slab
+queue's integer keys.  The new engine therefore runs on an integer tick
+counter with a fixed time quantum; float seconds exist only at the API
+boundary.
+
+A quantum of 1 µs (the default) represents every time the reproduction
+cares about exactly enough: arrival processes at hundreds of events per
+second, confirmation delays of 0.5 s, and sub-millisecond hop delays all
+quantise with relative error below 1e-9 over the paper's 200 s horizons.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = ["TickClock", "DEFAULT_QUANTUM"]
+
+#: Seconds represented by one tick unless overridden.
+DEFAULT_QUANTUM = 1e-6
+
+
+class TickClock:
+    """Converts between float seconds and integer ticks.
+
+    Parameters
+    ----------
+    quantum:
+        Seconds per tick.  Must be positive and finite.
+    """
+
+    __slots__ = ("quantum", "_inv_quantum")
+
+    def __init__(self, quantum: float = DEFAULT_QUANTUM):
+        if not (quantum > 0 and math.isfinite(quantum)):
+            raise ConfigError(f"quantum must be positive and finite, got {quantum!r}")
+        self.quantum = float(quantum)
+        self._inv_quantum = 1.0 / self.quantum
+
+    def to_ticks(self, seconds: float) -> int:
+        """Nearest tick for ``seconds`` (round-half-to-even, like floats)."""
+        if not math.isfinite(seconds):
+            raise ConfigError(f"cannot quantise non-finite time {seconds!r}")
+        return round(seconds * self._inv_quantum)
+
+    def to_seconds(self, ticks: int) -> float:
+        """Float seconds represented by ``ticks``."""
+        return ticks * self.quantum
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TickClock(quantum={self.quantum:g})"

@@ -1,121 +1,69 @@
-"""The simulation runtime: trace replay, unit transmission, settlement.
+"""The unified simulation session.
 
-.. deprecated::
-    ``Runtime`` is the legacy entry point, kept because the specialised
-    runtimes (:class:`repro.core.queueing.QueueingRuntime`,
-    :class:`repro.routing.backpressure.BackpressureRuntime`) subclass it
-    and because the determinism regression tests exercise it.  New code
-    should run traces through
-    :class:`repro.engine.session.SimulationSession`, which executes the
-    same semantics on the integer-tick slab-queue engine and transparently
-    falls back to these runtimes for schemes that need them.
+:class:`SimulationSession` is the single entry point that used to be split
+across three modules: the event engine (:mod:`repro.simulator.engine`), the
+execution runtime (:mod:`repro.core.runtime`) and the pending-queue
+scheduling policies (:mod:`repro.core.scheduling`).  It executes the
+paper's evaluation semantics (§6.1) — immediate routing at arrival,
+confirmation-delay in-flight holds, periodic SRPT-ordered polling of the
+pending queue, deadline withholding — on the integer-tick
+:class:`~repro.engine.events.TickEngine` with its slab-allocated event
+queue, over a network whose channel state lives in the flat arrays of a
+:class:`~repro.engine.store.ChannelStateStore`.
 
-This is the executable version of the paper's evaluation semantics (§6.1):
+Schemes see the exact same surface :class:`~repro.core.runtime.Runtime`
+exposed (``network`` / ``config`` / ``now`` / ``send_unit`` /
+``send_atomic`` / ``fail_payment`` / ``sim`` ...), so every source-routed
+scheme runs unchanged.  Schemes that declare a custom ``runtime_class`` or
+``hop_by_hop`` transport (backpressure, in-network queues, windowed
+transport) transparently fall back to their legacy runtime — the session
+is then a facade over that runtime, and callers cannot tell the
+difference.
 
-* arriving payments are routed immediately if funds allow;
-* routed value incurs a confirmation delay (0.5 s) during which the funds
-  are held in-flight on every hop and unusable by anyone;
-* non-atomic payments that cannot complete immediately wait in a global
-  pending queue, polled periodically and scheduled by a pluggable policy
-  (SRPT by default);
-* atomic payments (the baselines) get exactly one attempt.
+The legacy ``Runtime`` + ``Simulator`` pair remains available as a
+deprecated compatibility path; new code should construct sessions::
 
-Routing schemes interact with the runtime through two primitives:
-
-* :meth:`Runtime.send_unit` — lock one MTU-bounded transaction unit along a
-  path (non-atomic schemes), and
-* :meth:`Runtime.send_atomic` — lock a set of (path, amount) allocations
-  all-or-nothing (atomic schemes).
-
-Settlement, refunds, deadline enforcement (the sender withholds the hash
-key for units that would settle after the deadline — §4.1), metrics hooks
-and fund-conservation checks all live here, so schemes stay pure policy.
+    session = SimulationSession.from_config(config)
+    metrics = session.run()
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.payments import Payment, PaymentState, TransactionUnit
 from repro.core.scheduling import get_policy
-from repro.errors import ConfigError, InsufficientFundsError
+from repro.core.runtime import RuntimeConfig
+from repro.engine.clock import DEFAULT_QUANTUM
+from repro.engine.events import TickEngine, TickTimer
+from repro.errors import InsufficientFundsError
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.network.htlc import HashLock
 from repro.network.network import PaymentNetwork
-from repro.simulator.engine import RecurringTimer, Simulator
 from repro.workload.generator import TransactionRecord
 
-__all__ = ["RuntimeConfig", "Runtime"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+    from repro.routing.base import RoutingScheme
+
+__all__ = ["SimulationSession"]
 
 _EPS = 1e-9
 
 
-@dataclass
-class RuntimeConfig:
-    """Knobs of the execution environment (not of any routing scheme).
-
-    Attributes
-    ----------
-    confirmation_delay:
-        End-to-end delay Δ before a routed unit's funds are usable at the
-        receiver (paper: 0.5 s).
-    poll_interval:
-        Period of the pending-queue poll.
-    mtu:
-        Maximum transaction-unit value.  ``inf`` disables splitting by size
-        (units are then bounded only by path capacity and remaining value).
-    scheduling_policy:
-        Name from :data:`repro.core.scheduling.SCHEDULING_POLICIES`.
-    end_time:
-        Simulation cut-off in seconds (the paper stops at 200 s / 85 s).
-        ``None`` runs until the last arrival plus ten confirmation delays.
-    min_unit_value:
-        Smallest unit worth sending; avoids floods of dust units.
-    max_fee_fraction:
-        §4.1's "maximum acceptable routing fee", as a fraction of each
-        payment's amount (``None`` disables the budget).  Only relevant on
-        networks with non-zero channel fees.
-    check_invariants:
-        Verify channel fund conservation after every resolution (slower;
-        on by default in tests, off in large benchmarks).
-    """
-
-    confirmation_delay: float = 0.5
-    poll_interval: float = 0.5
-    mtu: float = math.inf
-    scheduling_policy: str = "srpt"
-    end_time: Optional[float] = None
-    min_unit_value: float = 1e-3
-    max_fee_fraction: Optional[float] = None
-    check_invariants: bool = False
-
-    def __post_init__(self) -> None:
-        if self.confirmation_delay < 0:
-            raise ConfigError(
-                f"confirmation_delay must be non-negative, got {self.confirmation_delay!r}"
-            )
-        if self.poll_interval <= 0:
-            raise ConfigError(f"poll_interval must be positive, got {self.poll_interval!r}")
-        if self.mtu <= 0:
-            raise ConfigError(f"mtu must be positive, got {self.mtu!r}")
-        if self.min_unit_value <= 0:
-            raise ConfigError(
-                f"min_unit_value must be positive, got {self.min_unit_value!r}"
-            )
-        if self.max_fee_fraction is not None and self.max_fee_fraction < 0:
-            raise ConfigError(
-                f"max_fee_fraction must be non-negative, got {self.max_fee_fraction!r}"
-            )
-        get_policy(self.scheduling_policy)  # validate eagerly
+def _needs_legacy_runtime(scheme: "RoutingScheme") -> bool:
+    """Whether ``scheme`` demands a specialised legacy runtime."""
+    return (
+        getattr(scheme, "runtime_class", None) is not None
+        or getattr(scheme, "hop_by_hop", False)
+    )
 
 
-class Runtime:
-    """Drives one simulation run of one scheme over one trace.
+class SimulationSession:
+    """One simulation run of one scheme over one trace, on the new engine.
 
-    Parameters
-    ----------
+    Parameters mirror :class:`~repro.core.runtime.Runtime`:
+
     network:
         The payment network (mutated in place).
     records:
@@ -123,9 +71,11 @@ class Runtime:
     scheme:
         A :class:`~repro.routing.base.RoutingScheme`.
     config:
-        Execution parameters.
+        Execution parameters (:class:`~repro.core.runtime.RuntimeConfig`).
     collector:
         Optional custom metrics collector.
+    quantum:
+        Seconds per engine tick (float times only exist at this boundary).
     """
 
     def __init__(
@@ -135,17 +85,20 @@ class Runtime:
         scheme: "RoutingScheme",
         config: Optional[RuntimeConfig] = None,
         collector: Optional[MetricsCollector] = None,
+        quantum: float = DEFAULT_QUANTUM,
     ):
         self.network = network
         self.records = sorted(records, key=lambda r: r.arrival_time)
         self.scheme = scheme
         self.config = config or RuntimeConfig()
         self.collector = collector or MetricsCollector()
-        self.sim = Simulator()
+        self.sim = TickEngine(quantum=quantum)
         self.payments: Dict[int, Payment] = {}
         self._pending: Set[int] = set()
         self._policy = get_policy(self.config.scheduling_policy)
-        self._poll_timer: Optional[RecurringTimer] = None
+        self._poll_timer: Optional[TickTimer] = None
+        self._delegate = None  # set when a legacy runtime runs the trace
+        self._finished = False
         if self.config.end_time is not None:
             self._end_time = self.config.end_time
         elif self.records:
@@ -156,11 +109,48 @@ class Runtime:
             self._end_time = 0.0
 
     # ------------------------------------------------------------------
+    # Construction from experiment configs
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: "ExperimentConfig",
+        collector: Optional[MetricsCollector] = None,
+        quantum: float = DEFAULT_QUANTUM,
+    ) -> "SimulationSession":
+        """Build the session one :class:`ExperimentConfig` fully describes.
+
+        Topology, workload and scheme are derived from the config's seed
+        exactly as :func:`repro.experiments.runner.run_experiment` does, so
+        traces are identical across engines and schemes.
+        """
+        from repro.routing.registry import make_scheme
+
+        topology = config.build_topology()
+        network = topology.build_network(
+            default_capacity=config.capacity,
+            base_fee=config.base_fee,
+            fee_rate=config.fee_rate,
+        )
+        records = config.build_workload(list(topology.nodes))
+        scheme = make_scheme(config.scheme, **config.scheme_params)
+        return cls(
+            network,
+            records,
+            scheme,
+            config.build_runtime_config(),
+            collector=collector,
+            quantum=quantum,
+        )
+
+    # ------------------------------------------------------------------
     # Public control
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        """Current simulated time."""
+        """Current simulated time in seconds."""
+        if self._delegate is not None:
+            return self._delegate.now
         return self.sim.now
 
     @property
@@ -168,34 +158,54 @@ class Runtime:
         """When this run stops."""
         return self._end_time
 
+    @property
+    def events_processed(self) -> int:
+        """Callbacks executed by the underlying engine so far."""
+        if self._delegate is not None:
+            return self._delegate.sim.events_processed
+        return self.sim.events_processed
+
     def run(self) -> ExperimentMetrics:
-        """Execute the full trace and return the run's metrics."""
+        """Execute the full trace and return the run's metrics.
+
+        Source-routed schemes run natively on the tick engine; schemes that
+        require a specialised runtime (hop-by-hop queueing, backpressure)
+        run through that runtime, behind the same facade.
+        """
+        if self._finished:
+            raise RuntimeError("a SimulationSession runs exactly once")
+        self._finished = True
+        if _needs_legacy_runtime(self.scheme):
+            from repro.experiments.runner import build_runtime
+
+            self._delegate = build_runtime(
+                self.network, self.records, self.scheme, self.config, self.collector
+            )
+            return self._delegate.run()
+
+        engine = self.sim
+        clock = engine.clock
         self.scheme.prepare(self)
         for record in self.records:
             if record.arrival_time > self._end_time:
                 break
-            self.sim.call_at(record.arrival_time, self._arrive, record)
-        self._poll_timer = RecurringTimer(
-            self.sim, self.config.poll_interval, self._poll
-        )
-        self.sim.run(until=self._end_time)
+            engine.schedule_at_tick(
+                clock.to_ticks(record.arrival_time), self._arrive, (record,)
+            )
+        self._poll_timer = engine.every(self.config.poll_interval, self._poll)
+        engine.run(until=self._end_time)
         self._finish()
         return self.collector.finalize(
             scheme=self.scheme.name, network=self.network, duration=self._end_time
         )
 
     # ------------------------------------------------------------------
-    # Scheme-facing primitives
+    # Scheme-facing primitives (same contract as Runtime)
     # ------------------------------------------------------------------
     def send_unit(self, payment: Payment, path: Tuple[int, ...], amount: float) -> bool:
         """Lock one transaction unit delivering ``amount`` along ``path``.
 
-        The amount is clipped to the payment's remaining value and the MTU;
-        values below ``min_unit_value`` are not sent.  On fee-charging
-        networks the upstream hops lock ``amount`` plus the intermediaries'
-        fees (§2); units whose fee would blow the payment's ``max_fee``
-        budget are not sent.  Returns ``True`` if the unit was locked (it
-        will settle after the confirmation delay).
+        Semantics identical to :meth:`repro.core.runtime.Runtime.send_unit`.
         """
         amount = min(amount, payment.remaining, self.config.mtu)
         if amount < self.config.min_unit_value:
@@ -207,7 +217,7 @@ class Runtime:
         lock = HashLock.generate(payment.payment_id, payment.units_sent)
         try:
             htlcs = self.network.lock_path(
-                path, amount, now=self.now, lock=lock, amounts=amounts
+                path, amount, now=self.sim.now, lock=lock, amounts=amounts
             )
         except InsufficientFundsError:
             return False
@@ -218,19 +228,14 @@ class Runtime:
             path=tuple(path),
             htlcs=htlcs,
             lock=lock,
-            sent_at=self.now,
+            sent_at=self.sim.now,
             fee=fee,
         )
-        self.sim.call_after(self.config.confirmation_delay, self._resolve_unit, unit)
+        self.sim.schedule_after(self.config.confirmation_delay, self._resolve_unit, unit)
         return True
 
     def send_on_path(self, payment: Payment, path: Tuple[int, ...]) -> float:
-        """Send as many units as fit on ``path`` right now.
-
-        Convenience for non-atomic schemes: repeatedly sends MTU-bounded
-        units until the path bottleneck or the payment's remaining value is
-        exhausted.  Returns the total value locked.
-        """
+        """Send as many units as fit on ``path`` right now (non-atomic)."""
         sent = 0.0
         while payment.remaining >= self.config.min_unit_value:
             available = self.network.bottleneck(path)
@@ -247,12 +252,7 @@ class Runtime:
         payment: Payment,
         allocations: Sequence[Tuple[Tuple[int, ...], float]],
     ) -> bool:
-        """Lock ``allocations`` all-or-nothing (AMP-style multi-path).
-
-        Either every (path, amount) share locks — and the whole payment
-        settles after the confirmation delay — or nothing is locked and
-        ``False`` is returned.
-        """
+        """Lock ``allocations`` all-or-nothing (AMP-style multi-path)."""
         total = sum(amount for _, amount in allocations)
         if total < payment.amount - 1e-6:
             return False
@@ -273,7 +273,7 @@ class Runtime:
                     continue
                 amounts = self.network.hop_amounts(path, amount)
                 htlcs = self.network.lock_path(
-                    path, amount, now=self.now, lock=base_lock, amounts=amounts
+                    path, amount, now=self.sim.now, lock=base_lock, amounts=amounts
                 )
                 payment.register_inflight(amount)
                 locked.append(
@@ -283,7 +283,7 @@ class Runtime:
                         path=tuple(path),
                         htlcs=htlcs,
                         lock=base_lock,
-                        sent_at=self.now,
+                        sent_at=self.sim.now,
                         fee=amounts[0] - amount if amounts else 0.0,
                     )
                 )
@@ -293,20 +293,21 @@ class Runtime:
                 payment.register_cancelled(unit.amount)
                 unit.mark_cancelled()
             return False
+        delay = self.config.confirmation_delay
         for unit in locked:
-            self.sim.call_after(self.config.confirmation_delay, self._resolve_unit, unit)
+            self.sim.schedule_after(delay, self._resolve_unit, unit)
         return True
 
     def fail_payment(self, payment: Payment) -> None:
         """Terminally fail a payment (atomic miss or scheme decision)."""
         if payment.is_terminal:
             return
-        payment.mark_failed(self.now)
+        payment.mark_failed(self.sim.now)
         self._pending.discard(payment.payment_id)
-        self.collector.on_payment_failed(payment, self.now)
+        self.collector.on_payment_failed(payment, self.sim.now)
 
     # ------------------------------------------------------------------
-    # Internal event handlers
+    # Internal event handlers (ported from Runtime, tick-scheduled)
     # ------------------------------------------------------------------
     def _arrive(self, record: TransactionRecord) -> None:
         max_fee = (
@@ -334,18 +335,17 @@ class Runtime:
     def _poll(self) -> None:
         if not self._pending:
             return
+        now = self.sim.now
         pending_payments = [self.payments[pid] for pid in self._pending]
         pending_payments.sort(key=self._policy)
         for payment in pending_payments:
             if payment.is_terminal:
                 self._pending.discard(payment.payment_id)
                 continue
-            if payment.expired(self.now):
+            if payment.expired(now):
                 self.fail_payment(payment)
                 continue
             if self.scheme.atomic:
-                # Atomic payments get one attempt at arrival; they stay in
-                # the pending set only while their settlement is in flight.
                 continue
             if payment.remaining < self.config.min_unit_value:
                 continue  # fully in flight; waiting on settlements
@@ -355,24 +355,23 @@ class Runtime:
 
     def _resolve_unit(self, unit: TransactionUnit) -> None:
         payment = unit.payment
-        # §4.1: the sender withholds the key for units that arrive after the
-        # payment's deadline, cancelling them; everyone refunds.
-        withhold = payment.expired(self.now) and not payment.is_complete
+        now = self.sim.now
+        withhold = payment.expired(now) and not payment.is_complete
         if withhold or payment.state is PaymentState.FAILED and payment.atomic:
             self.network.refund_path(unit.path, unit.htlcs)
             payment.register_cancelled(unit.amount)
             unit.mark_cancelled()
-            self.collector.on_unit_cancelled(unit, self.now)
+            self.collector.on_unit_cancelled(unit, now)
         else:
             self.network.settle_path(unit.path, unit.htlcs)
             was_complete = payment.is_complete
-            payment.register_settled(unit.amount, self.now)
+            payment.register_settled(unit.amount, now)
             payment.fees_paid += unit.fee
             unit.mark_settled()
-            self.collector.on_unit_settled(unit, self.now)
+            self.collector.on_unit_settled(unit, now)
             if payment.is_complete and not was_complete:
                 self._pending.discard(payment.payment_id)
-                self.collector.on_payment_completed(payment, self.now)
+                self.collector.on_payment_completed(payment, now)
         if self.config.check_invariants:
             self.network.check_invariants()
 
@@ -380,16 +379,22 @@ class Runtime:
         if payment.is_terminal:
             self._pending.discard(payment.payment_id)
         elif self.scheme.atomic and payment.inflight < _EPS:
-            # An atomic scheme that could not place the payment fails it.
             self.fail_payment(payment)
 
     def _finish(self) -> None:
         """Mark still-pending payments failed at the end of the run."""
+        now = self.sim.now
         for pid in list(self._pending):
             payment = self.payments[pid]
             if not payment.is_terminal:
-                payment.mark_failed(self.now)
-                self.collector.on_payment_failed(payment, self.now)
+                payment.mark_failed(now)
+                self.collector.on_payment_failed(payment, now)
         self._pending.clear()
         if self._poll_timer is not None:
             self._poll_timer.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationSession(scheme={self.scheme.name!r}, "
+            f"records={len(self.records)}, now={self.now:.6g})"
+        )

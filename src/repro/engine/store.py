@@ -1,0 +1,210 @@
+"""Array-backed channel state.
+
+The seed kept every channel's balances, in-flight totals and flow counters
+in per-object Python dicts, so any whole-network question — total in-flight
+value, imbalance statistics, a waterfilling pass over thousands of channels
+— degenerated into a Python loop over objects.
+
+:class:`ChannelStateStore` flips the layout: one store per network holds
+all mutable per-channel state in flat NumPy arrays indexed by channel id
+(rows) and endpoint side (columns, 0 = ``node_a``, 1 = ``node_b``).
+:class:`~repro.network.channel.PaymentChannel` and
+:class:`~repro.network.network.PaymentNetwork` are thin views over these
+arrays, so routers, the fluid solvers, and metrics collectors can read the
+same memory without copies — and aggregate queries vectorise.
+
+Arrays grow by amortised doubling; the public ``*_view`` properties always
+return views trimmed to the allocated channel count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ChannelError
+
+__all__ = ["ChannelStateStore"]
+
+_INITIAL_CAPACITY = 16
+
+
+class ChannelStateStore:
+    """Flat per-channel state arrays shared by every channel view.
+
+    Side convention: column 0 is the channel's ``node_a``, column 1 its
+    ``node_b``.  All values are float64 except the HTLC counters (int64),
+    the queue depths (int64) and the frozen flags (bool).
+    """
+
+    __slots__ = (
+        "_n",
+        "balance",
+        "inflight",
+        "sent",
+        "settled_flow",
+        "queue_depth",
+        "capacity",
+        "total_deposited",
+        "num_settled",
+        "num_refunded",
+        "frozen",
+    )
+
+    def __init__(self, reserve: int = _INITIAL_CAPACITY):
+        reserve = max(1, int(reserve))
+        self._n = 0
+        self.balance = np.zeros((reserve, 2), dtype=np.float64)
+        self.inflight = np.zeros((reserve, 2), dtype=np.float64)
+        self.sent = np.zeros((reserve, 2), dtype=np.float64)
+        self.settled_flow = np.zeros((reserve, 2), dtype=np.float64)
+        self.queue_depth = np.zeros((reserve, 2), dtype=np.int64)
+        self.capacity = np.zeros(reserve, dtype=np.float64)
+        self.total_deposited = np.zeros(reserve, dtype=np.float64)
+        self.num_settled = np.zeros(reserve, dtype=np.int64)
+        self.num_refunded = np.zeros(reserve, dtype=np.int64)
+        self.frozen = np.zeros(reserve, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of allocated channels."""
+        return self._n
+
+    def allocate(self, capacity: float, balance_a: float) -> int:
+        """Allocate a row for a new channel; returns its channel id."""
+        cid = self._n
+        if cid == self.capacity.shape[0]:
+            self._grow()
+        self._n = cid + 1
+        self.capacity[cid] = capacity
+        self.balance[cid, 0] = balance_a
+        self.balance[cid, 1] = capacity - balance_a
+        return cid
+
+    def _grow(self) -> None:
+        new = max(2 * self.capacity.shape[0], _INITIAL_CAPACITY)
+
+        def widen(arr: np.ndarray) -> np.ndarray:
+            shape = (new,) + arr.shape[1:]
+            wider = np.zeros(shape, dtype=arr.dtype)
+            wider[: arr.shape[0]] = arr
+            return wider
+
+        self.balance = widen(self.balance)
+        self.inflight = widen(self.inflight)
+        self.sent = widen(self.sent)
+        self.settled_flow = widen(self.settled_flow)
+        self.queue_depth = widen(self.queue_depth)
+        self.capacity = widen(self.capacity)
+        self.total_deposited = widen(self.total_deposited)
+        self.num_settled = widen(self.num_settled)
+        self.num_refunded = widen(self.num_refunded)
+        self.frozen = widen(self.frozen)
+
+    # ------------------------------------------------------------------
+    # Trimmed views (always sized to the allocated channel count)
+    # ------------------------------------------------------------------
+    @property
+    def balance_view(self) -> np.ndarray:
+        """``(n, 2)`` spendable balances."""
+        return self.balance[: self._n]
+
+    @property
+    def inflight_view(self) -> np.ndarray:
+        """``(n, 2)`` funds locked in pending HTLCs."""
+        return self.inflight[: self._n]
+
+    @property
+    def sent_view(self) -> np.ndarray:
+        """``(n, 2)`` cumulative value locked per direction."""
+        return self.sent[: self._n]
+
+    @property
+    def settled_flow_view(self) -> np.ndarray:
+        """``(n, 2)`` cumulative value settled per direction."""
+        return self.settled_flow[: self._n]
+
+    @property
+    def queue_depth_view(self) -> np.ndarray:
+        """``(n, 2)`` router queue depths per direction (hop-by-hop mode)."""
+        return self.queue_depth[: self._n]
+
+    @property
+    def capacity_view(self) -> np.ndarray:
+        """``(n,)`` total escrowed funds per channel."""
+        return self.capacity[: self._n]
+
+    @property
+    def frozen_view(self) -> np.ndarray:
+        """``(n,)`` flags for channels currently rejecting new HTLCs."""
+        return self.frozen[: self._n]
+
+    # ------------------------------------------------------------------
+    # Vectorised aggregates
+    # ------------------------------------------------------------------
+    def total_funds(self) -> float:
+        """Sum of all channel capacities."""
+        return float(self.capacity_view.sum())
+
+    def total_inflight(self) -> float:
+        """Funds locked in pending HTLCs across every channel."""
+        return float(self.inflight_view.sum())
+
+    def imbalances(self) -> np.ndarray:
+        """``(n,)`` per-channel ``|balance_a − balance_b|``."""
+        view = self.balance_view
+        return np.abs(view[:, 0] - view[:, 1])
+
+    def flow_imbalances(self) -> np.ndarray:
+        """``(n,)`` per-channel ``|settled a→b − settled b→a|``."""
+        view = self.settled_flow_view
+        return np.abs(view[:, 0] - view[:, 1])
+
+    def check_conservation(self, tolerance: float = 1e-6) -> Optional[int]:
+        """Vectorised fund-conservation check over every channel.
+
+        Returns ``None`` when every channel satisfies ``balances + inflight
+        == capacity`` (within ``tolerance``) with no negative parts, else
+        the id of the first violating channel.
+        """
+        n = self._n
+        if n == 0:
+            return None
+        totals = self.balance_view.sum(axis=1) + self.inflight_view.sum(axis=1)
+        bad = np.abs(totals - self.capacity_view) > tolerance
+        bad |= (self.balance_view < -tolerance).any(axis=1)
+        bad |= (self.inflight_view < -tolerance).any(axis=1)
+        if not bad.any():
+            return None
+        return int(np.argmax(bad))
+
+    def snapshot_balances(self) -> np.ndarray:
+        """Copy of the ``(n, 2)`` balance matrix (a true snapshot)."""
+        return self.balance_view.copy()
+
+    # ------------------------------------------------------------------
+    # Single-channel mutators used by the PaymentChannel view
+    # ------------------------------------------------------------------
+    def deposit(self, cid: int, side: int, amount: float) -> None:
+        """Credit on-chain funds: grows the side's balance and the capacity."""
+        self.balance[cid, side] += amount
+        self.capacity[cid] += amount
+        self.total_deposited[cid] += amount
+
+    def describe(self, cid: int) -> Tuple[float, float, float, float, float]:
+        """``(capacity, balance_a, balance_b, inflight_a, inflight_b)``."""
+        if not 0 <= cid < self._n:
+            raise ChannelError(f"unknown channel id {cid}")
+        return (
+            float(self.capacity[cid]),
+            float(self.balance[cid, 0]),
+            float(self.balance[cid, 1]),
+            float(self.inflight[cid, 0]),
+            float(self.inflight[cid, 1]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChannelStateStore(channels={self._n})"

@@ -5,15 +5,20 @@ from repro.experiments.config import (
     build_size_distribution,
     build_topology,
 )
-from repro.experiments.runner import compare_schemes, run_experiment
+from repro.experiments.executor import SweepCell, SweepExecutor, derive_cell_seed
+from repro.experiments.runner import build_session, compare_schemes, run_experiment
 from repro.experiments.sweeps import capacity_sweep, fee_sweep, parameter_sweep
 
 __all__ = [
     "ExperimentConfig",
+    "SweepCell",
+    "SweepExecutor",
+    "build_session",
     "build_size_distribution",
     "build_topology",
     "capacity_sweep",
     "compare_schemes",
+    "derive_cell_seed",
     "fee_sweep",
     "parameter_sweep",
     "run_experiment",

@@ -1,0 +1,227 @@
+"""Parallel parameter-sweep execution.
+
+The paper's figures are grids of independent simulation cells (scheme ×
+capacity, scheme × fee rate, ...).  The serial helpers in
+:mod:`repro.experiments.sweeps` run them one by one;
+:class:`SweepExecutor` runs them across worker processes, with:
+
+* **reproducible per-cell seeds** — each cell's seed is derived from the
+  base config's seed and the cell's parameter coordinates (never from
+  worker scheduling), so a sweep gives byte-identical results whether it
+  runs on 1 process or 16, in any completion order.  Schemes at the same
+  parameter value share a seed, preserving the paper's methodology of
+  comparing schemes on identical traces;
+* **JSON result caching** — each finished cell is written to
+  ``cache_dir/<sha256-of-config>.json``; re-running a sweep (or extending
+  it with more values) only simulates the missing cells.
+
+Cells execute through :func:`repro.experiments.runner.run_experiment`, by
+default on the :class:`~repro.engine.session.SimulationSession` engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.collectors import ExperimentMetrics
+from repro.simulator.rng import derive_seed
+
+__all__ = ["SweepCell", "SweepExecutor", "derive_cell_seed"]
+
+
+def derive_cell_seed(base_seed: int, field: str, value: object) -> int:
+    """Deterministic seed for the sweep cell at ``field=value``.
+
+    Depends only on the base seed and the cell's coordinates — not on the
+    scheme (schemes compare on identical traces) and not on execution
+    order — so sweeps are reproducible cell by cell.
+    """
+    return derive_seed(base_seed, "sweep-cell", field, repr(value))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully resolved simulation of a sweep grid."""
+
+    index: int
+    scheme: str
+    field: str
+    value: object
+    config: ExperimentConfig
+
+
+def _config_fingerprint(config: ExperimentConfig, engine: str) -> str:
+    """Stable cache key: sha256 of the canonical config JSON + engine tag."""
+    payload = dataclasses.asdict(config)
+    payload["__engine__"] = engine
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _run_cell(payload: Tuple[int, ExperimentConfig, str]) -> Tuple[int, Dict[str, object]]:
+    """Worker entry point: run one cell, return ``(index, metrics dict)``."""
+    index, config, engine = payload
+    from repro.experiments.runner import run_experiment
+
+    metrics = run_experiment(config, engine=engine)
+    return index, metrics.to_dict()
+
+
+class SweepExecutor:
+    """Runs sweep cells in parallel worker processes with result caching.
+
+    Parameters
+    ----------
+    base_config:
+        The sweep's shared configuration; cells override one field plus the
+        scheme and (by default) reseed per parameter value.
+    processes:
+        Worker process count.  ``None`` uses ``os.cpu_count()``; values
+        ``<= 1`` run serially in-process (handy under debuggers and in
+        tests — results are identical by construction).
+    cache_dir:
+        Directory for per-cell JSON results.  ``None`` disables caching.
+    engine:
+        ``"session"`` (default, the tick engine) or ``"legacy"``.
+    reseed_cells:
+        When true (default), each parameter value gets its own derived
+        seed via :func:`derive_cell_seed`.  When false, every cell keeps
+        the base config's seed, matching the serial
+        :func:`repro.experiments.sweeps.parameter_sweep` exactly.
+    """
+
+    def __init__(
+        self,
+        base_config: ExperimentConfig,
+        processes: Optional[int] = None,
+        cache_dir: Optional[str] = None,
+        engine: str = "session",
+        reseed_cells: bool = True,
+    ):
+        if engine not in ("session", "legacy"):
+            raise ConfigError(f"unknown engine {engine!r}; use 'session' or 'legacy'")
+        self.base_config = base_config
+        self.processes = os.cpu_count() or 1 if processes is None else int(processes)
+        self.cache_dir = cache_dir
+        self.engine = engine
+        self.reseed_cells = reseed_cells
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Grid construction
+    # ------------------------------------------------------------------
+    def cells(
+        self, field: str, values: Sequence[object], schemes: Sequence[str]
+    ) -> List[SweepCell]:
+        """The fully resolved ``values × schemes`` cell grid."""
+        grid: List[SweepCell] = []
+        index = 0
+        for value in values:
+            seed = (
+                derive_cell_seed(self.base_config.seed, field, value)
+                if self.reseed_cells
+                else self.base_config.seed
+            )
+            for scheme in schemes:
+                config = self.base_config.with_overrides(
+                    **{field: value}, scheme=scheme, seed=seed
+                )
+                grid.append(SweepCell(index, scheme, field, value, config))
+                index += 1
+        return grid
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[ExperimentMetrics]:
+        """Run ``cells``, returning metrics in cell order.
+
+        Cached cells are loaded without simulating; the rest are distributed
+        over the worker pool (completion order never affects results).
+        """
+        results: Dict[int, ExperimentMetrics] = {}
+        todo: List[Tuple[int, ExperimentConfig, str]] = []
+        keys: Dict[int, str] = {}
+        for cell in cells:
+            key = _config_fingerprint(cell.config, self.engine)
+            keys[cell.index] = key
+            cached = self._cache_load(key)
+            if cached is not None:
+                self.cache_hits += 1
+                results[cell.index] = cached
+            else:
+                self.cache_misses += 1
+                todo.append((cell.index, cell.config, self.engine))
+
+        if todo:
+            if self.processes <= 1 or len(todo) == 1:
+                finished = [_run_cell(payload) for payload in todo]
+            else:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else "spawn"
+                )
+                with ctx.Pool(min(self.processes, len(todo))) as pool:
+                    finished = pool.map(_run_cell, todo)
+            for index, payload in finished:
+                metrics = ExperimentMetrics.from_dict(payload)
+                results[index] = metrics
+                self._cache_store(keys[index], payload)
+        return [results[cell.index] for cell in cells]
+
+    def parameter_sweep(
+        self, field: str, values: Sequence[object], schemes: Sequence[str]
+    ) -> Dict[Tuple[str, object], ExperimentMetrics]:
+        """Parallel drop-in for :func:`repro.experiments.sweeps.parameter_sweep`.
+
+        Returns ``{(scheme, value): metrics}``.
+        """
+        grid = self.cells(field, values, schemes)
+        metrics = self.run_cells(grid)
+        return {
+            (cell.scheme, cell.value): result for cell, result in zip(grid, metrics)
+        }
+
+    def capacity_sweep(
+        self, capacities: Sequence[float], schemes: Sequence[str]
+    ) -> Dict[Tuple[str, float], ExperimentMetrics]:
+        """Parallel Fig. 7: success metrics as per-channel capacity varies."""
+        return self.parameter_sweep("capacity", list(capacities), schemes)
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _cache_load(self, key: str) -> Optional[ExperimentMetrics]:
+        path = self._cache_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return ExperimentMetrics.from_dict(payload["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # unreadable cache entries are simply recomputed
+
+    def _cache_store(self, key: str, metrics_payload: Dict[str, object]) -> None:
+        path = self._cache_path(key)
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"metrics": metrics_payload}, handle, sort_keys=True)
+        os.replace(tmp, path)

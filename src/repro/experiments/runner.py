@@ -1,4 +1,10 @@
-"""Experiment execution: configs in, metrics out."""
+"""Experiment execution: configs in, metrics out.
+
+``run_experiment`` executes on the unified
+:class:`~repro.engine.session.SimulationSession` engine by default; pass
+``engine="legacy"`` to drive the deprecated ``Runtime``/``Simulator`` pair
+(kept for regression comparison — the determinism tests exercise both).
+"""
 
 from __future__ import annotations
 
@@ -6,11 +12,13 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.queueing import QueueingRuntime
 from repro.core.runtime import Runtime
+from repro.engine.session import SimulationSession
+from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.routing.registry import make_scheme
 
-__all__ = ["build_runtime", "run_experiment", "compare_schemes"]
+__all__ = ["build_runtime", "build_session", "run_experiment", "compare_schemes"]
 
 
 def build_runtime(
@@ -46,17 +54,32 @@ def build_runtime(
     )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentMetrics:
+def build_session(
+    config: ExperimentConfig,
+    collector: Optional[MetricsCollector] = None,
+) -> SimulationSession:
+    """Build (but do not run) the config's :class:`SimulationSession`."""
+    return SimulationSession.from_config(config, collector=collector)
+
+
+def run_experiment(config: ExperimentConfig, engine: str = "session") -> ExperimentMetrics:
     """Run one scheme on one topology/workload; returns the run metrics.
 
     The workload and topology depend only on the config's seed and
     parameters — never on the scheme — so scheme comparisons see identical
-    traces, as in the paper's evaluation.  Schemes that declare
-    ``hop_by_hop = True`` (in-network queues, §4.2) get a
-    :class:`~repro.core.queueing.QueueingRuntime`; schemes that declare a
-    ``runtime_class`` (backpressure, windowed transport) get that runtime,
-    constructed with the scheme's ``runtime_kwargs()``.
+    traces, as in the paper's evaluation.
+
+    ``engine="session"`` (default) runs on the unified tick engine; schemes
+    that declare ``hop_by_hop = True`` (in-network queues, §4.2) or a
+    ``runtime_class`` (backpressure, windowed transport) automatically fall
+    back to their specialised legacy runtime behind the session facade.
+    ``engine="legacy"`` forces the deprecated float-time path for every
+    scheme.
     """
+    if engine == "session":
+        return SimulationSession.from_config(config).run()
+    if engine != "legacy":
+        raise ConfigError(f"unknown engine {engine!r}; use 'session' or 'legacy'")
     topology = config.build_topology()
     network = topology.build_network(
         default_capacity=config.capacity,
@@ -73,6 +96,7 @@ def compare_schemes(
     base_config: ExperimentConfig,
     schemes: Sequence[str],
     scheme_params: Optional[Dict[str, Dict[str, object]]] = None,
+    engine: str = "session",
 ) -> List[ExperimentMetrics]:
     """Run several schemes against the identical trace (Fig. 6 layout).
 
@@ -84,5 +108,5 @@ def compare_schemes(
         config = base_config.with_overrides(
             scheme=scheme, scheme_params=scheme_params.get(scheme, {})
         )
-        results.append(run_experiment(config))
+        results.append(run_experiment(config, engine=engine))
     return results

@@ -1,4 +1,9 @@
-"""Parameter sweeps — the generic machinery behind Fig. 7 and the ablations."""
+"""Parameter sweeps — the generic machinery behind Fig. 7 and the ablations.
+
+These helpers run cells serially in-process; for multi-core execution with
+per-cell seeds and JSON result caching use
+:class:`repro.experiments.executor.SweepExecutor`.
+"""
 
 from __future__ import annotations
 

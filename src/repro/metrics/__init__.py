@@ -8,7 +8,7 @@ from repro.metrics.incentives import (
     fee_yield_report,
     gini,
 )
-from repro.metrics.report import format_metrics_table, format_table
+from repro.metrics.report import format_metrics_table, format_table, metrics_to_json
 
 __all__ = [
     "ExperimentMetrics",
@@ -20,4 +20,5 @@ __all__ = [
     "format_metrics_table",
     "format_table",
     "gini",
+    "metrics_to_json",
 ]

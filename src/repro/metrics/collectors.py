@@ -66,6 +66,21 @@ class ExperimentMetrics:
             ),
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable dict of every field (round-trips exactly)."""
+        out = dict(self.__dict__)
+        out["throughput_series"] = [list(point) for point in self.throughput_series]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentMetrics":
+        """Inverse of :meth:`to_dict` (e.g. after a sweep cache hit)."""
+        payload = dict(data)
+        payload["throughput_series"] = [
+            (float(t), float(v)) for t, v in payload.get("throughput_series", [])
+        ]
+        return cls(**payload)
+
 
 class MetricsCollector:
     """Accumulates events during a run; finalised into ExperimentMetrics.

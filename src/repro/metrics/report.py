@@ -6,9 +6,20 @@ module keeps that output readable and diff-able.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_metrics_table"]
+__all__ = ["format_table", "format_metrics_table", "metrics_to_json"]
+
+
+def metrics_to_json(metrics) -> str:
+    """Canonical JSON for one :class:`ExperimentMetrics`.
+
+    Keys are sorted and floats use ``repr`` round-tripping, so two runs
+    produce byte-identical strings exactly when every metric is identical —
+    the determinism regression tests compare these bytes directly.
+    """
+    return json.dumps(metrics.to_dict(), sort_keys=True, separators=(",", ":"))
 
 
 def format_table(

@@ -22,6 +22,7 @@ import itertools
 import math
 from typing import Dict, Hashable, Iterator, Optional, Tuple
 
+from repro.engine.store import ChannelStateStore
 from repro.errors import ChannelError, InsufficientFundsError
 from repro.network.htlc import HashLock, Htlc, HtlcState
 
@@ -43,13 +44,20 @@ class PaymentChannel:
         ``node_a``'s initial spendable balance.  Defaults to an even split,
         matching the paper's experiments ("equally split between the two
         parties", §6.2).
+    store:
+        The :class:`~repro.engine.store.ChannelStateStore` holding this
+        channel's mutable state.  A network passes its shared store so all
+        channels live in the same flat arrays; a standalone channel gets a
+        private single-row store, so the view API is uniform either way.
 
     Notes
     -----
-    All mutating operations are mediated by HTLCs so that funds are held
-    in-flight during the confirmation delay, exactly as in §4.2: *"Funds
-    received on a payment channel remain in a pending state until the final
-    receiver provides the key for the hash lock."*
+    The channel object itself is a *view*: balances, in-flight totals, flow
+    counters and the frozen flag live in the store's NumPy arrays, indexed
+    by ``channel_id``.  All mutating operations are mediated by HTLCs so
+    that funds are held in-flight during the confirmation delay, exactly as
+    in §4.2: *"Funds received on a payment channel remain in a pending
+    state until the final receiver provides the key for the hash lock."*
     """
 
     _htlc_ids = itertools.count(1)
@@ -57,18 +65,12 @@ class PaymentChannel:
     __slots__ = (
         "node_a",
         "node_b",
-        "capacity",
         "base_fee",
         "fee_rate",
-        "_balances",
-        "_inflight",
+        "_store",
+        "_cid",
+        "_side",
         "_htlcs",
-        "_sent",
-        "_settled_flow",
-        "_num_settled",
-        "_num_refunded",
-        "total_deposited",
-        "_frozen",
     )
 
     def __init__(
@@ -79,6 +81,7 @@ class PaymentChannel:
         balance_a: Optional[float] = None,
         base_fee: float = 0.0,
         fee_rate: float = 0.0,
+        store: Optional[ChannelStateStore] = None,
     ):
         if node_a == node_b:
             raise ChannelError(f"channel endpoints must differ, got {node_a!r} twice")
@@ -94,22 +97,40 @@ class PaymentChannel:
             raise ChannelError("fees must be non-negative")
         self.node_a = node_a
         self.node_b = node_b
-        self.capacity = float(capacity)
         self.base_fee = float(base_fee)
         self.fee_rate = float(fee_rate)
-        self._balances: Dict[NodeId, float] = {
-            node_a: float(balance_a),
-            node_b: float(capacity - balance_a),
-        }
-        self._inflight: Dict[NodeId, float] = {node_a: 0.0, node_b: 0.0}
+        self._store = store if store is not None else ChannelStateStore(reserve=1)
+        self._cid = self._store.allocate(float(capacity), float(balance_a))
+        self._side: Dict[NodeId, int] = {node_a: 0, node_b: 1}
         self._htlcs: Dict[int, Htlc] = {}
-        # Cumulative value settled in each direction, keyed by sender.
-        self._settled_flow: Dict[NodeId, float] = {node_a: 0.0, node_b: 0.0}
-        self._sent: Dict[NodeId, float] = {node_a: 0.0, node_b: 0.0}
-        self._num_settled = 0
-        self._num_refunded = 0
-        self.total_deposited = 0.0
-        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Store plumbing
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ChannelStateStore:
+        """The state store backing this channel view."""
+        return self._store
+
+    @property
+    def channel_id(self) -> int:
+        """Row index of this channel in its store's arrays."""
+        return self._cid
+
+    def side(self, node: NodeId) -> int:
+        """Store column (0 = ``node_a``, 1 = ``node_b``) for ``node``."""
+        self._require_endpoint(node)
+        return self._side[node]
+
+    @property
+    def capacity(self) -> float:
+        """Total escrowed funds (grows when :meth:`deposit` adds collateral)."""
+        return float(self._store.capacity[self._cid])
+
+    @property
+    def total_deposited(self) -> float:
+        """Cumulative on-chain deposits made through :meth:`deposit`."""
+        return float(self._store.total_deposited[self._cid])
 
     # ------------------------------------------------------------------
     # Introspection
@@ -130,12 +151,12 @@ class PaymentChannel:
     def balance(self, node: NodeId) -> float:
         """Spendable funds currently held by ``node``."""
         self._require_endpoint(node)
-        return self._balances[node]
+        return float(self._store.balance[self._cid, self._side[node]])
 
     def inflight(self, node: NodeId) -> float:
         """Funds ``node`` has locked in pending HTLCs."""
         self._require_endpoint(node)
-        return self._inflight[node]
+        return float(self._store.inflight[self._cid, self._side[node]])
 
     def available(self, sender: NodeId) -> float:
         """Funds ``sender`` can commit to a new transfer right now.
@@ -145,7 +166,7 @@ class PaymentChannel:
         until settlement (§6.1).  A frozen channel (closing, or an offline
         endpoint — see :mod:`repro.network.faults`) accepts nothing.
         """
-        if self._frozen:
+        if self._store.frozen[self._cid]:
             return 0.0
         return self.balance(sender)
 
@@ -158,33 +179,35 @@ class PaymentChannel:
         just accepts no new ones.  Freezing never moves funds, so all
         conservation invariants are unaffected.
         """
-        return self._frozen
+        return bool(self._store.frozen[self._cid])
 
     def freeze(self) -> None:
         """Stop accepting new HTLCs (channel closure / endpoint outage)."""
-        self._frozen = True
+        self._store.frozen[self._cid] = True
 
     def unfreeze(self) -> None:
         """Resume normal operation (endpoint back online)."""
-        self._frozen = False
+        self._store.frozen[self._cid] = False
 
     def settled_flow(self, sender: NodeId) -> float:
         """Cumulative value settled in the ``sender →`` direction."""
         self._require_endpoint(sender)
-        return self._settled_flow[sender]
+        return float(self._store.settled_flow[self._cid, self._side[sender]])
 
     def attempted_flow(self, sender: NodeId) -> float:
         """Cumulative value locked (settled or not) in the ``sender →`` direction."""
         self._require_endpoint(sender)
-        return self._sent[sender]
+        return float(self._store.sent[self._cid, self._side[sender]])
 
     def imbalance(self) -> float:
         """Absolute difference between the two spendable balances."""
-        return abs(self._balances[self.node_a] - self._balances[self.node_b])
+        row = self._store.balance[self._cid]
+        return abs(float(row[0]) - float(row[1]))
 
     def flow_imbalance(self) -> float:
         """|settled flow a→b − settled flow b→a|, the paper's rate-imbalance notion."""
-        return abs(self._settled_flow[self.node_a] - self._settled_flow[self.node_b])
+        row = self._store.settled_flow[self._cid]
+        return abs(float(row[0]) - float(row[1]))
 
     def forwarding_fee(self, amount: float) -> float:
         """Fee a router charges to forward ``amount`` over this channel.
@@ -204,12 +227,12 @@ class PaymentChannel:
     @property
     def num_settled(self) -> int:
         """Count of HTLCs settled over the channel's lifetime."""
-        return self._num_settled
+        return int(self._store.num_settled[self._cid])
 
     @property
     def num_refunded(self) -> int:
         """Count of HTLCs refunded over the channel's lifetime."""
-        return self._num_refunded
+        return int(self._store.num_refunded[self._cid])
 
     # ------------------------------------------------------------------
     # State machine
@@ -231,12 +254,14 @@ class PaymentChannel:
         self._require_endpoint(sender)
         if amount <= 0 or not math.isfinite(amount):
             raise ChannelError(f"lock amount must be positive and finite, got {amount!r}")
-        if self._frozen:
+        store, cid = self._store, self._cid
+        if store.frozen[cid]:
             raise InsufficientFundsError(
                 f"channel ({self.node_a!r}, {self.node_b!r}) is frozen "
                 "(closing or endpoint offline)"
             )
-        balance = self._balances[sender]
+        side = self._side[sender]
+        balance = float(store.balance[cid, side])
         if amount > balance + 1e-9:
             raise InsufficientFundsError(
                 f"{sender!r} has {balance:.6g} spendable on channel "
@@ -251,9 +276,9 @@ class PaymentChannel:
             created_at=now,
             lock=lock,
         )
-        self._balances[sender] -= amount
-        self._inflight[sender] += amount
-        self._sent[sender] += amount
+        store.balance[cid, side] = balance - amount
+        store.inflight[cid, side] += amount
+        store.sent[cid, side] += amount
         self._htlcs[htlc.htlc_id] = htlc
         return htlc
 
@@ -261,19 +286,23 @@ class PaymentChannel:
         """Complete a pending HTLC: credit the receiver's spendable balance."""
         self._require_owned(htlc)
         htlc.mark_settled()
-        self._inflight[htlc.sender] -= htlc.amount
-        self._balances[htlc.receiver] += htlc.amount
-        self._settled_flow[htlc.sender] += htlc.amount
-        self._num_settled += 1
+        store, cid = self._store, self._cid
+        sender_side = self._side[htlc.sender]
+        store.inflight[cid, sender_side] -= htlc.amount
+        store.balance[cid, 1 - sender_side] += htlc.amount
+        store.settled_flow[cid, sender_side] += htlc.amount
+        store.num_settled[cid] += 1
         del self._htlcs[htlc.htlc_id]
 
     def refund(self, htlc: Htlc) -> None:
         """Cancel a pending HTLC: return the funds to the sender."""
         self._require_owned(htlc)
         htlc.mark_refunded()
-        self._inflight[htlc.sender] -= htlc.amount
-        self._balances[htlc.sender] += htlc.amount
-        self._num_refunded += 1
+        store, cid = self._store, self._cid
+        sender_side = self._side[htlc.sender]
+        store.inflight[cid, sender_side] -= htlc.amount
+        store.balance[cid, sender_side] += htlc.amount
+        store.num_refunded[cid] += 1
         del self._htlcs[htlc.htlc_id]
 
     def deposit(self, node: NodeId, amount: float) -> None:
@@ -285,31 +314,28 @@ class PaymentChannel:
         self._require_endpoint(node)
         if amount <= 0 or not math.isfinite(amount):
             raise ChannelError(f"deposit must be positive and finite, got {amount!r}")
-        self._balances[node] += amount
-        self.capacity += amount
-        self.total_deposited += amount
+        self._store.deposit(self._cid, self._side[node], amount)
 
     # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
     def check_invariant(self, tolerance: float = 1e-6) -> None:
         """Assert conservation of escrowed funds; raises on violation."""
-        total = (
-            self._balances[self.node_a]
-            + self._balances[self.node_b]
-            + self._inflight[self.node_a]
-            + self._inflight[self.node_b]
-        )
+        store, cid = self._store, self._cid
+        balances = store.balance[cid]
+        inflight = store.inflight[cid]
+        total = float(balances[0] + balances[1] + inflight[0] + inflight[1])
         if abs(total - self.capacity) > tolerance:
             raise ChannelError(
                 f"conservation violated on ({self.node_a!r}, {self.node_b!r}): "
                 f"parts sum to {total:.9g}, capacity is {self.capacity:.9g}"
             )
         for node in self.endpoints:
-            if self._balances[node] < -tolerance or self._inflight[node] < -tolerance:
+            side = self._side[node]
+            if balances[side] < -tolerance or inflight[side] < -tolerance:
                 raise ChannelError(
-                    f"negative funds at {node!r}: balance={self._balances[node]:.9g}, "
-                    f"inflight={self._inflight[node]:.9g}"
+                    f"negative funds at {node!r}: balance={float(balances[side]):.9g}, "
+                    f"inflight={float(inflight[side]):.9g}"
                 )
 
     # ------------------------------------------------------------------
@@ -329,8 +355,9 @@ class PaymentChannel:
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        row = self._store.balance[self._cid]
         return (
             f"PaymentChannel({self.node_a!r}<->{self.node_b!r}, "
             f"cap={self.capacity:.6g}, "
-            f"bal=({self._balances[self.node_a]:.6g}, {self._balances[self.node_b]:.6g}))"
+            f"bal=({float(row[0]):.6g}, {float(row[1]):.6g}))"
         )

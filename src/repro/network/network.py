@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.store import ChannelStateStore
 from repro.errors import ChannelError, InsufficientFundsError, TopologyError
 from repro.network.channel import PaymentChannel
 from repro.network.htlc import HashLock, Htlc
@@ -63,6 +64,10 @@ class PaymentNetwork:
         self._nodes: Dict[NodeId, Node] = {}
         self._channels: Dict[Tuple[NodeId, NodeId], PaymentChannel] = {}
         self._adjacency: Dict[NodeId, set] = {}
+        # All channel state lives in one flat array store; channels are views.
+        self._store = ChannelStateStore()
+        # (u, v) -> (channel, store row, u's store column), both directions.
+        self._directions: Dict[Tuple[NodeId, NodeId], Tuple[PaymentChannel, int, int]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,11 +104,20 @@ class PaymentNetwork:
         self.add_node(u)
         self.add_node(v)
         channel = PaymentChannel(
-            u, v, capacity, balance_a=balance_u, base_fee=base_fee, fee_rate=fee_rate
+            u,
+            v,
+            capacity,
+            balance_a=balance_u,
+            base_fee=base_fee,
+            fee_rate=fee_rate,
+            store=self._store,
         )
         self._channels[key] = channel
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        cid = channel.channel_id
+        self._directions[(u, v)] = (channel, cid, 0)
+        self._directions[(v, u)] = (channel, cid, 1)
         return channel
 
     # ------------------------------------------------------------------
@@ -167,9 +181,31 @@ class PaymentNetwork:
     # ------------------------------------------------------------------
     # Funds view
     # ------------------------------------------------------------------
+    @property
+    def state_store(self) -> ChannelStateStore:
+        """The flat array store every channel of this network is a view of.
+
+        Routing schemes, fluid solvers and metrics collectors can read
+        (vectorised) channel state here without copying; row indices come
+        from :meth:`channel_id` / :attr:`PaymentChannel.channel_id`.
+        """
+        return self._store
+
+    def channel_id(self, u: NodeId, v: NodeId) -> Tuple[int, int]:
+        """``(store row, u's store column)`` for the ``u → v`` direction."""
+        try:
+            _, cid, side = self._directions[(u, v)]
+        except KeyError:
+            raise TopologyError(f"no channel between {u!r} and {v!r}") from None
+        return cid, side
+
     def available(self, u: NodeId, v: NodeId) -> float:
         """Spendable funds in the ``u → v`` direction."""
-        return self.channel(u, v).available(u)
+        cid, side = self.channel_id(u, v)
+        store = self._store
+        if store.frozen[cid]:
+            return 0.0
+        return float(store.balance[cid, side])
 
     def bottleneck(self, path: Path) -> float:
         """Minimum directional availability along ``path``.
@@ -269,16 +305,21 @@ class PaymentNetwork:
     # ------------------------------------------------------------------
     def total_funds(self) -> float:
         """Sum of all channel capacities (escrowed collateral)."""
-        return sum(c.capacity for c in self._channels.values())
+        return self._store.total_funds()
 
     def total_inflight(self) -> float:
         """Funds currently locked in pending HTLCs across the network."""
-        return sum(
-            c.inflight(c.node_a) + c.inflight(c.node_b) for c in self._channels.values()
-        )
+        return self._store.total_inflight()
 
     def check_invariants(self) -> None:
-        """Check fund conservation on every channel; raises on violation."""
+        """Check fund conservation on every channel; raises on violation.
+
+        The happy path is one vectorised pass over the store; only on
+        violation does the per-channel check re-run to produce the precise
+        error message.
+        """
+        if self._store.check_conservation() is None:
+            return
         for channel in self._channels.values():
             channel.check_invariant()
 

@@ -1,4 +1,14 @@
-"""Discrete-event simulation engine.
+"""Discrete-event simulation engine (legacy path).
+
+.. deprecated::
+    This float-time engine is kept as a compatibility shim (the specialised
+    runtimes in :mod:`repro.core.queueing` and
+    :mod:`repro.routing.backpressure` still drive it, and regression tests
+    compare against it).  New code should use
+    :class:`repro.engine.events.TickEngine` — the integer-tick engine with
+    the slab event queue — via :class:`repro.engine.session.SimulationSession`,
+    which measures 2–2.5× the event throughput
+    (``benchmarks/bench_substrate_micro.py``).
 
 This module is the foundation of the reproduction: the paper evaluates Spider
 inside a discrete-event simulator (a modified version of the SpeedyMurmurs
@@ -67,14 +77,21 @@ class Event:
     directly.
     """
 
-    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "_owner")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        owner: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.callback = callback
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the event from firing.
@@ -82,7 +99,11 @@ class Event:
         Cancelling an event that already fired is a no-op; cancellation is
         idempotent.
         """
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -137,6 +158,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._pending_count = 0
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -153,8 +176,31 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queue entries not yet fired (including cancelled ones)."""
-        return sum(1 for entry in self._queue if entry.event.pending)
+        """Number of scheduled events that are still waiting to fire.
+
+        Maintained as a live counter (cancellation notifies the simulator),
+        so this is O(1) rather than an O(n) scan of the heap.
+        """
+        return self._pending_count
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`.
+
+        Keeps the pending counter exact and compacts the heap once more than
+        half of its entries are cancelled corpses, so long-running
+        simulations with heavy cancellation (timeout patterns) stay O(log n)
+        per operation instead of degrading.
+        """
+        self._pending_count -= 1
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap > len(self._queue) // 2 and len(self._queue) >= 64:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant."""
+        self._queue = [entry for entry in self._queue if entry.event.pending]
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -189,8 +235,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past (now={self._now:.6g}, requested={time:.6g})"
             )
-        event = Event(time, callback, args)
+        event = Event(time, callback, args, owner=self)
         heapq.heappush(self._queue, _QueueEntry(time, priority, next(self._seq), event))
+        self._pending_count += 1
         return event
 
     def call_after(
@@ -251,8 +298,10 @@ class Simulator:
                 heapq.heappop(self._queue)
                 event = entry.event
                 if event.cancelled:
+                    self._cancelled_in_heap -= 1
                     continue
                 self._now = entry.time
+                self._pending_count -= 1
                 event._fire()
                 executed += 1
                 self._events_processed += 1
@@ -271,8 +320,10 @@ class Simulator:
         while self._queue:
             entry = heapq.heappop(self._queue)
             if entry.event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = entry.time
+            self._pending_count -= 1
             entry.event._fire()
             self._events_processed += 1
             return True
@@ -282,6 +333,7 @@ class Simulator:
         """Time of the next pending event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0].event.cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_heap -= 1
         if not self._queue:
             return None
         return self._queue[0].time

@@ -1,0 +1,121 @@
+"""Tests for the SimulationSession facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queueing import QueueingRuntime
+from repro.core.runtime import RuntimeConfig
+from repro.engine.session import SimulationSession
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.routing.registry import make_scheme
+from repro.topology import line_topology
+from repro.workload.generator import TransactionRecord
+
+
+def _line_setup(scheme_name="shortest-path", n_records=20):
+    network = line_topology(4).build_network(default_capacity=100.0)
+    records = [
+        TransactionRecord(
+            txn_id=i, source=0, dest=3, amount=2.0, arrival_time=0.05 * (i + 1)
+        )
+        for i in range(n_records)
+    ]
+    scheme = make_scheme(scheme_name)
+    return network, records, scheme
+
+
+def _config(**overrides):
+    base = dict(
+        scheme="spider-waterfilling",
+        topology="line-5",
+        capacity=200.0,
+        num_transactions=250,
+        arrival_rate=50.0,
+        seed=5,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestNativeExecution:
+    def test_runs_trace_and_settles(self):
+        network, records, scheme = _line_setup()
+        session = SimulationSession(network, records, scheme)
+        metrics = session.run()
+        assert metrics.attempted == 20
+        assert metrics.completed == 20
+        assert metrics.success_ratio == pytest.approx(1.0)
+        assert network.total_inflight() == pytest.approx(0.0)
+
+    def test_session_runs_exactly_once(self):
+        network, records, scheme = _line_setup()
+        session = SimulationSession(network, records, scheme)
+        session.run()
+        with pytest.raises(RuntimeError):
+            session.run()
+
+    def test_matches_legacy_runtime_counts(self):
+        config = _config()
+        legacy = run_experiment(config, engine="legacy")
+        session = run_experiment(config, engine="session")
+        assert session.attempted == legacy.attempted
+        assert session.completed == legacy.completed
+        assert session.failed == legacy.failed
+        assert session.delivered_value == pytest.approx(legacy.delivered_value)
+        assert session.mean_completion_latency == pytest.approx(
+            legacy.mean_completion_latency, abs=1e-4
+        )
+
+    def test_scheme_surface(self):
+        """Schemes read the Runtime attribute surface off the session."""
+        network, records, scheme = _line_setup()
+        config = RuntimeConfig(end_time=30.0)
+        session = SimulationSession(network, records, scheme, config)
+        assert session.end_time == pytest.approx(30.0)
+        assert session.now == 0.0
+        assert session.records
+        assert session.network is network
+        session.run()
+        assert session.now == pytest.approx(30.0)
+        assert session.events_processed > 0
+
+    def test_atomic_scheme_single_attempt(self):
+        config = _config(scheme="speedymurmurs", num_transactions=100)
+        legacy = run_experiment(config, engine="legacy")
+        session = run_experiment(config, engine="session")
+        assert session.attempted == legacy.attempted
+        assert session.completed == legacy.completed
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_experiment(_config(), engine="warp-drive")
+
+
+class TestFacadeFallback:
+    def test_hop_by_hop_scheme_delegates_to_queueing_runtime(self):
+        config = _config(scheme="spider-queueing", num_transactions=100)
+        session = SimulationSession.from_config(config)
+        metrics = session.run()
+        assert isinstance(session._delegate, QueueingRuntime)
+        assert metrics.attempted == 100
+
+    def test_fallback_matches_direct_legacy_run(self):
+        config = _config(scheme="spider-queueing", num_transactions=100)
+        via_session = SimulationSession.from_config(config).run()
+        direct = run_experiment(config, engine="legacy")
+        assert via_session.attempted == direct.attempted
+        assert via_session.completed == direct.completed
+        assert via_session.delivered_value == pytest.approx(direct.delivered_value)
+
+
+class TestPrimalDualOnSession:
+    def test_recurring_control_loop_runs_on_tick_engine(self):
+        """spider-primal-dual drives a RecurringTimer off session.sim."""
+        config = _config(scheme="spider-primal-dual", num_transactions=120)
+        metrics = SimulationSession.from_config(config).run()
+        assert metrics.attempted == 120
+        assert 0.0 <= metrics.success_ratio <= 1.0

@@ -1,0 +1,128 @@
+"""Tests for the parallel SweepExecutor."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import SweepExecutor, derive_cell_seed
+from repro.experiments.sweeps import parameter_sweep
+from repro.metrics.collectors import ExperimentMetrics
+from repro.metrics.report import metrics_to_json
+
+CAPACITIES = [100.0, 140.0, 180.0, 220.0]
+SCHEMES = ["spider-waterfilling", "shortest-path"]
+
+
+def _base(**overrides):
+    base = dict(
+        scheme="spider-waterfilling",
+        topology="line-4",
+        capacity=150.0,
+        num_transactions=100,
+        arrival_rate=40.0,
+        seed=11,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestCellGrid:
+    def test_grid_shape_and_seeds(self):
+        executor = SweepExecutor(_base(), processes=1)
+        cells = executor.cells("capacity", CAPACITIES, SCHEMES)
+        assert len(cells) == 8
+        # Schemes at the same value share a seed (identical traces)...
+        by_value = {}
+        for cell in cells:
+            by_value.setdefault(cell.value, set()).add(cell.config.seed)
+        assert all(len(seeds) == 1 for seeds in by_value.values())
+        # ...and different values get different derived seeds.
+        assert len({next(iter(s)) for s in by_value.values()}) == len(CAPACITIES)
+
+    def test_cell_seeds_reproducible(self):
+        assert derive_cell_seed(11, "capacity", 100.0) == derive_cell_seed(
+            11, "capacity", 100.0
+        )
+        assert derive_cell_seed(11, "capacity", 100.0) != derive_cell_seed(
+            12, "capacity", 100.0
+        )
+
+    def test_reseed_disabled_keeps_base_seed(self):
+        executor = SweepExecutor(_base(), processes=1, reseed_cells=False)
+        cells = executor.cells("capacity", CAPACITIES, SCHEMES)
+        assert {cell.config.seed for cell in cells} == {11}
+
+
+class TestParallelExecution:
+    def test_eight_cells_parallel_matches_serial(self):
+        """≥8 cells through worker processes, byte-identical to serial."""
+        parallel = SweepExecutor(_base(), processes=2).parameter_sweep(
+            "capacity", CAPACITIES, SCHEMES
+        )
+        serial = SweepExecutor(_base(), processes=1).parameter_sweep(
+            "capacity", CAPACITIES, SCHEMES
+        )
+        assert len(parallel) == 8
+        assert parallel.keys() == serial.keys()
+        for key in parallel:
+            assert metrics_to_json(parallel[key]) == metrics_to_json(serial[key])
+
+    def test_matches_serial_sweeps_module_when_not_reseeded(self):
+        executor = SweepExecutor(_base(), processes=2, reseed_cells=False)
+        via_executor = executor.parameter_sweep("capacity", CAPACITIES[:2], SCHEMES)
+        via_sweeps = parameter_sweep(_base(), "capacity", CAPACITIES[:2], SCHEMES)
+        for key, metrics in via_sweeps.items():
+            assert metrics_to_json(via_executor[key]) == metrics_to_json(metrics)
+
+
+class TestCaching:
+    def test_cache_round_trip(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        first = SweepExecutor(_base(), processes=1, cache_dir=cache)
+        results = first.parameter_sweep("capacity", CAPACITIES[:2], SCHEMES)
+        assert first.cache_misses == 4 and first.cache_hits == 0
+        assert len(os.listdir(cache)) == 4
+
+        second = SweepExecutor(_base(), processes=1, cache_dir=cache)
+        cached = second.parameter_sweep("capacity", CAPACITIES[:2], SCHEMES)
+        assert second.cache_hits == 4 and second.cache_misses == 0
+        for key in results:
+            assert metrics_to_json(cached[key]) == metrics_to_json(results[key])
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        executor = SweepExecutor(_base(), processes=1, cache_dir=cache)
+        executor.parameter_sweep("capacity", CAPACITIES[:1], SCHEMES[:1])
+        (entry,) = os.listdir(cache)
+        with open(os.path.join(cache, entry), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        again = SweepExecutor(_base(), processes=1, cache_dir=cache)
+        results = again.parameter_sweep("capacity", CAPACITIES[:1], SCHEMES[:1])
+        assert again.cache_misses == 1
+        assert isinstance(next(iter(results.values())), ExperimentMetrics)
+
+    def test_cache_key_distinguishes_engines(self, tmp_path):
+        cache = str(tmp_path / "cells")
+        SweepExecutor(_base(), processes=1, cache_dir=cache).parameter_sweep(
+            "capacity", CAPACITIES[:1], SCHEMES[:1]
+        )
+        legacy = SweepExecutor(
+            _base(), processes=1, cache_dir=cache, engine="legacy"
+        )
+        legacy.parameter_sweep("capacity", CAPACITIES[:1], SCHEMES[:1])
+        assert legacy.cache_hits == 0 and legacy.cache_misses == 1
+
+
+class TestMetricsRoundTrip:
+    def test_to_dict_from_dict_is_lossless(self):
+        from repro.experiments.runner import run_experiment
+
+        metrics = run_experiment(_base())
+        clone = ExperimentMetrics.from_dict(
+            json.loads(json.dumps(metrics.to_dict()))
+        )
+        assert metrics_to_json(clone) == metrics_to_json(metrics)
