@@ -67,6 +67,7 @@ class HopUnit:
         "lock",
         "launched_at",
         "queued_at",
+        "queue_seq",
         "timeout_event",
         "marked",
         "done",
@@ -81,6 +82,7 @@ class HopUnit:
         self.lock = lock
         self.launched_at = now
         self.queued_at: Optional[float] = None
+        self.queue_seq = 0  # enqueue generation (lazy timeout cancellation)
         self.timeout_event: Optional[Event] = None
         self.marked = False  # congestion mark (router queue delay, §4.1)
         self.done = False
@@ -157,6 +159,11 @@ class QueueingRuntime(Runtime):
         self.mark_threshold = mark_threshold
         self.units_marked = 0
         self._hop_queues: Dict[Tuple[int, int], Deque[HopUnit]] = {}
+        self._draining = False  # end-of-run drain: no re-launches
+        # Live (non-timed-out) units per direction: timed-out units stay in
+        # the deque as corpses until service pops them, so deque length
+        # alone over-counts.
+        self._queue_depths: Dict[Tuple[int, int], int] = {}
         self.units_queued = 0
         self.units_timed_out = 0
         self.queue_delays: List[float] = []
@@ -214,27 +221,43 @@ class QueueingRuntime(Runtime):
         key = (unit.current_node, unit.next_node)
         queue = self._hop_queues.setdefault(key, deque())
         unit.queued_at = self.now
+        unit.queue_seq += 1
         queue.append(unit)
         self.units_queued += 1
+        depth = self._queue_depths.get(key, 0) + 1
+        self._queue_depths[key] = depth
+        self.collector.on_unit_queued(depth)
         unit.timeout_event = self.sim.call_after(
             self.queue_timeout, self._timeout_unit, unit
         )
 
     def _dequeue(self, key: Tuple[int, int]) -> None:
         """Service the queue for direction ``key`` while funds last."""
+        if self._draining:
+            # End-of-run drain: refunds from aborted units must not
+            # relaunch queued units — the simulator will never fire their
+            # advance events, so a relaunch would strand funds in flight.
+            return
         queue = self._hop_queues.get(key)
         if not queue:
             return
         if self.queue_policy == "srpt":
-            ordered = sorted(queue, key=lambda u: (u.payment.outstanding, u.launched_at))
+            ordered = sorted(
+                (u for u in queue if not u.done),
+                key=lambda u: (u.payment.outstanding, u.launched_at),
+            )
             queue.clear()
             queue.extend(ordered)
         while queue:
             unit = queue[0]
+            if unit.done:  # lazily-cancelled corpse (timed out)
+                queue.popleft()
+                continue
             u, v = key
             if self.network.available(u, v) + _EPS < unit.amount:
                 break
             queue.popleft()
+            self._queue_depths[key] -= 1
             if unit.timeout_event is not None:
                 unit.timeout_event.cancel()
                 unit.timeout_event = None
@@ -252,12 +275,14 @@ class QueueingRuntime(Runtime):
                 self._schedule_advance(unit)
 
     def _timeout_unit(self, unit: HopUnit) -> None:
+        # Lazy cancel: the unit is NOT removed from its deque (that remove
+        # was O(n) per timeout); aborting marks it ``done`` and _dequeue
+        # skips the corpse when it reaches the head.
         if unit.done or unit.queued_at is None:
             return
         key = (unit.current_node, unit.next_node)
-        queue = self._hop_queues.get(key)
-        if queue is not None and unit in queue:
-            queue.remove(unit)
+        self._queue_depths[key] = self._queue_depths.get(key, 1) - 1
+        unit.queued_at = None
         self.units_timed_out += 1
         self._abort_unit(unit)
 
@@ -325,11 +350,15 @@ class QueueingRuntime(Runtime):
     # ------------------------------------------------------------------
     def _finish(self) -> None:
         """Drain router queues at end of run, refunding stranded units."""
+        self._draining = True
         for key, queue in list(self._hop_queues.items()):
             while queue:
                 unit = queue.popleft()
+                if unit.done:  # timed-out corpse, already refunded
+                    continue
                 if unit.timeout_event is not None:
                     unit.timeout_event.cancel()
+                self._queue_depths[key] = self._queue_depths.get(key, 1) - 1
                 self._abort_unit(unit)
         super()._finish()
 
@@ -344,13 +373,17 @@ class QueueingRuntime(Runtime):
 class SpiderQueueingScheme(RoutingScheme):
     """Waterfilling path choice over hop-by-hop queueing transport.
 
-    Must run under :class:`QueueingRuntime`; the experiment runner selects
-    it automatically via the ``hop_by_hop`` attribute.
+    Runs natively on :class:`~repro.engine.session.SimulationSession` via
+    the ``transport = "hop"`` declaration
+    (:class:`~repro.engine.transport.HopByHopTransport`); the legacy
+    ``hop_by_hop`` flag keeps ``engine="legacy"`` runs on
+    :class:`QueueingRuntime` for the determinism parity tests.
     """
 
     name = "spider-queueing"
     atomic = False
     hop_by_hop = True
+    transport = "hop"
 
     def __init__(self, num_paths: int = 4):
         if num_paths <= 0:
@@ -358,10 +391,14 @@ class SpiderQueueingScheme(RoutingScheme):
         self.num_paths = num_paths
 
     def attempt(self, payment: Payment, runtime: Runtime) -> None:
-        if not isinstance(runtime, QueueingRuntime):
+        # A session executes hop units through its attached transport; a
+        # legacy runtime executes them itself.
+        executor = getattr(runtime, "transport", runtime)
+        if not hasattr(executor, "send_unit_hop_by_hop"):
             raise TypeError(
-                "SpiderQueueingScheme requires a QueueingRuntime "
-                "(in-network queues); see repro.core.queueing"
+                "SpiderQueueingScheme requires a hop-by-hop transport "
+                "(QueueingRuntime or a session with transport='hop'); "
+                "see repro.core.queueing and repro.engine.transport"
             )
         paths = self.path_cache.paths(payment.source, payment.dest)
         if not paths:

@@ -101,7 +101,8 @@ class WindowedSpiderScheme(RoutingScheme):
 
     name = "spider-window"
     atomic = False
-    runtime_class = QueueingRuntime
+    runtime_class = QueueingRuntime  # engine="legacy" pairing
+    transport = "hop"  # native tick-engine transport
 
     def __init__(
         self,
@@ -174,9 +175,11 @@ class WindowedSpiderScheme(RoutingScheme):
     # Sending
     # ------------------------------------------------------------------
     def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
-        if not isinstance(runtime, QueueingRuntime):
+        executor = getattr(runtime, "transport", runtime)
+        if not hasattr(executor, "send_unit_hop_by_hop"):
             raise TypeError(
-                "WindowedSpiderScheme requires a QueueingRuntime transport; "
+                "WindowedSpiderScheme requires a hop-by-hop transport "
+                "(QueueingRuntime or a session with transport='hop'); "
                 "see repro.core.window_control"
             )
         paths = self.path_cache.paths(payment.source, payment.dest)

@@ -2,10 +2,11 @@
 
 This package is the execution core of the reproduction:
 
-``clock``    integer-tick clock (float seconds only at the API boundary)
-``events``   slab-allocated event queue and the :class:`TickEngine`
-``store``    flat NumPy arrays holding every channel's mutable state
-``session``  :class:`SimulationSession` — the one facade that runs a trace
+``clock``      integer-tick clock (float seconds only at the API boundary)
+``events``     slab-allocated event queue and the :class:`TickEngine`
+``store``      flat NumPy arrays holding every channel's mutable state
+``transport``  hop-by-hop / backpressure transports on the tick engine
+``session``    :class:`SimulationSession` — the one facade that runs a trace
 
 The legacy pair (:class:`repro.simulator.engine.Simulator` +
 :class:`repro.core.runtime.Runtime`) remains as a deprecated
@@ -19,23 +20,30 @@ from repro.engine.store import ChannelStateStore
 
 
 def __getattr__(name: str):
-    # SimulationSession pulls in the payments/network layers, which
-    # themselves build on this package's store — import it lazily so
-    # low-level modules (e.g. repro.network.channel) can import
+    # SimulationSession and the transports pull in the payments/network
+    # layers, which themselves build on this package's store — import them
+    # lazily so low-level modules (e.g. repro.network.channel) can import
     # repro.engine.store without a cycle.
     if name == "SimulationSession":
         from repro.engine.session import SimulationSession
 
         return SimulationSession
+    if name in ("BackpressureTransport", "HopByHopTransport", "make_transport"):
+        from repro.engine import transport
+
+        return getattr(transport, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "BackpressureTransport",
     "ChannelStateStore",
     "DEFAULT_QUANTUM",
+    "HopByHopTransport",
     "SimulationSession",
     "SlabEventQueue",
     "TickClock",
     "TickEngine",
     "TickHandle",
     "TickTimer",
+    "make_transport",
 ]

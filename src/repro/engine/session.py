@@ -14,11 +14,15 @@ queue, over a network whose channel state lives in the flat arrays of a
 Schemes see the exact same surface :class:`~repro.core.runtime.Runtime`
 exposed (``network`` / ``config`` / ``now`` / ``send_unit`` /
 ``send_atomic`` / ``fail_payment`` / ``sim`` ...), so every source-routed
-scheme runs unchanged.  Schemes that declare a custom ``runtime_class`` or
-``hop_by_hop`` transport (backpressure, in-network queues, windowed
-transport) transparently fall back to their legacy runtime — the session
-is then a facade over that runtime, and callers cannot tell the
-difference.
+scheme runs unchanged.  Schemes that declare a native ``transport``
+(``"hop"`` for §4.2 in-network queues and the windowed transport,
+``"backpressure"`` for Celer-style gradients) get the matching
+:mod:`repro.engine.transport` layer attached to the session — hop-by-hop
+forwarding then runs through the slab event queue and writes live router
+queue depths into the store's ``queue_depth`` arrays.  Only schemes that
+declare an unknown custom ``runtime_class`` (or a bare ``hop_by_hop``
+flag with no native transport) still fall back to their legacy runtime
+behind the facade.
 
 The legacy ``Runtime`` + ``Simulator`` pair remains available as a
 deprecated compatibility path; new code should construct sessions::
@@ -36,6 +40,7 @@ from repro.core.scheduling import get_policy
 from repro.core.runtime import RuntimeConfig
 from repro.engine.clock import DEFAULT_QUANTUM
 from repro.engine.events import TickEngine, TickTimer
+from repro.engine.transport import make_transport
 from repro.errors import InsufficientFundsError
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.network.htlc import HashLock
@@ -52,11 +57,28 @@ _EPS = 1e-9
 
 
 def _needs_legacy_runtime(scheme: "RoutingScheme") -> bool:
-    """Whether ``scheme`` demands a specialised legacy runtime."""
-    return (
-        getattr(scheme, "runtime_class", None) is not None
-        or getattr(scheme, "hop_by_hop", False)
-    )
+    """Whether ``scheme`` demands a specialised legacy runtime.
+
+    Schemes declaring a native ``transport`` run on the tick engine; the
+    fallback only remains for out-of-tree schemes that pin a custom
+    ``runtime_class`` (or a bare ``hop_by_hop`` flag) without one.
+
+    Precedence is resolved per class, most-derived first: a subclass that
+    pins its own ``runtime_class`` without declaring a ``transport`` of
+    its own gets the legacy delegate even when a base scheme declares a
+    native transport — existing runtime customisations keep working
+    unchanged.
+    """
+    transport_resolved = False
+    for klass in type(scheme).__mro__:
+        declared = vars(klass)
+        if not transport_resolved and "transport" in declared:
+            if declared["transport"] is not None:
+                return False
+            transport_resolved = True  # explicit opt-out at this level
+        if declared.get("runtime_class") is not None:
+            return True
+    return bool(getattr(scheme, "hop_by_hop", False))
 
 
 class SimulationSession:
@@ -98,6 +120,7 @@ class SimulationSession:
         self._policy = get_policy(self.config.scheduling_policy)
         self._poll_timer: Optional[TickTimer] = None
         self._delegate = None  # set when a legacy runtime runs the trace
+        self.transport = None  # set when the scheme declares a native transport
         self._finished = False
         if self.config.end_time is not None:
             self._end_time = self.config.end_time
@@ -124,16 +147,7 @@ class SimulationSession:
         exactly as :func:`repro.experiments.runner.run_experiment` does, so
         traces are identical across engines and schemes.
         """
-        from repro.routing.registry import make_scheme
-
-        topology = config.build_topology()
-        network = topology.build_network(
-            default_capacity=config.capacity,
-            base_fee=config.base_fee,
-            fee_rate=config.fee_rate,
-        )
-        records = config.build_workload(list(topology.nodes))
-        scheme = make_scheme(config.scheme, **config.scheme_params)
+        network, records, scheme = config.build_simulation_inputs()
         return cls(
             network,
             records,
@@ -168,13 +182,22 @@ class SimulationSession:
     def run(self) -> ExperimentMetrics:
         """Execute the full trace and return the run's metrics.
 
-        Source-routed schemes run natively on the tick engine; schemes that
-        require a specialised runtime (hop-by-hop queueing, backpressure)
-        run through that runtime, behind the same facade.
+        Source-routed schemes run natively on the tick engine; schemes
+        declaring a ``transport`` (hop-by-hop queueing, backpressure) run
+        natively too, through the matching
+        :mod:`repro.engine.transport` layer.  Only schemes pinning an
+        unknown custom runtime fall back to the legacy path.
         """
         if self._finished:
             raise RuntimeError("a SimulationSession runs exactly once")
         self._finished = True
+        if not self.records and self.config.end_time is None:
+            # Empty trace, no horizon: nothing can ever arrive.  Skip the
+            # scheme preparation and poll timer entirely and finalize an
+            # empty run instead of arming machinery that never fires.
+            return self.collector.finalize(
+                scheme=self.scheme.name, network=self.network, duration=0.0
+            )
         if _needs_legacy_runtime(self.scheme):
             from repro.experiments.runner import build_runtime
 
@@ -185,6 +208,17 @@ class SimulationSession:
 
         engine = self.sim
         clock = engine.clock
+        transport_kind = getattr(self.scheme, "transport", None)
+        if transport_kind is not None:
+            transport_kwargs = (
+                self.scheme.runtime_kwargs()
+                if hasattr(self.scheme, "runtime_kwargs")
+                else {}
+            )
+            self.transport = make_transport(transport_kind, self, **transport_kwargs)
+            # Started before the trace is scheduled so timer/arrival event
+            # ordering matches the legacy runtimes tick for tick.
+            self.transport.start()
         self.scheme.prepare(self)
         for record in self.records:
             if record.arrival_time > self._end_time:
@@ -298,6 +332,38 @@ class SimulationSession:
             self.sim.schedule_after(delay, self._resolve_unit, unit)
         return True
 
+    def send_unit_hop_by_hop(
+        self, payment: Payment, path: Tuple[int, ...], amount: float
+    ) -> bool:
+        """Launch one §4.2 hop-by-hop unit through the native transport.
+
+        Same contract as
+        :meth:`repro.core.queueing.QueueingRuntime.send_unit_hop_by_hop`;
+        only valid while a hop transport is attached (``transport="hop"``).
+        """
+        transport = self.transport
+        if transport is None or not hasattr(transport, "send_unit_hop_by_hop"):
+            raise RuntimeError(
+                "no hop-by-hop transport is active on this session; the "
+                'scheme must declare transport = "hop"'
+            )
+        return transport.send_unit_hop_by_hop(payment, path, amount)
+
+    def inject(self, payment: Payment, amount: float) -> bool:
+        """Park one unit in the backpressure queue network.
+
+        Same contract as
+        :meth:`repro.routing.backpressure.BackpressureRuntime.inject`; only
+        valid while a backpressure transport is attached.
+        """
+        transport = self.transport
+        if transport is None or not hasattr(transport, "inject"):
+            raise RuntimeError(
+                "no backpressure transport is active on this session; the "
+                'scheme must declare transport = "backpressure"'
+            )
+        return transport.inject(payment, amount)
+
     def fail_payment(self, payment: Payment) -> None:
         """Terminally fail a payment (atomic miss or scheme decision)."""
         if payment.is_terminal:
@@ -383,6 +449,10 @@ class SimulationSession:
 
     def _finish(self) -> None:
         """Mark still-pending payments failed at the end of the run."""
+        if self.transport is not None:
+            # Drain router queues first (refunds may complete nothing, but
+            # they release in-flight value), mirroring the legacy runtimes.
+            self.transport.finish()
         now = self.sim.now
         for pid in list(self._pending):
             payment = self.payments[pid]

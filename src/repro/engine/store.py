@@ -153,6 +153,21 @@ class ChannelStateStore:
         """Funds locked in pending HTLCs across every channel."""
         return float(self.inflight_view.sum())
 
+    def total_queued(self) -> int:
+        """Units currently parked in router queues, network-wide.
+
+        Nonzero only while a hop-by-hop transport is running: the
+        transport increments/decrements ``queue_depth`` on every enqueue,
+        service and timeout.
+        """
+        return int(self.queue_depth_view.sum())
+
+    def max_queue_depth(self) -> int:
+        """Deepest per-direction router queue right now."""
+        if self._n == 0:
+            return 0
+        return int(self.queue_depth_view.max())
+
     def imbalances(self) -> np.ndarray:
         """``(n,)`` per-channel ``|balance_a − balance_b|``."""
         view = self.balance_view

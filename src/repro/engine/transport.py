@@ -1,0 +1,629 @@
+"""Native hop-by-hop transports on the tick engine.
+
+Until this module existed, the paper's headline transport — §4.2's
+hop-by-hop transaction-unit forwarding with in-router queues — only ran
+through the deprecated float-time runtimes
+(:class:`~repro.core.queueing.QueueingRuntime`,
+:class:`~repro.routing.backpressure.BackpressureRuntime`), so the slab
+event queue's speedup never reached the schemes that need it most, and the
+:class:`~repro.engine.store.ChannelStateStore` ``queue_depth`` arrays were
+allocated but never written.
+
+Two transports plug into :class:`~repro.engine.session.SimulationSession`
+(selected by the scheme's declarative ``transport`` attribute):
+
+:class:`HopByHopTransport` (``transport = "hop"``)
+    §4.2 in-network queues.  A :class:`~repro.core.queueing.HopUnit` locks
+    funds one hop at a time through the slab event queue; a starved hop
+    parks the unit in that channel direction's queue.  Queues are keyed by
+    the direction's *store index* ``(channel id, side)``, and the store's
+    ``queue_depth`` array is updated on every enqueue, service and timeout
+    — routers, metrics collectors and schedulers all read the same flat
+    arrays.  Queue timeouts are **lazily cancelled**: the timeout record
+    always fires, and a unit that was serviced in the meantime is
+    recognised by its generation counter and skipped — no O(n)
+    ``deque.remove``, no handle bookkeeping on the hot path.
+
+:class:`BackpressureTransport` (``transport = "backpressure"``)
+    Celer-style per-destination queue gradients, epoch-serviced on a
+    tick-exact timer.  Its queues live per (node, destination) — not per
+    channel direction — so backlog is reported through the collector's
+    queue-depth hook rather than the store's directional arrays.
+
+Both transports drive the same collector hooks and scheme callbacks as
+their legacy counterparts, so metrics are comparable engine to engine (the
+determinism parity tests pin this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.core.payments import Payment, TransactionUnit
+from repro.core.queueing import HopUnit
+from repro.errors import ConfigError, InsufficientFundsError
+from repro.fluid.paths import bfs_distances
+from repro.network.htlc import HashLock
+from repro.routing.backpressure import BackpressureUnit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import SimulationSession
+
+__all__ = ["BackpressureTransport", "HopByHopTransport", "make_transport"]
+
+Path = Tuple[int, ...]
+DirectionKey = Tuple[int, int]  # (store row, sender's store column)
+_EPS = 1e-9
+
+
+class HopByHopTransport:
+    """§4.2 in-network router queues, scheduled on the slab event queue.
+
+    Semantics mirror :class:`~repro.core.queueing.QueueingRuntime` (the
+    parity tests compare both on the same seeded trace); the mechanics are
+    rebuilt for the tick engine:
+
+    * per-direction queues are keyed by the store index ``(cid, side)``
+      and the live depth is written straight into
+      ``store.queue_depth[cid, side]``;
+    * advances, settlements and timeouts go through the engine's raw-record
+      fast path (no handle objects);
+    * timeouts are lazy-cancelled via the unit's queue generation counter,
+      and timed-out units stay in the deque as corpses that service skips.
+
+    Parameters (on top of the session's :class:`RuntimeConfig`):
+
+    hop_delay:
+        Per-hop forwarding latency in seconds.
+    settle_delay:
+        Delay between destination arrival and settlement of all hops
+        (defaults to the configured confirmation delay).
+    queue_timeout:
+        Maximum time a unit may sit in one router queue before its HTLCs
+        are abandoned and refunded.
+    queue_policy:
+        ``"fifo"`` (default) or ``"srpt"`` (smallest payment-remainder
+        first) service order.
+    mark_threshold:
+        If set, a router marks any unit whose queueing delay exceeds this
+        many seconds — the windowed transport's 1-bit congestion signal.
+    """
+
+    kind = "hop"
+
+    def __init__(
+        self,
+        session: "SimulationSession",
+        hop_delay: float = 0.05,
+        settle_delay: Optional[float] = None,
+        queue_timeout: float = 5.0,
+        queue_policy: str = "fifo",
+        mark_threshold: Optional[float] = None,
+    ):
+        if hop_delay < 0:
+            raise ValueError(f"hop_delay must be non-negative, got {hop_delay}")
+        if queue_timeout <= 0:
+            raise ValueError(f"queue_timeout must be positive, got {queue_timeout}")
+        if queue_policy not in ("fifo", "srpt"):
+            raise ValueError(f"unknown queue_policy {queue_policy!r}")
+        if mark_threshold is not None and mark_threshold < 0:
+            raise ValueError(
+                f"mark_threshold must be non-negative, got {mark_threshold}"
+            )
+        self.session = session
+        self.network = session.network
+        self.store = session.network.state_store
+        self.sim = session.sim
+        self.config = session.config
+        self.collector = session.collector
+        self.hop_delay = hop_delay
+        self.settle_delay = (
+            settle_delay if settle_delay is not None else self.config.confirmation_delay
+        )
+        self.queue_timeout = queue_timeout
+        self.queue_policy = queue_policy
+        self.mark_threshold = mark_threshold
+        #: (cid, side) -> parked units; timed-out corpses are popped lazily.
+        self._queues: Dict[DirectionKey, Deque[HopUnit]] = {}
+        self._draining = False  # end-of-run drain: no re-launches
+        self.units_queued = 0
+        self.units_timed_out = 0
+        self.units_marked = 0
+        self.queue_delays: List[float] = []
+
+    def start(self) -> None:
+        """Hook called before the trace is scheduled (no timers needed)."""
+
+    # ------------------------------------------------------------------
+    # Scheme-facing primitive
+    # ------------------------------------------------------------------
+    def send_unit_hop_by_hop(self, payment: Payment, path: Path, amount: float) -> bool:
+        """Launch one unit that forwards hop by hop, queueing when starved.
+
+        Succeeds as long as the *first* hop can lock — downstream scarcity
+        parks the unit in a router queue rather than failing it.
+        """
+        amount = min(amount, payment.remaining, self.config.mtu)
+        if amount < self.config.min_unit_value:
+            return False
+        lock = HashLock.generate(payment.payment_id, payment.units_sent)
+        unit = HopUnit(payment, amount, tuple(path), lock, self.sim.now)
+        if not self._try_lock_hop(unit):
+            return False  # source itself lacks funds; caller may queue/poll
+        payment.register_inflight(amount)
+        self._schedule_advance(unit)
+        return True
+
+    # ------------------------------------------------------------------
+    # Hop machinery
+    # ------------------------------------------------------------------
+    def _try_lock_hop(self, unit: HopUnit) -> bool:
+        u, v = unit.current_node, unit.next_node
+        channel = self.network.channel(u, v)
+        try:
+            htlc = channel.lock(u, unit.amount, now=self.sim.now, lock=unit.lock)
+        except InsufficientFundsError:
+            return False
+        unit.htlcs.append(htlc)
+        unit.hop_index += 1
+        return True
+
+    def _schedule_advance(self, unit: HopUnit) -> None:
+        if unit.at_destination:
+            self.sim.schedule_after(self.settle_delay, self._settle_unit, unit)
+        else:
+            self.sim.schedule_after(self.hop_delay, self._forward, unit)
+
+    def _forward(self, unit: HopUnit) -> None:
+        if unit.done:
+            return
+        if self._try_lock_hop(unit):
+            self._schedule_advance(unit)
+            return
+        self._enqueue(unit)
+
+    def _enqueue(self, unit: HopUnit) -> None:
+        key = self.network.channel_id(unit.current_node, unit.next_node)
+        queue = self._queues.setdefault(key, deque())
+        unit.queued_at = self.sim.now
+        unit.queue_seq += 1
+        queue.append(unit)
+        self.units_queued += 1
+        cid, side = key
+        depth = int(self.store.queue_depth[cid, side]) + 1
+        self.store.queue_depth[cid, side] = depth
+        self.collector.on_unit_queued(depth)
+        self.sim.schedule_after(
+            self.queue_timeout, self._timeout_unit, unit, unit.queue_seq
+        )
+
+    def _dequeue(self, key: DirectionKey) -> None:
+        """Service the queue for store direction ``key`` while funds last."""
+        if self._draining:
+            # End-of-run drain: refunds from aborted units must not
+            # relaunch queued units — the engine will never fire their
+            # advance events, so a relaunch would strand funds in flight.
+            return
+        queue = self._queues.get(key)
+        if not queue:
+            return
+        cid, side = key
+        store = self.store
+        if self.queue_policy == "srpt":
+            ordered = sorted(
+                (u for u in queue if not u.done),
+                key=lambda u: (u.payment.outstanding, u.launched_at),
+            )
+            queue.clear()
+            queue.extend(ordered)
+        while queue:
+            unit = queue[0]
+            if unit.done:  # lazily-cancelled corpse (timed out)
+                queue.popleft()
+                continue
+            available = 0.0 if store.frozen[cid] else float(store.balance[cid, side])
+            if available + _EPS < unit.amount:
+                break
+            queue.popleft()
+            store.queue_depth[cid, side] -= 1
+            now = self.sim.now
+            delay = now - (unit.queued_at or now)
+            self.queue_delays.append(delay)
+            if (
+                self.mark_threshold is not None
+                and delay > self.mark_threshold
+                and not unit.marked
+            ):
+                unit.marked = True
+                self.units_marked += 1
+            unit.queued_at = None
+            if self._try_lock_hop(unit):  # pragma: no branch - funds checked above
+                self._schedule_advance(unit)
+
+    def _timeout_unit(self, unit: HopUnit, queue_seq: int) -> None:
+        # Lazy cancel: the record always fires; a unit serviced (or even
+        # re-queued at a later hop) since then carries a newer generation.
+        if unit.done or unit.queued_at is None or unit.queue_seq != queue_seq:
+            return
+        cid, side = self.network.channel_id(unit.current_node, unit.next_node)
+        self.store.queue_depth[cid, side] -= 1
+        unit.queued_at = None
+        self.units_timed_out += 1
+        self._abort_unit(unit)  # the deque keeps a corpse; _dequeue skips it
+
+    def _abort_unit(self, unit: HopUnit) -> None:
+        """Refund all hops locked so far and release the payment value."""
+        unit.done = True
+        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
+            self.network.channel(a, b).refund(htlc)
+            self._dequeue(self.network.channel_id(a, b))
+        unit.payment.register_cancelled(unit.amount)
+        if self.config.check_invariants:
+            self.network.check_invariants()
+        self._notify_scheme(unit, "lost")
+
+    def _settle_unit(self, unit: HopUnit) -> None:
+        if unit.done:
+            return
+        unit.done = True
+        payment = unit.payment
+        now = self.sim.now
+        withhold = payment.expired(now) and not payment.is_complete
+        credited: List[Tuple[int, int]] = []
+        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
+            channel = self.network.channel(a, b)
+            if withhold:
+                channel.refund(htlc)
+                credited.append((a, b))
+            else:
+                channel.settle(htlc)
+                credited.append((b, a))
+        record = TransactionUnit.create(
+            payment=payment,
+            amount=unit.amount,
+            path=unit.path,
+            htlcs=unit.htlcs,
+            lock=unit.lock,
+            sent_at=unit.launched_at,
+        )
+        if withhold:
+            payment.register_cancelled(unit.amount)
+            record.mark_cancelled()
+            self.collector.on_unit_cancelled(record, now)
+        else:
+            was_complete = payment.is_complete
+            payment.register_settled(unit.amount, now)
+            record.mark_settled()
+            self.collector.on_unit_settled(record, now)
+            if payment.is_complete and not was_complete:
+                self.session._pending.discard(payment.payment_id)
+                self.collector.on_payment_completed(payment, now)
+        if self.config.check_invariants:
+            self.network.check_invariants()
+        self._notify_scheme(unit, "cancelled" if withhold else "settled")
+        # Freed/credited funds may unblock queued units downstream.
+        for a, b in credited:
+            self._dequeue(self.network.channel_id(a, b))
+
+    def _notify_scheme(self, unit: HopUnit, outcome: str) -> None:
+        """Deliver the end-to-end ack (with its congestion mark) to schemes
+        implementing ``on_unit_resolved`` — the windowed transport's
+        feedback channel."""
+        callback = getattr(self.session.scheme, "on_unit_resolved", None)
+        if callback is not None:
+            callback(unit, outcome, self.sim.now)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Drain router queues at end of run, refunding stranded units."""
+        self._draining = True
+        for (cid, side), queue in list(self._queues.items()):
+            while queue:
+                unit = queue.popleft()
+                if unit.done:
+                    continue
+                self.store.queue_depth[cid, side] -= 1
+                unit.queued_at = None
+                self._abort_unit(unit)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Average time a serviced unit spent queued at routers."""
+        if not self.queue_delays:
+            return 0.0
+        return float(sum(self.queue_delays) / len(self.queue_delays))
+
+
+class BackpressureTransport:
+    """Celer-style per-destination queue gradients on the tick engine.
+
+    A native port of :class:`~repro.routing.backpressure.BackpressureRuntime`
+    (see that module for the model): queues per (node, destination), a
+    service epoch every ``service_interval`` seconds on a tick-exact
+    :class:`~repro.engine.events.TickTimer`, shortest-path-biased gradient
+    weights, backtracking for stuck units.  Parameters are identical to the
+    legacy runtime's extras.
+    """
+
+    kind = "backpressure"
+
+    def __init__(
+        self,
+        session: "SimulationSession",
+        service_interval: float = 0.1,
+        beta: float = 1.0,
+        max_hops: int = 10,
+        stuck_after: float = 1.0,
+        settle_delay: Optional[float] = None,
+    ):
+        if service_interval <= 0:
+            raise ValueError(f"service_interval must be positive, got {service_interval}")
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta}")
+        if max_hops <= 0:
+            raise ValueError(f"max_hops must be positive, got {max_hops}")
+        if stuck_after <= 0:
+            raise ValueError(f"stuck_after must be positive, got {stuck_after}")
+        self.session = session
+        self.network = session.network
+        self.sim = session.sim
+        self.config = session.config
+        self.collector = session.collector
+        self.service_interval = service_interval
+        self.beta = beta
+        self.max_hops = max_hops
+        self.stuck_after = stuck_after
+        self.settle_delay = (
+            settle_delay if settle_delay is not None else self.config.confirmation_delay
+        )
+        #: node -> destination -> FIFO of parked units.
+        self._queues: Dict[int, Dict[int, Deque[BackpressureUnit]]] = {}
+        #: node -> destination -> queued value (the gradient signal).
+        self._backlog: Dict[int, Dict[int, float]] = {}
+        self._distance_cache: Dict[int, Dict[int, int]] = {}
+        self._adjacency = {
+            node: sorted(self.network.neighbors(node)) for node in self.network.nodes()
+        }
+        # The edge set is static during a run (faults freeze channels, never
+        # remove them), so snapshot it once instead of rebuilding the list
+        # every service epoch.
+        self._edges = list(self.network.edges())
+        self._service_timer = None
+        self.units_injected = 0
+        self.units_expired = 0
+        self.total_hops = 0
+        self.total_pops = 0
+
+    def start(self) -> None:
+        """Arm the service-epoch timer (before the trace is scheduled, so
+        epoch/arrival ordering matches the legacy runtime)."""
+        self._service_timer = self.sim.every(self.service_interval, self._service_epoch)
+
+    # ------------------------------------------------------------------
+    # Scheme-facing primitive
+    # ------------------------------------------------------------------
+    def inject(self, payment: Payment, amount: float) -> bool:
+        """Park one unit of ``amount`` in the source's queue for routing."""
+        amount = min(amount, payment.remaining, self.config.mtu)
+        if amount < self.config.min_unit_value:
+            return False
+        if self._distance(payment.dest).get(payment.source) is None:
+            return False
+        unit = BackpressureUnit(payment, amount, self.sim.now)
+        payment.register_inflight(amount)
+        self.units_injected += 1
+        self._park(unit)
+        return True
+
+    def backlog(self, node: int, dest: int) -> float:
+        """Queued value at ``node`` destined for ``dest``."""
+        return self._backlog.get(node, {}).get(dest, 0.0)
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def _park(self, unit: BackpressureUnit) -> None:
+        node_queues = self._queues.setdefault(unit.node, {})
+        queue = node_queues.setdefault(unit.dest, deque())
+        queue.append(unit)
+        unit.parked_at = self.sim.now
+        backlog = self._backlog.setdefault(unit.node, {})
+        backlog[unit.dest] = backlog.get(unit.dest, 0.0) + unit.amount
+        self.collector.on_unit_queued(len(queue))
+
+    def _unpark(self, unit: BackpressureUnit) -> None:
+        self._queues[unit.node][unit.dest].remove(unit)
+        backlog = self._backlog[unit.node]
+        backlog[unit.dest] = max(0.0, backlog[unit.dest] - unit.amount)
+
+    def _distance(self, dest: int) -> Dict[int, int]:
+        if dest not in self._distance_cache:
+            self._distance_cache[dest] = bfs_distances(self._adjacency, dest)
+        return self._distance_cache[dest]
+
+    # ------------------------------------------------------------------
+    # The service epoch
+    # ------------------------------------------------------------------
+    def _service_epoch(self) -> None:
+        for u, v in self._edges:
+            self._service_direction(u, v)
+            self._service_direction(v, u)
+
+    def _service_direction(self, u: int, v: int) -> None:
+        """Forward queued units across ``u→v`` down the steepest gradient."""
+        node_queues = self._queues.get(u)
+        if not node_queues:
+            return
+        while True:
+            available = self.network.available(u, v)
+            if available < self.config.min_unit_value:
+                return
+            candidates = [
+                (self._weight(u, v, dest), dest)
+                for dest, queue in node_queues.items()
+                if queue
+            ]
+            candidates = [(w, d) for w, d in candidates if w > _EPS]
+            candidates.sort(reverse=True)
+            unit = None
+            for _, dest in candidates:
+                unit = self._eligible_unit(node_queues[dest], v, available)
+                if unit is not None:
+                    break
+            if unit is None:
+                # Every positive-gradient unit either already visited v or
+                # exceeds the direction's spendable funds.
+                return
+            self._forward(unit, v)
+
+    def _weight(self, u: int, v: int, dest: int) -> float:
+        gradient = self.backlog(u, dest) - self.backlog(v, dest)
+        distances = self._distance(dest)
+        du = distances.get(u)
+        dv = distances.get(v)
+        if du is None or dv is None:
+            return 0.0
+        return gradient + self.beta * (du - dv)
+
+    def _eligible_unit(
+        self, queue: Deque[BackpressureUnit], v: int, available: float
+    ) -> Optional[BackpressureUnit]:
+        now = self.sim.now
+        for unit in queue:
+            if v not in unit.visited and unit.amount <= available + _EPS:
+                return unit
+            if (
+                v == unit.backtrack_target
+                and now - unit.parked_at >= self.stuck_after
+            ):
+                return unit  # stuck: pop backward (refunds, needs no funds)
+        return None
+
+    def _forward(self, unit: BackpressureUnit, v: int) -> None:
+        self._unpark(unit)
+        unit.steps += 1
+        if v in unit.visited:
+            self._pop_hop(unit, v)
+        elif not self._push_hop(unit, v):
+            self._park(unit)  # the lock raced away; retry next epoch
+            return
+        if unit.done:
+            return  # reached the destination; settlement is scheduled
+        if (
+            len(unit.hops) >= self.max_hops
+            or unit.steps >= 3 * self.max_hops
+            or unit.payment.expired(self.sim.now)
+        ):
+            self._expire_unit(unit)
+        else:
+            self._park(unit)
+
+    def _push_hop(self, unit: BackpressureUnit, v: int) -> bool:
+        u = unit.node
+        channel = self.network.channel(u, v)
+        try:
+            htlc = channel.lock(u, unit.amount, now=self.sim.now, lock=unit.lock)
+        except InsufficientFundsError:  # pragma: no cover - availability checked
+            return False
+        unit.htlcs.append(htlc)
+        unit.hops.append((u, v))
+        unit.node = v
+        unit.visited.add(v)
+        self.total_hops += 1
+        if v == unit.dest:
+            unit.done = True
+            self.sim.schedule_after(self.settle_delay, self._settle_unit, unit)
+        return True
+
+    def _pop_hop(self, unit: BackpressureUnit, v: int) -> None:
+        """Backtrack: undo the last hop, refunding its HTLC."""
+        if unit.backtrack_target != v:
+            raise AssertionError(
+                f"pop to {v} but the unit came from {unit.backtrack_target}"
+            )
+        a, b = unit.hops.pop()
+        htlc = unit.htlcs.pop()
+        self.network.channel(a, b).refund(htlc)
+        unit.node = v
+        self.total_pops += 1
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _settle_unit(self, unit: BackpressureUnit) -> None:
+        payment = unit.payment
+        now = self.sim.now
+        withhold = payment.expired(now) and not payment.is_complete
+        for htlc, (a, b) in zip(unit.htlcs, unit.hops):
+            channel = self.network.channel(a, b)
+            if withhold:
+                channel.refund(htlc)
+            else:
+                channel.settle(htlc)
+        record = TransactionUnit.create(
+            payment=payment,
+            amount=unit.amount,
+            path=self._trail(unit),
+            htlcs=unit.htlcs,
+            lock=unit.lock,
+            sent_at=unit.created_at,
+        )
+        if withhold:
+            payment.register_cancelled(unit.amount)
+            record.mark_cancelled()
+            self.collector.on_unit_cancelled(record, now)
+        else:
+            was_complete = payment.is_complete
+            payment.register_settled(unit.amount, now)
+            record.mark_settled()
+            self.collector.on_unit_settled(record, now)
+            if payment.is_complete and not was_complete:
+                self.session._pending.discard(payment.payment_id)
+                self.collector.on_payment_completed(payment, now)
+        if self.config.check_invariants:
+            self.network.check_invariants()
+
+    def _expire_unit(self, unit: BackpressureUnit) -> None:
+        """TTL hit or payment dead: unwind every locked hop."""
+        unit.done = True
+        self.units_expired += 1
+        for htlc, (a, b) in zip(unit.htlcs, unit.hops):
+            self.network.channel(a, b).refund(htlc)
+        unit.payment.register_cancelled(unit.amount)
+        if self.config.check_invariants:
+            self.network.check_invariants()
+
+    @staticmethod
+    def _trail(unit: BackpressureUnit) -> Path:
+        if not unit.hops:
+            return (unit.payment.source,)
+        return tuple([unit.hops[0][0]] + [hop[1] for hop in unit.hops])
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """Refund every still-parked unit and stop the epoch timer."""
+        for node_queues in self._queues.values():
+            for queue in node_queues.values():
+                while queue:
+                    self._expire_unit(queue.popleft())
+        self._backlog.clear()
+        if self._service_timer is not None:
+            self._service_timer.stop()
+
+
+_TRANSPORTS = {
+    HopByHopTransport.kind: HopByHopTransport,
+    BackpressureTransport.kind: BackpressureTransport,
+}
+
+
+def make_transport(kind: str, session: "SimulationSession", **kwargs):
+    """Instantiate the transport a scheme's ``transport`` attribute names."""
+    try:
+        transport_class = _TRANSPORTS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown transport {kind!r}; available: {sorted(_TRANSPORTS)}"
+        ) from None
+    return transport_class(session, **kwargs)

@@ -168,6 +168,26 @@ class ExperimentConfig:
         )
         return generate_workload(nodes, workload)
 
+    def build_simulation_inputs(self):
+        """``(network, records, scheme)`` exactly as the engines consume them.
+
+        The single construction path shared by
+        :meth:`repro.engine.session.SimulationSession.from_config`, the
+        legacy ``run_experiment`` arm and the benchmarks — so engine
+        comparisons always replay the identical network, trace and scheme.
+        """
+        from repro.routing.registry import make_scheme
+
+        topology = self.build_topology()
+        network = topology.build_network(
+            default_capacity=self.capacity,
+            base_fee=self.base_fee,
+            fee_rate=self.fee_rate,
+        )
+        records = self.build_workload(list(topology.nodes))
+        scheme = make_scheme(self.scheme, **self.scheme_params)
+        return network, records, scheme
+
     def build_runtime_config(self) -> RuntimeConfig:
         """The runtime parameters of this experiment."""
         return RuntimeConfig(

@@ -58,10 +58,18 @@ class SweepCell:
     config: ExperimentConfig
 
 
+#: Bumped whenever engine or metrics semantics change, so cached results
+#: computed by older code are recomputed rather than silently served (e.g.
+#: hop-by-hop schemes moved from the legacy fallback — always-zero queue
+#: depths — to the native transport in schema 2).
+_CACHE_SCHEMA_VERSION = 2
+
+
 def _config_fingerprint(config: ExperimentConfig, engine: str) -> str:
     """Stable cache key: sha256 of the canonical config JSON + engine tag."""
     payload = dataclasses.asdict(config)
     payload["__engine__"] = engine
+    payload["__schema__"] = _CACHE_SCHEMA_VERSION
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
 

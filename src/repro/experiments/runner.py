@@ -16,7 +16,6 @@ from repro.engine.session import SimulationSession
 from repro.errors import ConfigError
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
-from repro.routing.registry import make_scheme
 
 __all__ = ["build_runtime", "build_session", "run_experiment", "compare_schemes"]
 
@@ -28,13 +27,17 @@ def build_runtime(
     runtime_config,
     collector: Optional[MetricsCollector] = None,
 ) -> Runtime:
-    """Pair ``scheme`` with the runtime it declares and construct it.
+    """Pair ``scheme`` with the legacy runtime it declares and construct it.
 
     Schemes that declare ``hop_by_hop = True`` (in-network queues, §4.2)
     get a :class:`~repro.core.queueing.QueueingRuntime`; schemes that
     declare a ``runtime_class`` (backpressure, windowed transport) get
     that runtime, constructed with the scheme's ``runtime_kwargs()``;
     everything else runs on the plain :class:`~repro.core.runtime.Runtime`.
+
+    This is the ``engine="legacy"`` construction path; on the default
+    session engine the same schemes run natively through
+    :mod:`repro.engine.transport`.
     """
     runtime_class = getattr(scheme, "runtime_class", None)
     if runtime_class is None:
@@ -69,25 +72,20 @@ def run_experiment(config: ExperimentConfig, engine: str = "session") -> Experim
     parameters — never on the scheme — so scheme comparisons see identical
     traces, as in the paper's evaluation.
 
-    ``engine="session"`` (default) runs on the unified tick engine; schemes
-    that declare ``hop_by_hop = True`` (in-network queues, §4.2) or a
-    ``runtime_class`` (backpressure, windowed transport) automatically fall
-    back to their specialised legacy runtime behind the session facade.
-    ``engine="legacy"`` forces the deprecated float-time path for every
-    scheme.
+    ``engine="session"`` (default) runs on the unified tick engine for
+    every in-tree scheme — hop-by-hop queueing, the windowed transport and
+    backpressure included, via the native :mod:`repro.engine.transport`
+    layer.  Only out-of-tree schemes that pin a custom ``runtime_class``
+    without a ``transport`` declaration fall back to the legacy runtime
+    behind the session facade.  ``engine="legacy"`` forces the deprecated
+    float-time path for every scheme (the determinism parity tests compare
+    both).
     """
     if engine == "session":
         return SimulationSession.from_config(config).run()
     if engine != "legacy":
         raise ConfigError(f"unknown engine {engine!r}; use 'session' or 'legacy'")
-    topology = config.build_topology()
-    network = topology.build_network(
-        default_capacity=config.capacity,
-        base_fee=config.base_fee,
-        fee_rate=config.fee_rate,
-    )
-    records = config.build_workload(list(topology.nodes))
-    scheme = make_scheme(config.scheme, **config.scheme_params)
+    network, records, scheme = config.build_simulation_inputs()
     runtime = build_runtime(network, records, scheme, config.build_runtime_config())
     return runtime.run()
 

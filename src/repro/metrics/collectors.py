@@ -50,6 +50,10 @@ class ExperimentMetrics:
     total_inflight_at_end: float
     duration: float
     throughput_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: Deepest router queue observed (hop-by-hop transports; 0 otherwise).
+    max_queue_depth: int = 0
+    #: Mean depth of the queue each parked unit joined (0 if none parked).
+    mean_queue_depth: float = 0.0
 
     def as_row(self) -> Dict[str, object]:
         """Flat dict for table rendering."""
@@ -64,6 +68,8 @@ class ExperimentMetrics:
                 if self.mean_completion_latency is not None
                 else None
             ),
+            "max_qdepth": self.max_queue_depth,
+            "mean_qdepth": round(self.mean_queue_depth, 2),
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -104,6 +110,9 @@ class MetricsCollector:
         self.units_settled = 0
         self.units_cancelled = 0
         self.total_fees_paid = 0.0
+        self.max_queue_depth = 0
+        self._queue_depth_sum = 0
+        self._queue_depth_events = 0
         self._latencies: List[float] = []
         self._settled_by_bucket: Dict[int, float] = defaultdict(float)
 
@@ -135,6 +144,18 @@ class MetricsCollector:
     def on_unit_cancelled(self, unit: TransactionUnit, now: float) -> None:
         """A transaction unit was cancelled and refunded."""
         self.units_cancelled += 1
+
+    def on_unit_queued(self, depth: int) -> None:
+        """A unit parked in a router queue that now holds ``depth`` units.
+
+        Called by the hop-by-hop transports on every enqueue, with the live
+        queue depth *after* the unit joined — the same number the native
+        transport writes into ``ChannelStateStore.queue_depth``.
+        """
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        self._queue_depth_sum += depth
+        self._queue_depth_events += 1
 
     # ------------------------------------------------------------------
     def finalize(
@@ -185,4 +206,10 @@ class MetricsCollector:
             total_inflight_at_end=network.total_inflight(),
             duration=duration,
             throughput_series=series,
+            max_queue_depth=self.max_queue_depth,
+            mean_queue_depth=(
+                self._queue_depth_sum / self._queue_depth_events
+                if self._queue_depth_events
+                else 0.0
+            ),
         )

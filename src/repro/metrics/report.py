@@ -45,7 +45,13 @@ def format_table(
 
 
 def format_metrics_table(metrics: Iterable, title: Optional[str] = None) -> str:
-    """Render a list of :class:`ExperimentMetrics` as a comparison table."""
+    """Render a list of :class:`ExperimentMetrics` as a comparison table.
+
+    Alongside the paper's headline columns this surfaces the router-queue
+    congestion signal (``max_qdepth`` / ``mean_qdepth``) recorded by the
+    hop-by-hop transports — source-routed schemes report 0 there because
+    nothing ever parks at a router.
+    """
     rows = []
     headers = None
     for metric in metrics:

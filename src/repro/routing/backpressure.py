@@ -190,10 +190,12 @@ class BackpressureRuntime(Runtime):
     # ------------------------------------------------------------------
     def _park(self, unit: BackpressureUnit) -> None:
         node_queues = self._queues.setdefault(unit.node, {})
-        node_queues.setdefault(unit.dest, deque()).append(unit)
+        queue = node_queues.setdefault(unit.dest, deque())
+        queue.append(unit)
         unit.parked_at = self.now
         backlog = self._backlog.setdefault(unit.node, {})
         backlog[unit.dest] = backlog.get(unit.dest, 0.0) + unit.amount
+        self.collector.on_unit_queued(len(queue))
 
     def _unpark(self, unit: BackpressureUnit) -> None:
         self._queues[unit.node][unit.dest].remove(unit)
@@ -397,7 +399,8 @@ class CelerScheme(RoutingScheme):
 
     name = "celer"
     atomic = False
-    runtime_class = BackpressureRuntime
+    runtime_class = BackpressureRuntime  # engine="legacy" pairing
+    transport = "backpressure"  # native tick-engine transport
 
     def __init__(
         self,
@@ -425,10 +428,12 @@ class CelerScheme(RoutingScheme):
         }
 
     def attempt(self, payment: Payment, runtime: Runtime) -> None:
-        if not isinstance(runtime, BackpressureRuntime):
+        executor = getattr(runtime, "transport", runtime)
+        if not hasattr(executor, "inject"):
             raise TypeError(
-                "CelerScheme requires a BackpressureRuntime; "
-                "see repro.routing.backpressure"
+                "CelerScheme requires a backpressure transport "
+                "(BackpressureRuntime or a session with "
+                "transport='backpressure'); see repro.routing.backpressure"
             )
         injected_any = False
         while payment.remaining >= runtime.config.min_unit_value:

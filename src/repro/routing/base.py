@@ -91,6 +91,13 @@ class RoutingScheme(abc.ABC):
     name: str = "base"
     #: Whether payments are delivered all-or-nothing with a single attempt.
     atomic: bool = False
+    #: Native session transport the scheme needs: ``None`` (source-routed),
+    #: ``"hop"`` (§4.2 in-network queues / windowed transport) or
+    #: ``"backpressure"`` — see :mod:`repro.engine.transport`.  Precedence
+    #: against ``runtime_class`` is per class, most-derived first: a
+    #: subclass pinning its own ``runtime_class`` (without redeclaring
+    #: ``transport``) keeps the legacy delegate it asks for.
+    transport: Optional[str] = None
 
     def prepare(self, runtime: "Runtime") -> None:
         """One-time setup before the trace starts (path/LP precomputation).

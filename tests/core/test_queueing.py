@@ -138,6 +138,66 @@ class TestHopByHopDelivery:
         assert small.is_complete
         assert not large.is_complete
 
+    def test_timed_out_corpse_is_skipped_at_service(self):
+        """Timeouts are lazily cancelled: the timed-out unit stays in the
+        deque as a corpse (no O(n) remove) and service must skip it to
+        reach the live unit parked behind it."""
+        records = [
+            record(0, 1.0, 0, 3, 45.0),  # parks at router 1, times out
+            record(1, 1.2, 0, 3, 4.0),  # parks behind it, stays live
+            record(2, 1.1, 3, 0, 40.0),  # reverse credit before the timeout
+            record(3, 1.6, 3, 0, 10.0),  # reverse credit after the timeout
+        ]
+        runtime = make_runtime(records, queue_timeout=1.0, end_time=3.4)
+        runtime.network.channel(1, 2).lock(1, 50.0)  # drain 1->2 fully
+        runtime.run()
+        assert runtime.units_timed_out >= 1
+        assert runtime.payments[1].is_complete
+        runtime.network.check_invariants()
+
+    def test_finish_drain_does_not_relaunch_queued_units(self):
+        """Refunds cascading out of the end-of-run drain must not service
+        other queues (the simulator never fires the relaunched advances)."""
+        from repro.network.network import PaymentNetwork
+
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        network.add_channel(1, 2, 100.0)
+        network.add_channel(2, 0, 100.0)
+
+        paths = {0: (2, 0, 1), 1: (1, 2, 0)}
+
+        class LaunchFixedPaths(RoutingScheme):
+            name = "test-fixed-paths"
+            atomic = False
+            hop_by_hop = True
+
+            def attempt(self, payment, runtime):
+                runtime.send_unit_hop_by_hop(
+                    payment, paths[payment.payment_id], payment.remaining
+                )
+
+        network.channel(0, 1).lock(0, 50.0)  # direction (0,1) is dry
+        runtime = QueueingRuntime(
+            network,
+            [
+                record(0, 1.0, 2, 1, 50.0),  # locks 2->0, parks at (0,1)
+                record(1, 1.1, 1, 0, 10.0),  # locks 1->2, parks at (2,0)
+            ],
+            LaunchFixedPaths(),
+            RuntimeConfig(end_time=2.0, check_invariants=True),
+        )
+        runtime.run()
+        assert network.total_inflight() == pytest.approx(50.0)
+        assert runtime.payments[1].inflight == pytest.approx(0.0)
+
+    def test_queue_depth_reported_to_collector(self):
+        runtime = make_runtime([record(0, 1.0, 0, 3, 30.0)], end_time=3.0)
+        runtime.network.channel(1, 2).lock(1, 45.0)
+        metrics = runtime.run()
+        assert metrics.max_queue_depth >= 1
+        assert metrics.mean_queue_depth > 0.0
+
     def test_invalid_parameters(self):
         network = line_topology(3).build_network(default_capacity=10.0)
         with pytest.raises(ValueError):

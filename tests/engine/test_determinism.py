@@ -65,9 +65,48 @@ def test_engines_agree_on_payment_outcomes(scheme):
     assert legacy.delivered_value == pytest.approx(session.delivered_value)
 
 
-def test_session_determinism_through_queueing_fallback():
-    """The facade's legacy fallback path is reproducible too."""
-    config = _config(scheme="spider-queueing", num_transactions=120)
+@pytest.mark.parametrize("scheme", ["spider-queueing", "spider-window", "celer"])
+def test_native_transport_determinism(scheme):
+    """The native hop-by-hop/backpressure transports are reproducible."""
+    config = _config(scheme=scheme, num_transactions=120)
     first = metrics_to_json(run_experiment(config, engine="session"))
     second = metrics_to_json(run_experiment(config, engine="session"))
     assert first.encode() == second.encode()
+
+
+@pytest.mark.parametrize("scheme", ["spider-queueing", "spider-window"])
+def test_hop_transport_parity_with_legacy_runtime(scheme):
+    """Native hop-by-hop transport reproduces the legacy QueueingRuntime.
+
+    Every scheduled delay (hop_delay, settle_delay, queue_timeout, poll)
+    is an exact multiple of the 1 µs tick, so the two engines fire the
+    same events in the same order and the headline metrics match exactly.
+    """
+    config = _config(scheme=scheme, num_transactions=200)
+    legacy = run_experiment(config, engine="legacy")
+    native = run_experiment(config, engine="session")
+    assert native.attempted == legacy.attempted
+    assert native.completed == legacy.completed
+    assert native.failed == legacy.failed
+    assert native.units_settled == legacy.units_settled
+    assert native.units_cancelled == legacy.units_cancelled
+    assert native.success_ratio == legacy.success_ratio
+    assert native.delivered_value == pytest.approx(legacy.delivered_value)
+    assert native.max_queue_depth == legacy.max_queue_depth
+    assert native.mean_queue_depth == pytest.approx(legacy.mean_queue_depth)
+
+
+def test_backpressure_transport_parity_with_legacy_runtime():
+    """Native backpressure matches the legacy BackpressureRuntime.
+
+    The legacy RecurringTimer accumulates float error across service
+    epochs (0.1 + 0.1 + ... != k*0.1 exactly) while the tick timer is
+    exact, so `stuck_after` boundary comparisons can flip for isolated
+    units; success-rate and throughput must still agree tightly.
+    """
+    config = _config(scheme="celer", num_transactions=200)
+    legacy = run_experiment(config, engine="legacy")
+    native = run_experiment(config, engine="session")
+    assert native.attempted == legacy.attempted
+    assert native.success_ratio == pytest.approx(legacy.success_ratio, abs=0.02)
+    assert native.success_volume == pytest.approx(legacy.success_volume, abs=0.03)

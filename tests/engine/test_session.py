@@ -95,21 +95,114 @@ class TestNativeExecution:
             run_experiment(_config(), engine="warp-drive")
 
 
-class TestFacadeFallback:
-    def test_hop_by_hop_scheme_delegates_to_queueing_runtime(self):
+class TestNativeTransports:
+    def test_hop_by_hop_scheme_runs_natively(self):
+        """spider-queueing no longer falls back to the legacy runtime."""
+        from repro.engine.transport import HopByHopTransport
+
         config = _config(scheme="spider-queueing", num_transactions=100)
         session = SimulationSession.from_config(config)
         metrics = session.run()
-        assert isinstance(session._delegate, QueueingRuntime)
+        assert session._delegate is None
+        assert isinstance(session.transport, HopByHopTransport)
         assert metrics.attempted == 100
 
-    def test_fallback_matches_direct_legacy_run(self):
+    def test_backpressure_scheme_runs_natively(self):
+        from repro.engine.transport import BackpressureTransport
+
+        config = _config(scheme="celer", num_transactions=100)
+        session = SimulationSession.from_config(config)
+        metrics = session.run()
+        assert session._delegate is None
+        assert isinstance(session.transport, BackpressureTransport)
+        assert metrics.attempted == 100
+
+    def test_native_matches_direct_legacy_run(self):
         config = _config(scheme="spider-queueing", num_transactions=100)
         via_session = SimulationSession.from_config(config).run()
         direct = run_experiment(config, engine="legacy")
         assert via_session.attempted == direct.attempted
         assert via_session.completed == direct.completed
         assert via_session.delivered_value == pytest.approx(direct.delivered_value)
+
+    def test_transport_primitives_require_a_transport(self):
+        """send_unit_hop_by_hop/inject on a plain session are errors."""
+        network, records, scheme = _line_setup()
+        session = SimulationSession(network, records, scheme)
+        payment_stub = object()
+        with pytest.raises(RuntimeError):
+            session.send_unit_hop_by_hop(payment_stub, (0, 1), 1.0)
+        with pytest.raises(RuntimeError):
+            session.inject(payment_stub, 1.0)
+
+
+class TestFacadeFallback:
+    def test_custom_runtime_class_still_delegates(self):
+        """Out-of-tree schemes pinning a runtime_class keep the legacy path."""
+
+        from repro.core.queueing import SpiderQueueingScheme
+
+        class LegacyPinned(SpiderQueueingScheme):
+            name = "legacy-pinned"
+            transport = None  # no native transport declared
+            runtime_class = QueueingRuntime
+
+        network, records, _ = _line_setup()
+        session = SimulationSession(network, records, LegacyPinned(num_paths=4))
+        metrics = session.run()
+        assert isinstance(session._delegate, QueueingRuntime)
+        assert session.transport is None
+        assert metrics.attempted == len(records)
+
+    def test_subclass_pinned_runtime_beats_inherited_transport(self):
+        """A subclass pinning only runtime_class must get that runtime,
+        not the transport it inherits from its base scheme."""
+        from repro.routing.backpressure import BackpressureRuntime, CelerScheme
+
+        class InstrumentedRuntime(BackpressureRuntime):
+            pass
+
+        class CustomCeler(CelerScheme):
+            name = "celer-custom-runtime"
+            runtime_class = InstrumentedRuntime
+            # note: no transport declaration of its own
+
+        network, records, _ = _line_setup()
+        session = SimulationSession(network, records, CustomCeler())
+        metrics = session.run()
+        assert isinstance(session._delegate, InstrumentedRuntime)
+        assert session.transport is None
+        assert metrics.attempted == len(records)
+
+
+class TestEmptyTrace:
+    def test_empty_trace_without_end_time_short_circuits(self):
+        """Regression: an empty trace with end_time=None must not arm the
+        poll timer or call scheme.prepare against a zero-length horizon."""
+        prepared = []
+
+        scheme = make_scheme("shortest-path")
+        scheme.prepare = lambda runtime: prepared.append(runtime)
+        network = line_topology(4).build_network(default_capacity=100.0)
+        session = SimulationSession(network, [], scheme)
+        metrics = session.run()
+        assert metrics.attempted == 0
+        assert metrics.duration == 0.0
+        assert prepared == []
+        assert session._poll_timer is None
+        assert session.events_processed == 0
+        with pytest.raises(RuntimeError):
+            session.run()  # still runs exactly once
+
+    def test_empty_trace_with_explicit_end_time_still_runs(self):
+        """An explicit horizon keeps the normal machinery (polls fire)."""
+        network = line_topology(4).build_network(default_capacity=100.0)
+        scheme = make_scheme("shortest-path")
+        session = SimulationSession(network, [], scheme, RuntimeConfig(end_time=3.0))
+        metrics = session.run()
+        assert metrics.attempted == 0
+        assert metrics.duration == 3.0
+        assert session.events_processed > 0  # the poll timer ticked
 
 
 class TestPrimalDualOnSession:

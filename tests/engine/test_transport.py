@@ -1,0 +1,261 @@
+"""Tests for the native hop-by-hop transports (repro.engine.transport)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import RuntimeConfig
+from repro.engine.session import SimulationSession
+from repro.engine.transport import BackpressureTransport, HopByHopTransport
+from repro.errors import ConfigError
+from repro.routing.base import RoutingScheme
+from repro.routing.registry import make_scheme
+from repro.topology.generators import line_topology
+from repro.workload.generator import TransactionRecord
+
+
+class LaunchOnLine(RoutingScheme):
+    """Minimal hop-by-hop scheme: launch the remaining value on the line."""
+
+    name = "test-hop-launch"
+    atomic = False
+    transport = "hop"
+
+    def attempt(self, payment, runtime):
+        step = 1 if payment.dest >= payment.source else -1
+        path = tuple(range(payment.source, payment.dest + step, step))
+        runtime.send_unit_hop_by_hop(payment, path, payment.remaining)
+
+
+def record(txn_id, t, source, dest, amount, deadline=None):
+    return TransactionRecord(txn_id, t, source, dest, amount, deadline)
+
+
+def make_session(records, capacity=100.0, nodes=4, scheme=None, end_time=30.0):
+    network = line_topology(nodes).build_network(default_capacity=capacity)
+    session = SimulationSession(
+        network,
+        records,
+        scheme or LaunchOnLine(),
+        RuntimeConfig(end_time=end_time, check_invariants=True),
+    )
+    return session
+
+
+class TestHopByHopNative:
+    def test_simple_payment_completes(self):
+        session = make_session([record(0, 1.0, 0, 3, 10.0)])
+        metrics = session.run()
+        assert isinstance(session.transport, HopByHopTransport)
+        assert metrics.completed == 1
+        # Arrival after 2 more hops x 0.05s + settle 0.5s.
+        assert session.payments[0].completed_at == pytest.approx(1.0 + 2 * 0.05 + 0.5)
+        assert session.network.total_inflight() == pytest.approx(0.0)
+
+    def test_queue_depth_arrays_track_router_queues(self):
+        """The store's queue_depth is live state, not dead zeros: a starved
+        direction shows its parked units mid-run and drains back to zero."""
+        session = make_session([record(0, 1.0, 0, 3, 30.0)], end_time=3.0)
+        network = session.network
+        # Drain 1->2 before the run (held HTLC, never resolved).
+        network.channel(1, 2).lock(1, 45.0)
+        store = network.state_store
+        cid, side = network.channel_id(1, 2)
+        observed = {}
+
+        def probe():
+            observed["depth"] = int(store.queue_depth[cid, side])
+            observed["total"] = store.total_queued()
+            observed["max"] = store.max_queue_depth()
+
+        # The unit parks at router 1 at ~1.05s; probe while it waits.
+        session.sim.call_at(1.5, probe)
+        metrics = session.run()
+        assert observed["depth"] >= 1
+        assert observed["total"] >= 1
+        assert observed["max"] >= 1
+        # End of run: every queue drained (timeout or finish), depth zero.
+        assert store.total_queued() == 0
+        assert metrics.max_queue_depth >= 1
+        assert metrics.mean_queue_depth > 0.0
+
+    def test_lazy_timeout_refunds_and_clears_depth(self):
+        session = make_session(
+            [record(0, 1.0, 0, 3, 40.0)], end_time=3.5
+        )
+        session.scheme.runtime_kwargs = lambda: {"queue_timeout": 1.0}
+        network = session.network
+        network.channel(2, 3).lock(2, 45.0)
+        session.run()
+        transport = session.transport
+        assert transport.units_timed_out >= 1
+        assert network.state_store.total_queued() == 0
+        # Hops 0->1 and 1->2 were locked, then refunded on timeout.
+        assert network.channel(0, 1).balance(0) == pytest.approx(50.0)
+        assert network.channel(1, 2).balance(1) == pytest.approx(50.0)
+
+    def test_timed_out_corpse_does_not_block_service(self):
+        """A timed-out unit stays in the deque as a corpse; a later credit
+        must skip it and service the live unit parked behind it."""
+        session = make_session(
+            [
+                record(0, 1.0, 0, 3, 45.0),  # parks at router 1, times out
+                record(1, 1.2, 0, 3, 4.0),  # parks behind it, stays live
+                record(2, 1.1, 3, 0, 40.0),  # reverse credit before timeout
+                record(3, 1.6, 3, 0, 10.0),  # reverse credit after timeout
+            ],
+            end_time=3.4,
+        )
+        transport_timeout = 1.0
+        session.network.channel(1, 2).lock(1, 50.0)  # drain 1->2 fully
+        # Rebuild the transport parameters via a scheme-level override:
+        # LaunchOnLine declares no runtime_kwargs, so patch the default by
+        # constructing the transport eagerly through the scheme hook.
+        session.scheme.runtime_kwargs = lambda: {"queue_timeout": transport_timeout}
+        metrics = session.run()
+        assert session.transport.units_timed_out >= 1
+        assert session.payments[1].is_complete
+        assert session.network.state_store.total_queued() == 0
+        session.network.check_invariants()
+
+    def test_finish_drain_does_not_relaunch_queued_units(self):
+        """A refund cascading out of the end-of-run drain must not service
+        other queues: the engine never fires the relaunched unit's advance
+        events, so its HTLCs would stay locked forever."""
+        from repro.network.network import PaymentNetwork
+
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        network.add_channel(1, 2, 100.0)
+        network.add_channel(2, 0, 100.0)
+
+        paths = {0: (2, 0, 1), 1: (1, 2, 0)}
+
+        class LaunchFixedPaths(RoutingScheme):
+            name = "test-fixed-paths"
+            atomic = False
+            transport = "hop"
+
+            def attempt(self, payment, runtime):
+                runtime.send_unit_hop_by_hop(
+                    payment, paths[payment.payment_id], payment.remaining
+                )
+
+        network.channel(0, 1).lock(0, 50.0)  # direction (0,1) is dry
+        session = SimulationSession(
+            network,
+            [
+                record(0, 1.0, 2, 1, 50.0),  # locks 2->0, parks at (0,1)
+                record(1, 1.1, 1, 0, 10.0),  # locks 1->2, parks at (2,0)
+            ],
+            LaunchFixedPaths(),
+            RuntimeConfig(end_time=2.0, check_invariants=True),
+        )
+        session.run()
+        # The drain aborts both units; P1's refund of 2->0 must not have
+        # relaunched P2 out of the (2,0) queue. Only the held HTLC remains.
+        assert session.network.total_inflight() == pytest.approx(50.0)
+        assert session.payments[1].inflight == pytest.approx(0.0)
+        assert session.network.state_store.total_queued() == 0
+
+    def test_requeue_generation_guards_stale_timeouts(self):
+        """A serviced-then-requeued unit must not be killed by the stale
+        timeout scheduled for its first stint in the queue."""
+        from repro.core.queueing import HopUnit
+        from repro.network.htlc import HashLock
+
+        session = make_session([], end_time=1.0)
+        transport = HopByHopTransport(session)
+        unit = HopUnit.__new__(HopUnit)
+        unit.queued_at = 5.0
+        unit.queue_seq = 2  # re-queued since the seq=1 timeout was armed
+        unit.done = False
+        transport._timeout_unit(unit, 1)  # stale: must be a no-op
+        assert unit.queued_at == 5.0
+        assert transport.units_timed_out == 0
+
+    def test_mean_queue_delay_reported(self):
+        session = make_session(
+            [
+                record(0, 1.0, 0, 3, 30.0),  # queues at router 1 (5 available)
+                record(1, 2.0, 3, 0, 40.0),  # reverse flow replenishes 1->2
+            ],
+        )
+        session.network.channel(1, 2).lock(1, 45.0)
+        metrics = session.run()
+        assert session.transport.units_queued >= 1
+        assert session.transport.mean_queue_delay > 0.0
+        assert metrics.completed == 2
+
+    def test_invalid_transport_parameters_rejected(self):
+        session = make_session([record(0, 1.0, 0, 3, 1.0)])
+        with pytest.raises(ValueError):
+            HopByHopTransport(session, hop_delay=-1.0)
+        with pytest.raises(ValueError):
+            HopByHopTransport(session, queue_timeout=0.0)
+        with pytest.raises(ValueError):
+            HopByHopTransport(session, queue_policy="bogus")
+        with pytest.raises(ValueError):
+            HopByHopTransport(session, mark_threshold=-0.5)
+
+    def test_scheme_guard_rejects_session_without_matching_transport(self):
+        """The schemes' type guard sees through the session facade: a
+        session with no (or the wrong) transport is rejected up front."""
+        network = line_topology(3).build_network(default_capacity=10.0)
+        plain = SimulationSession(network, [], make_scheme("shortest-path"))
+        with pytest.raises(TypeError):
+            make_scheme("spider-queueing").attempt(object(), plain)
+        with pytest.raises(TypeError):
+            make_scheme("celer").attempt(object(), plain)
+
+    def test_unknown_transport_kind_rejected(self):
+        from repro.engine.transport import make_transport
+
+        session = make_session([])
+        with pytest.raises(ConfigError):
+            make_transport("warp", session)
+
+
+class TestBackpressureNative:
+    def test_celer_completes_on_tick_engine(self):
+        network = line_topology(4).build_network(default_capacity=100.0)
+        records = [record(0, 1.0, 0, 3, 10.0), record(1, 2.0, 3, 0, 5.0)]
+        session = SimulationSession(
+            network,
+            records,
+            make_scheme("celer"),
+            RuntimeConfig(end_time=30.0, check_invariants=True),
+        )
+        metrics = session.run()
+        assert isinstance(session.transport, BackpressureTransport)
+        assert metrics.completed == 2
+        assert network.total_inflight() == pytest.approx(0.0)
+
+    def test_backlog_drains_by_end_of_run(self):
+        network = line_topology(4).build_network(default_capacity=60.0)
+        records = [record(i, 0.5 + 0.1 * i, 0, 3, 8.0) for i in range(10)]
+        session = SimulationSession(
+            network,
+            records,
+            make_scheme("celer"),
+            RuntimeConfig(end_time=20.0, check_invariants=True),
+        )
+        session.run()
+        transport = session.transport
+        assert transport.units_injected >= 10
+        assert all(
+            not q for dests in transport._queues.values() for q in dests.values()
+        )
+        assert network.total_inflight() == pytest.approx(0.0)
+
+    def test_invalid_parameters_rejected(self):
+        network = line_topology(3).build_network(default_capacity=10.0)
+        session = SimulationSession(network, [], make_scheme("celer"))
+        for kwargs in (
+            {"service_interval": 0.0},
+            {"beta": -1.0},
+            {"max_hops": 0},
+            {"stuck_after": 0.0},
+        ):
+            with pytest.raises(ValueError):
+                BackpressureTransport(session, **kwargs)
