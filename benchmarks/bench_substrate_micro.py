@@ -14,10 +14,13 @@ used by CI (finishes in seconds)::
 
 which times the legacy float-time ``Simulator`` against the new slab-queue
 ``TickEngine`` on two event workloads (chained timers = shallow heap,
-pre-scheduled fan-out = deep heap), plus the hop-by-hop queueing transport
-(``spider-queueing`` on a congested line) through the legacy
-``QueueingRuntime`` vs. the native session transport, and records
-events/sec and speedups for all of them.
+pre-scheduled fan-out = deep heap), the hop-by-hop queueing transport
+(``spider-queueing`` on a congested line) with scalar vs. vectorised
+path operations, and the ``path_ops`` microbenchmark (batch bottleneck
+probes and lock+settle round-trips through the PathTable vs. the scalar
+loops), recording events/sec and speedups for all of them.  Pass
+``--assert-floor`` to fail when native hop-by-hop throughput regresses
+below 0.8x the previously recorded value (the CI gate).
 """
 
 from __future__ import annotations
@@ -148,6 +151,39 @@ def test_path_lock_rollback(benchmark):
     assert benchmark(run) == 200
 
 
+def test_pathtable_batch_probe(benchmark):
+    """Batch bottleneck probe of 48 k-path sets through the PathTable."""
+    network, path_sets = _path_ops_fixture(num_pairs=48)
+    table = network.path_table
+    for paths in path_sets:
+        table.bottleneck_many(paths)
+
+    def run():
+        total = 0.0
+        for paths in path_sets:
+            total += table.bottleneck_many(paths, refresh=True)[0]
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_pathtable_scalar_probe(benchmark):
+    """The same probe workload through the scalar per-hop loops."""
+    network, path_sets = _path_ops_fixture(num_pairs=48)
+
+    def run():
+        total = 0.0
+        for paths in path_sets:
+            for path in paths:
+                network._validate_path(path)
+                total += min(
+                    network.available(a, b) for a, b in zip(path, path[1:])
+                )
+        return total
+
+    assert benchmark(run) > 0
+
+
 def test_max_flow_on_isp_balances(benchmark):
     """One max-flow computation at ISP scale (the per-transaction cost the
     paper calls prohibitive, §3)."""
@@ -228,7 +264,10 @@ def run_engine_comparison(events: int = 100_000, repeats: int = 3) -> dict:
 
 # ----------------------------------------------------------------------
 # Hop-by-hop transport comparison: the §4.2 in-network-queue scheme on a
-# congested line, legacy QueueingRuntime vs. the native session transport.
+# congested line through the native session transport, with the scalar
+# per-hop path operations vs. the vectorised PathTable kernels.  (The
+# legacy QueueingRuntime is a thin shim over the same transport now, so
+# the interesting axis is scalar-vs-vectorised path ops, not engines.)
 # ----------------------------------------------------------------------
 def _hop_config(num_transactions: int):
     from repro.experiments.config import ExperimentConfig
@@ -246,63 +285,187 @@ def _hop_config(num_transactions: int):
 
 
 def run_hop_transport_comparison(transactions: int = 1_500, repeats: int = 3) -> dict:
-    """Legacy vs. native events/sec on the hop-by-hop queueing workload.
+    """Scalar vs. vectorised events/sec on the hop-by-hop workload.
 
-    Both engines replay the identical seeded trace.  Topology, workload and
-    scheme construction happen *outside* the timed region — the timer
-    covers only ``run()``, i.e. event dispatch plus the scheme's per-poll
-    routing work — and ``speedup`` is the wall-clock ratio of those runs
-    (the engines process slightly different event counts: the native
-    transport lets lazily-cancelled timeouts fire as no-ops).
+    Both runs replay the identical seeded trace on the native session
+    engine; only ``PaymentNetwork.vectorized_path_ops`` differs, so the
+    ``speedup`` isolates exactly what the PathTable buys end to end.
+    Construction stays outside the timed region — the timer covers
+    ``run()``, i.e. event dispatch plus the scheme's per-poll routing
+    work.
     """
     from repro.engine.session import SimulationSession
+    from repro.network.network import PaymentNetwork
 
-    def _measure(prepare):
+    def _measure(vectorized: bool):
         best_elapsed, events = float("inf"), 0
-        for _ in range(repeats):
-            run_once = prepare()  # construction stays untimed
-            start = time.perf_counter()
-            events = run_once()
-            elapsed = time.perf_counter() - start
-            best_elapsed = min(best_elapsed, elapsed)
+        previous = PaymentNetwork.vectorized_path_ops
+        PaymentNetwork.vectorized_path_ops = vectorized
+        try:
+            for _ in range(repeats):
+                session = SimulationSession.from_config(_hop_config(transactions))
+                start = time.perf_counter()
+                session.run()
+                elapsed = time.perf_counter() - start
+                if session._delegate is not None:  # would time the legacy path
+                    raise RuntimeError("hop scheme fell back to the legacy runtime")
+                events = session.events_processed
+                best_elapsed = min(best_elapsed, elapsed)
+        finally:
+            PaymentNetwork.vectorized_path_ops = previous
         return best_elapsed, events
 
-    def _prepare_legacy():
-        from repro.experiments.runner import build_runtime
-
-        config = _hop_config(transactions)
-        network, records, scheme = config.build_simulation_inputs()
-        runtime = build_runtime(
-            network, records, scheme, config.build_runtime_config()
-        )
-
-        def run_once():
-            runtime.run()
-            return runtime.sim.events_processed
-
-        return run_once
-
-    def _prepare_native():
-        session = SimulationSession.from_config(_hop_config(transactions))
-
-        def run_once():
-            session.run()
-            if session._delegate is not None:  # would time the legacy path
-                raise RuntimeError("hop scheme fell back to the legacy runtime")
-            return session.events_processed
-
-        return run_once
-
-    legacy_time, legacy_events = _measure(_prepare_legacy)
-    native_time, native_events = _measure(_prepare_native)
+    scalar_time, scalar_events = _measure(vectorized=False)
+    native_time, native_events = _measure(vectorized=True)
     return {
         "transactions": transactions,
-        "legacy_events": legacy_events,
-        "legacy_events_per_sec": round(legacy_events / legacy_time),
+        "scalar_events": scalar_events,
+        "scalar_events_per_sec": round(scalar_events / scalar_time),
         "native_events": native_events,
         "native_events_per_sec": round(native_events / native_time),
-        "speedup": round(legacy_time / native_time, 3),
+        "speedup": round(scalar_time / native_time, 3),
     }
+
+
+# ----------------------------------------------------------------------
+# Path-operation microbenchmark: batch bottleneck probes and lock+settle
+# round-trips on a Ripple-scale store, scalar loops vs. PathTable kernels.
+# ----------------------------------------------------------------------
+def _path_ops_fixture(num_pairs: int = 48, k: int = 4):
+    """A Ripple-like network plus ``num_pairs`` k-path sets over it."""
+    from repro.routing.base import PathCache
+    from repro.simulator.rng import make_rng
+
+    network = ripple_topology("small", seed=0).build_network(default_capacity=200.0)
+    cache = PathCache.from_network(network, k=k)
+    rng = make_rng(7)
+    nodes = sorted(network.nodes())
+    path_sets = []
+    while len(path_sets) < num_pairs:
+        source, dest = rng.choice(len(nodes), size=2, replace=False)
+        paths = cache.paths(nodes[int(source)], nodes[int(dest)])
+        if paths:
+            path_sets.append(paths)
+    return network, path_sets
+
+
+def run_path_ops_microbench(
+    num_pairs: int = 48, iterations: int = 200, repeats: int = 3
+) -> dict:
+    """Scalar vs. vectorised path operations on one shared store.
+
+    * ``bottleneck_batch``: probes/sec scoring a whole k-path set (one
+      pair) per probe.  The vectorised side is forced to recompute
+      (``refresh=True``) so the number times the gather + masked min, not
+      the memoisation.
+    * ``lock_settle``: lock+settle round-trips/sec along one path
+      (forward then reverse, so balances are restored and the timing is
+      steady-state).
+    """
+    network, path_sets = _path_ops_fixture(num_pairs=num_pairs)
+    table = network.path_table
+    for paths in path_sets:  # compile outside the timed region
+        table.bottleneck_many(paths)
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def scalar_probe_all():
+        for paths in path_sets:
+            for path in paths:
+                # The pre-PathTable loop: validate + per-hop dict walk.
+                network._validate_path(path)
+                min(network.available(a, b) for a, b in zip(path, path[1:]))
+
+    def vector_probe_all():
+        for paths in path_sets:
+            table.bottleneck_many(paths, refresh=True)
+
+    def cached_probe_all():
+        for paths in path_sets:
+            table.bottleneck_many(paths)
+
+    probes = num_pairs * iterations
+    scalar_time = best_of(lambda: [scalar_probe_all() for _ in range(iterations)])
+    vector_time = best_of(lambda: [vector_probe_all() for _ in range(iterations)])
+    cached_time = best_of(lambda: [cached_probe_all() for _ in range(iterations)])
+
+    # Lock+settle round-trips on one mid-length path, forward then reverse.
+    path = max((p for paths in path_sets for p in paths), key=len)
+    reverse = tuple(reversed(path))
+    trips = 4 * iterations
+
+    def scalar_round_trips():
+        network.use_path_table = False
+        try:
+            for _ in range(2 * iterations):
+                for p in (path, reverse):
+                    network.settle_path(p, network.lock_path(p, 1.0))
+        finally:
+            network.use_path_table = True
+
+    def vector_round_trips():
+        for _ in range(2 * iterations):
+            for p in (path, reverse):
+                network.settle_path(p, network.lock_path(p, 1.0))
+
+    scalar_lock_time = best_of(scalar_round_trips)
+    vector_lock_time = best_of(vector_round_trips)
+
+    return {
+        "network": {"nodes": network.num_nodes, "channels": network.num_channels},
+        "path_sets": num_pairs,
+        "bottleneck_batch": {
+            "scalar_probes_per_sec": round(probes / scalar_time),
+            "vectorised_probes_per_sec": round(probes / vector_time),
+            "cached_probes_per_sec": round(probes / cached_time),
+            "speedup": round(scalar_time / vector_time, 3),
+        },
+        "lock_settle": {
+            "path_hops": len(path) - 1,
+            "scalar_round_trips_per_sec": round(trips / scalar_lock_time),
+            "vectorised_round_trips_per_sec": round(trips / vector_lock_time),
+            "speedup": round(scalar_lock_time / vector_lock_time, 3),
+        },
+    }
+
+
+def check_throughput_floor(report: dict, baseline: dict, ratio: float = 0.8):
+    """Regression gate: native hop throughput must stay near the recorded
+    baseline.  Returns an error string, or ``None`` when within bounds.
+
+    Two ways to pass, so the gate is meaningful on hardware other than
+    the machine that recorded the baseline:
+
+    * absolute — measured native events/sec ≥ ``ratio`` × the recorded
+      native events/sec, or
+    * relative — the measured native-vs-scalar speedup (both sides timed
+      on *this* machine in the same run) ≥ ``ratio`` × the recorded
+      speedup.  A slower CI runner scales both measurements equally, so
+      only a genuine hot-path regression drops the speedup.
+    """
+    recorded_hop = (baseline or {}).get("hop_by_hop", {})
+    recorded = recorded_hop.get("native_events_per_sec")
+    if not recorded:
+        return None
+    measured = report["hop_by_hop"]["native_events_per_sec"]
+    if measured >= ratio * recorded:
+        return None
+    recorded_speedup = recorded_hop.get("speedup")
+    measured_speedup = report["hop_by_hop"]["speedup"]
+    if recorded_speedup and measured_speedup >= ratio * recorded_speedup:
+        return None
+    return (
+        f"native hop-by-hop throughput regressed: {measured:,} ev/s is below "
+        f"{ratio:.0%} of the recorded baseline {recorded:,} ev/s, and the "
+        f"native-vs-scalar speedup {measured_speedup:.2f}x is below "
+        f"{ratio:.0%} of the recorded {recorded_speedup or 0:.2f}x"
+    )
 
 
 def main(argv=None) -> int:
@@ -317,11 +480,34 @@ def main(argv=None) -> int:
         default=1_500,
         help="trace length of the hop-by-hop transport comparison",
     )
+    parser.add_argument(
+        "--path-ops-iterations",
+        type=int,
+        default=200,
+        help="probe sweeps per repeat in the path-ops microbenchmark",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
+    parser.add_argument(
+        "--assert-floor",
+        action="store_true",
+        help=(
+            "fail (exit 1) if native hop-by-hop events/sec drops below 0.8x "
+            "the value recorded in the existing --out file (CI regression gate)"
+        ),
+    )
     args = parser.parse_args(argv)
+    baseline = {}
+    try:
+        with open(args.out, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError):
+        pass
     report = run_engine_comparison(events=args.events, repeats=args.repeats)
     report["hop_by_hop"] = run_hop_transport_comparison(
         transactions=args.hop_transactions, repeats=args.repeats
+    )
+    report["path_ops"] = run_path_ops_microbench(
+        iterations=args.path_ops_iterations, repeats=args.repeats
     )
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -334,11 +520,27 @@ def main(argv=None) -> int:
         )
     hop = report["hop_by_hop"]
     print(
-        f"hop_by_hop legacy {hop['legacy_events_per_sec']:>9,} ev/s   "
+        f"hop_by_hop scalar {hop['scalar_events_per_sec']:>9,} ev/s   "
         f"native {hop['native_events_per_sec']:>9,} ev/s   "
         f"{hop['speedup']:.2f}x wall-clock"
     )
+    ops = report["path_ops"]
+    print(
+        f"path_ops bottleneck {ops['bottleneck_batch']['scalar_probes_per_sec']:>9,} -> "
+        f"{ops['bottleneck_batch']['vectorised_probes_per_sec']:>9,} probes/s "
+        f"({ops['bottleneck_batch']['speedup']:.2f}x, cached "
+        f"{ops['bottleneck_batch']['cached_probes_per_sec']:,}/s)   "
+        f"lock+settle {ops['lock_settle']['scalar_round_trips_per_sec']:>7,} -> "
+        f"{ops['lock_settle']['vectorised_round_trips_per_sec']:>7,} trips/s "
+        f"({ops['lock_settle']['speedup']:.2f}x)"
+    )
     print(f"overall speedup: {report['speedup']:.2f}x  ->  {args.out}")
+    if args.assert_floor:
+        error = check_throughput_floor(report, baseline)
+        if error:
+            print(f"FLOOR CHECK FAILED: {error}")
+            return 1
+        print("floor check passed")
     return 0
 
 

@@ -76,7 +76,7 @@ class AdmissionControlScheme(RoutingScheme):
     def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
         if payment.attempts <= 1:  # admission decision happens once
             paths = self.path_cache.paths(payment.source, payment.dest)
-            capacity = sum(runtime.network.bottleneck(p) for p in paths)
+            capacity = sum(runtime.network.bottleneck_many(paths))
             if payment.amount > self.admit_fraction * capacity:
                 self.rejected += 1
                 runtime.fail_payment(payment)

@@ -92,7 +92,9 @@ class AmpWaterfillingScheme(RoutingScheme):
         if not paths:
             runtime.fail_payment(payment)
             return
-        capacities = [runtime.network.bottleneck(p) for p in paths]
+        # Batched probe: one vectorised pass instead of one Python loop per
+        # path, refreshed incrementally across retries.
+        capacities = runtime.network.bottleneck_many(paths)
         if sum(capacities) < payment.amount - 1e-6:
             runtime.fail_payment(payment)
             return

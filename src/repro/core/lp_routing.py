@@ -96,6 +96,14 @@ class SpiderLPScheme(RoutingScheme):
                 key=lambda item: -item[1],
             )
             self._weights[pair] = weighted
+        if runtime.network.use_path_table:
+            # Precompile every LP-weighted path into store indices so the
+            # first attempt pays no compilation cost and every per-unit
+            # bottleneck probe is a pure vectorised gather.
+            table = runtime.network.path_table
+            for weighted in self._weights.values():
+                for path, _ in weighted:
+                    table.compile(path)
 
     def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
         weighted = self._weights.get((payment.source, payment.dest))

@@ -138,6 +138,11 @@ class SpiderPrimalDualScheme(RoutingScheme):
             if not paths:
                 runtime.fail_payment(payment)
                 return
+            if runtime.network.use_path_table:
+                # Compile the pair's paths once; every subsequent token-
+                # bucket probe is a vectorised gather over store indices.
+                for path in paths:
+                    runtime.network.path_table.compile(path)
             initial = max(payment.amount / len(paths), 1.0)
             state = _PairState(paths, runtime.now, initial_rate=initial)
             self._pairs[pair] = state

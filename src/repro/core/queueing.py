@@ -23,52 +23,54 @@ propagates back and every hop settles after ``settle_delay`` — the same
 end-to-end pending period as the source-routed model, so results are
 comparable.
 
-:class:`SpiderQueueingScheme` pairs this transport with waterfilling path
-selection; the ablation bench compares it against the source-queued
-variant the paper evaluates.
+The transport machinery itself lives in
+:class:`repro.engine.transport.HopByHopTransport` (this module's original
+float-time implementation was retired to a thin shim once the native
+transport's parity was pinned); this module keeps the shared
+:class:`HopUnit` record, the deprecated :class:`QueueingRuntime`
+construction surface, and :class:`SpiderQueueingScheme`, which pairs the
+transport with waterfilling path selection.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from repro.core.payments import Payment, TransactionUnit
+from repro.core.payments import Payment
 from repro.core.runtime import Runtime, RuntimeConfig
-from repro.errors import InsufficientFundsError
-from repro.network.htlc import HashLock, Htlc
+from repro.network.htlc import HashLock
 from repro.routing.base import RoutingScheme
-from repro.simulator.engine import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.collectors import MetricsCollector
     from repro.network.network import PaymentNetwork
-    from repro.workload.generator import TransactionRecord
 
 __all__ = ["HopUnit", "QueueingRuntime", "SpiderQueueingScheme"]
 
 Path = Tuple[int, ...]
-_EPS = 1e-9
 
 
 class HopUnit:
     """A transaction unit travelling hop-by-hop.
 
-    Tracks the locked HTLC per completed hop and the index of the next hop
-    to traverse.
+    Tracks the amount locked per completed hop (``locked``) and the index
+    of the next hop to traverse; ``cpath`` is the unit's
+    :class:`~repro.engine.pathtable.CompiledPath`, set by the transport at
+    launch, so every hop lock/settle/refund is a direct store-index
+    operation instead of a channel-object/HTLC round trip.
     """
 
     __slots__ = (
         "payment",
         "amount",
         "path",
+        "cpath",
         "hop_index",
-        "htlcs",
+        "locked",
         "lock",
         "launched_at",
         "queued_at",
         "queue_seq",
-        "timeout_event",
         "marked",
         "done",
     )
@@ -77,13 +79,13 @@ class HopUnit:
         self.payment = payment
         self.amount = amount
         self.path = path
+        self.cpath = None  # CompiledPath, set by the transport at launch
         self.hop_index = 0  # next channel to lock: (path[i], path[i+1])
-        self.htlcs: List[Htlc] = []
+        self.locked: List[float] = []  # actual per-hop locked amounts
         self.lock = lock
         self.launched_at = now
         self.queued_at: Optional[float] = None
         self.queue_seq = 0  # enqueue generation (lazy timeout cancellation)
-        self.timeout_event: Optional[Event] = None
         self.marked = False  # congestion mark (router queue delay, §4.1)
         self.done = False
 
@@ -104,26 +106,25 @@ class HopUnit:
 
 
 class QueueingRuntime(Runtime):
-    """Runtime with §4.2 in-network queues.
+    """Thin shim: §4.2 in-network queues on the native session transport.
 
-    Extra parameters (keyword-only, on top of :class:`RuntimeConfig`):
+    .. deprecated::
+        The hop-by-hop machinery this class used to implement (per-direction
+        deques, lazy-cancelled timeouts, SRPT service, marking) lives in
+        :class:`repro.engine.transport.HopByHopTransport` and runs on the
+        tick engine; the parity suite pinned the two implementations
+        against each other for a release cycle before this body was
+        retired.  The class remains as the ``engine="legacy"`` /
+        ``runtime_class`` construction surface: it validates the same
+        parameters, then delegates the entire run to a
+        :class:`~repro.engine.session.SimulationSession` with a forced
+        ``("hop", ...)`` transport and mirrors the transport's statistics
+        (``units_queued``, ``units_timed_out``, ``mean_queue_delay``, ...).
 
-    hop_delay:
-        Per-hop forwarding latency in seconds.
-    settle_delay:
-        Delay between destination arrival and settlement of all hops
-        (defaults to the configured confirmation delay).
-    queue_timeout:
-        Maximum time a unit may sit in one router queue before its HTLCs
-        are abandoned and refunded.
-    queue_policy:
-        ``"fifo"`` (default) or ``"srpt"`` (smallest payment-remainder
-        first) service order.
-    mark_threshold:
-        If set, a router marks any unit whose queueing delay exceeds this
-        many seconds — the 1-bit congestion signal of the windowed
-        transport (:mod:`repro.core.window_control`).  ``None`` disables
-        marking.
+    Parameters on top of :class:`RuntimeConfig`: ``hop_delay``,
+    ``settle_delay``, ``queue_timeout``, ``queue_policy``,
+    ``mark_threshold`` — see
+    :class:`~repro.engine.transport.HopByHopTransport`.
     """
 
     def __init__(
@@ -133,241 +134,59 @@ class QueueingRuntime(Runtime):
         scheme: RoutingScheme,
         config: Optional[RuntimeConfig] = None,
         collector: Optional["MetricsCollector"] = None,
-        hop_delay: float = 0.05,
-        settle_delay: Optional[float] = None,
-        queue_timeout: float = 5.0,
-        queue_policy: str = "fifo",
-        mark_threshold: Optional[float] = None,
+        **transport_kwargs,
     ):
+        from repro.engine.session import SimulationSession
+
         super().__init__(network, records, scheme, config, collector)
-        if hop_delay < 0:
-            raise ValueError(f"hop_delay must be non-negative, got {hop_delay}")
-        if queue_timeout <= 0:
-            raise ValueError(f"queue_timeout must be positive, got {queue_timeout}")
-        if queue_policy not in ("fifo", "srpt"):
-            raise ValueError(f"unknown queue_policy {queue_policy!r}")
-        if mark_threshold is not None and mark_threshold < 0:
-            raise ValueError(
-                f"mark_threshold must be non-negative, got {mark_threshold}"
-            )
-        self.hop_delay = hop_delay
-        self.settle_delay = (
-            settle_delay if settle_delay is not None else self.config.confirmation_delay
+        self._session = SimulationSession(
+            network,
+            records,
+            scheme,
+            self.config,
+            collector=self.collector,
+            transport_spec=("hop", transport_kwargs),
         )
-        self.queue_timeout = queue_timeout
-        self.queue_policy = queue_policy
-        self.mark_threshold = mark_threshold
-        self.units_marked = 0
-        self._hop_queues: Dict[Tuple[int, int], Deque[HopUnit]] = {}
-        self._draining = False  # end-of-run drain: no re-launches
-        # Live (non-timed-out) units per direction: timed-out units stay in
-        # the deque as corpses until service pops them, so deque length
-        # alone over-counts.
-        self._queue_depths: Dict[Tuple[int, int], int] = {}
-        self.units_queued = 0
-        self.units_timed_out = 0
-        self.queue_delays: List[float] = []
+        # Build the transport eagerly: parameter validation happens at
+        # construction (as it always did), and direct-drive tests can use
+        # the primitives before run().
+        self._transport = self._session._ensure_transport()
+        # Alias the session's engine and payment registry so the inherited
+        # Runtime surface (``now``, ``sim.events_processed``,
+        # ``payments[id]``) reads the state the session actually mutates.
+        self.sim = self._session.sim
+        self.payments = self._session.payments
 
-    # ------------------------------------------------------------------
-    # Public primitive for schemes
-    # ------------------------------------------------------------------
+    # -- delegation -----------------------------------------------------
+    def run(self):
+        """Run the trace on the session engine; returns the metrics."""
+        return self._session.run()
+
     def send_unit_hop_by_hop(self, payment: Payment, path: Path, amount: float) -> bool:
-        """Launch one unit that forwards hop by hop, queueing when starved.
+        """Launch one unit that forwards hop by hop, queueing when starved."""
+        return self._transport.send_unit_hop_by_hop(payment, path, amount)
 
-        Unlike :meth:`Runtime.send_unit`, this succeeds as long as the
-        *first* hop can lock — downstream scarcity parks the unit in a
-        router queue rather than failing it.
-        """
-        amount = min(amount, payment.remaining, self.config.mtu)
-        if amount < self.config.min_unit_value:
-            return False
-        lock = HashLock.generate(payment.payment_id, payment.units_sent)
-        unit = HopUnit(payment, amount, tuple(path), lock, self.now)
-        if not self._try_lock_hop(unit):
-            return False  # source itself lacks funds; caller may queue/poll
-        payment.register_inflight(amount)
-        self._schedule_advance(unit)
-        return True
+    # -- mirrored transport statistics ---------------------------------
+    @property
+    def units_queued(self) -> int:
+        return self._transport.units_queued
 
-    # ------------------------------------------------------------------
-    # Hop machinery
-    # ------------------------------------------------------------------
-    def _try_lock_hop(self, unit: HopUnit) -> bool:
-        u, v = unit.current_node, unit.next_node
-        channel = self.network.channel(u, v)
-        try:
-            htlc = channel.lock(u, unit.amount, now=self.now, lock=unit.lock)
-        except InsufficientFundsError:
-            return False
-        unit.htlcs.append(htlc)
-        unit.hop_index += 1
-        return True
+    @property
+    def units_timed_out(self) -> int:
+        return self._transport.units_timed_out
 
-    def _schedule_advance(self, unit: HopUnit) -> None:
-        if unit.at_destination:
-            self.sim.call_after(self.settle_delay, self._settle_unit, unit)
-        else:
-            self.sim.call_after(self.hop_delay, self._forward, unit)
+    @property
+    def units_marked(self) -> int:
+        return self._transport.units_marked
 
-    def _forward(self, unit: HopUnit) -> None:
-        if unit.done:
-            return
-        if self._try_lock_hop(unit):
-            self._schedule_advance(unit)
-            return
-        self._enqueue(unit)
-
-    def _enqueue(self, unit: HopUnit) -> None:
-        key = (unit.current_node, unit.next_node)
-        queue = self._hop_queues.setdefault(key, deque())
-        unit.queued_at = self.now
-        unit.queue_seq += 1
-        queue.append(unit)
-        self.units_queued += 1
-        depth = self._queue_depths.get(key, 0) + 1
-        self._queue_depths[key] = depth
-        self.collector.on_unit_queued(depth)
-        unit.timeout_event = self.sim.call_after(
-            self.queue_timeout, self._timeout_unit, unit
-        )
-
-    def _dequeue(self, key: Tuple[int, int]) -> None:
-        """Service the queue for direction ``key`` while funds last."""
-        if self._draining:
-            # End-of-run drain: refunds from aborted units must not
-            # relaunch queued units — the simulator will never fire their
-            # advance events, so a relaunch would strand funds in flight.
-            return
-        queue = self._hop_queues.get(key)
-        if not queue:
-            return
-        if self.queue_policy == "srpt":
-            ordered = sorted(
-                (u for u in queue if not u.done),
-                key=lambda u: (u.payment.outstanding, u.launched_at),
-            )
-            queue.clear()
-            queue.extend(ordered)
-        while queue:
-            unit = queue[0]
-            if unit.done:  # lazily-cancelled corpse (timed out)
-                queue.popleft()
-                continue
-            u, v = key
-            if self.network.available(u, v) + _EPS < unit.amount:
-                break
-            queue.popleft()
-            self._queue_depths[key] -= 1
-            if unit.timeout_event is not None:
-                unit.timeout_event.cancel()
-                unit.timeout_event = None
-            delay = self.now - (unit.queued_at or self.now)
-            self.queue_delays.append(delay)
-            if (
-                self.mark_threshold is not None
-                and delay > self.mark_threshold
-                and not unit.marked
-            ):
-                unit.marked = True
-                self.units_marked += 1
-            unit.queued_at = None
-            if self._try_lock_hop(unit):  # pragma: no branch - funds checked above
-                self._schedule_advance(unit)
-
-    def _timeout_unit(self, unit: HopUnit) -> None:
-        # Lazy cancel: the unit is NOT removed from its deque (that remove
-        # was O(n) per timeout); aborting marks it ``done`` and _dequeue
-        # skips the corpse when it reaches the head.
-        if unit.done or unit.queued_at is None:
-            return
-        key = (unit.current_node, unit.next_node)
-        self._queue_depths[key] = self._queue_depths.get(key, 1) - 1
-        unit.queued_at = None
-        self.units_timed_out += 1
-        self._abort_unit(unit)
-
-    def _abort_unit(self, unit: HopUnit) -> None:
-        """Refund all hops locked so far and release the payment value."""
-        unit.done = True
-        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
-            self.network.channel(a, b).refund(htlc)
-            self._dequeue((a, b))
-        unit.payment.register_cancelled(unit.amount)
-        if self.config.check_invariants:
-            self.network.check_invariants()
-        self._notify_scheme(unit, "lost")
-
-    def _settle_unit(self, unit: HopUnit) -> None:
-        if unit.done:
-            return
-        unit.done = True
-        payment = unit.payment
-        withhold = payment.expired(self.now) and not payment.is_complete
-        credited: List[Tuple[int, int]] = []
-        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
-            channel = self.network.channel(a, b)
-            if withhold:
-                channel.refund(htlc)
-                credited.append((a, b))
-            else:
-                channel.settle(htlc)
-                credited.append((b, a))
-        record = TransactionUnit.create(
-            payment=payment,
-            amount=unit.amount,
-            path=unit.path,
-            htlcs=unit.htlcs,
-            lock=unit.lock,
-            sent_at=unit.launched_at,
-        )
-        if withhold:
-            payment.register_cancelled(unit.amount)
-            record.mark_cancelled()
-            self.collector.on_unit_cancelled(record, self.now)
-        else:
-            was_complete = payment.is_complete
-            payment.register_settled(unit.amount, self.now)
-            record.mark_settled()
-            self.collector.on_unit_settled(record, self.now)
-            if payment.is_complete and not was_complete:
-                self._pending.discard(payment.payment_id)
-                self.collector.on_payment_completed(payment, self.now)
-        if self.config.check_invariants:
-            self.network.check_invariants()
-        self._notify_scheme(unit, "cancelled" if withhold else "settled")
-        # Freed/credited funds may unblock queued units downstream.
-        for direction in credited:
-            self._dequeue(direction)
-
-    def _notify_scheme(self, unit: HopUnit, outcome: str) -> None:
-        """Deliver the end-to-end ack (with its congestion mark) to schemes
-        that implement ``on_unit_resolved`` — the windowed transport's
-        feedback channel."""
-        callback = getattr(self.scheme, "on_unit_resolved", None)
-        if callback is not None:
-            callback(unit, outcome, self.now)
-
-    # ------------------------------------------------------------------
-    def _finish(self) -> None:
-        """Drain router queues at end of run, refunding stranded units."""
-        self._draining = True
-        for key, queue in list(self._hop_queues.items()):
-            while queue:
-                unit = queue.popleft()
-                if unit.done:  # timed-out corpse, already refunded
-                    continue
-                if unit.timeout_event is not None:
-                    unit.timeout_event.cancel()
-                self._queue_depths[key] = self._queue_depths.get(key, 1) - 1
-                self._abort_unit(unit)
-        super()._finish()
+    @property
+    def queue_delays(self) -> List[float]:
+        return self._transport.queue_delays
 
     @property
     def mean_queue_delay(self) -> float:
         """Average time a serviced unit spent queued at routers."""
-        if not self.queue_delays:
-            return 0.0
-        return float(sum(self.queue_delays) / len(self.queue_delays))
+        return self._transport.mean_queue_delay
 
 
 class SpiderQueueingScheme(RoutingScheme):
@@ -404,7 +223,7 @@ class SpiderQueueingScheme(RoutingScheme):
         if not paths:
             runtime.fail_payment(payment)
             return
-        availability = [runtime.network.bottleneck(p) for p in paths]
+        availability = runtime.network.bottleneck_many(paths)
         min_unit = runtime.config.min_unit_value
         while payment.remaining >= min_unit:
             best = max(range(len(paths)), key=lambda i: availability[i])

@@ -15,7 +15,7 @@ queue for the next poll, making the scheme non-atomic.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING
 
 from repro.routing.base import RoutingScheme
 
@@ -44,7 +44,10 @@ class WaterfillingScheme(RoutingScheme):
         if not paths:
             runtime.fail_payment(payment)
             return
-        availability: List[float] = [runtime.network.bottleneck(p) for p in paths]
+        # One batched probe for the whole path set; the table refreshes
+        # only the paths whose channels changed since the pair's last
+        # probe, so retries and polls stop re-walking unchanged paths.
+        availability = runtime.network.bottleneck_many(paths)
         min_unit = runtime.config.min_unit_value
         while payment.remaining >= min_unit:
             # Waterfill: take the path with the largest remaining estimate.

@@ -277,6 +277,16 @@ class ImbalanceAwareWindowScheme(WindowedSpiderScheme):
         """How much sending on ``path`` rebalances its channels, in [−1, 1]."""
         if self._network is None or len(path) < 2:
             return 0.0
+        if self._network.use_path_table:
+            # One gather over the compiled path: (sender − receiver)
+            # balance per hop, normalised by channel capacity.
+            cpath = self._network.path_table.compile(path)
+            store = self._network.state_store
+            spread = (
+                store.balance[cpath.cids, cpath.sides]
+                - store.balance[cpath.cids, 1 - cpath.sides]
+            )
+            return float((spread / store.capacity[cpath.cids]).mean())
         scores = []
         for u, v in zip(path, path[1:]):
             channel = self._network.channel(u, v)

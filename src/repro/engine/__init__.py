@@ -5,6 +5,7 @@ This package is the execution core of the reproduction:
 ``clock``      integer-tick clock (float seconds only at the API boundary)
 ``events``     slab-allocated event queue and the :class:`TickEngine`
 ``store``      flat NumPy arrays holding every channel's mutable state
+``pathtable``  compiled-path index cache + vectorised path operations
 ``transport``  hop-by-hop / backpressure transports on the tick engine
 ``session``    :class:`SimulationSession` — the one facade that runs a trace
 
@@ -16,6 +17,7 @@ story.
 
 from repro.engine.clock import DEFAULT_QUANTUM, TickClock
 from repro.engine.events import SlabEventQueue, TickEngine, TickHandle, TickTimer
+from repro.engine.pathtable import CompiledPath, PathLock, PathTable
 from repro.engine.store import ChannelStateStore
 
 
@@ -37,8 +39,11 @@ def __getattr__(name: str):
 __all__ = [
     "BackpressureTransport",
     "ChannelStateStore",
+    "CompiledPath",
     "DEFAULT_QUANTUM",
     "HopByHopTransport",
+    "PathLock",
+    "PathTable",
     "SimulationSession",
     "SlabEventQueue",
     "TickClock",

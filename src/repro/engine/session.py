@@ -35,11 +35,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.core.payments import Payment, PaymentState, TransactionUnit
 from repro.core.scheduling import get_policy
 from repro.core.runtime import RuntimeConfig
 from repro.engine.clock import DEFAULT_QUANTUM
 from repro.engine.events import TickEngine, TickTimer
+from repro.engine.pathtable import PathLock
 from repro.engine.transport import make_transport
 from repro.errors import InsufficientFundsError
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
@@ -98,6 +101,10 @@ class SimulationSession:
         Optional custom metrics collector.
     quantum:
         Seconds per engine tick (float times only exist at this boundary).
+    transport_spec:
+        Optional ``(kind, kwargs)`` pair forcing a specific
+        :mod:`repro.engine.transport` layer regardless of the scheme's
+        declarations — the hook the legacy runtime shims use.
     """
 
     def __init__(
@@ -108,6 +115,7 @@ class SimulationSession:
         config: Optional[RuntimeConfig] = None,
         collector: Optional[MetricsCollector] = None,
         quantum: float = DEFAULT_QUANTUM,
+        transport_spec: Optional[Tuple[str, Dict[str, object]]] = None,
     ):
         self.network = network
         self.records = sorted(records, key=lambda r: r.arrival_time)
@@ -121,7 +129,11 @@ class SimulationSession:
         self._poll_timer: Optional[TickTimer] = None
         self._delegate = None  # set when a legacy runtime runs the trace
         self.transport = None  # set when the scheme declares a native transport
+        self._transport_spec = transport_spec
         self._finished = False
+        self._confirm_ticks = self.sim.clock.to_ticks(self.config.confirmation_delay)
+        #: tick -> units resolving at that tick (coalesced store writes).
+        self._resolve_batches: Dict[int, List[TransactionUnit]] = {}
         if self.config.end_time is not None:
             self._end_time = self.config.end_time
         elif self.records:
@@ -198,7 +210,7 @@ class SimulationSession:
             return self.collector.finalize(
                 scheme=self.scheme.name, network=self.network, duration=0.0
             )
-        if _needs_legacy_runtime(self.scheme):
+        if self._transport_spec is None and _needs_legacy_runtime(self.scheme):
             from repro.experiments.runner import build_runtime
 
             self._delegate = build_runtime(
@@ -208,14 +220,20 @@ class SimulationSession:
 
         engine = self.sim
         clock = engine.clock
-        transport_kind = getattr(self.scheme, "transport", None)
-        if transport_kind is not None:
-            transport_kwargs = (
-                self.scheme.runtime_kwargs()
-                if hasattr(self.scheme, "runtime_kwargs")
-                else {}
-            )
-            self.transport = make_transport(transport_kind, self, **transport_kwargs)
+        if self._transport_spec is not None:
+            self._ensure_transport()
+        else:
+            transport_kind = getattr(self.scheme, "transport", None)
+            if transport_kind is not None:
+                transport_kwargs = (
+                    self.scheme.runtime_kwargs()
+                    if hasattr(self.scheme, "runtime_kwargs")
+                    else {}
+                )
+                self.transport = make_transport(
+                    transport_kind, self, **transport_kwargs
+                )
+        if self.transport is not None:
             # Started before the trace is scheduled so timer/arrival event
             # ordering matches the legacy runtimes tick for tick.
             self.transport.start()
@@ -232,6 +250,14 @@ class SimulationSession:
         return self.collector.finalize(
             scheme=self.scheme.name, network=self.network, duration=self._end_time
         )
+
+    def _ensure_transport(self):
+        """Instantiate the forced transport once (shims may need it before
+        :meth:`run`, e.g. to inject units directly in tests)."""
+        if self.transport is None and self._transport_spec is not None:
+            kind, kwargs = self._transport_spec
+            self.transport = make_transport(kind, self, **kwargs)
+        return self.transport
 
     # ------------------------------------------------------------------
     # Scheme-facing primitives (same contract as Runtime)
@@ -265,7 +291,7 @@ class SimulationSession:
             sent_at=self.sim.now,
             fee=fee,
         )
-        self.sim.schedule_after(self.config.confirmation_delay, self._resolve_unit, unit)
+        self._schedule_resolve(unit)
         return True
 
     def send_on_path(self, payment: Payment, path: Tuple[int, ...]) -> float:
@@ -327,9 +353,8 @@ class SimulationSession:
                 payment.register_cancelled(unit.amount)
                 unit.mark_cancelled()
             return False
-        delay = self.config.confirmation_delay
         for unit in locked:
-            self.sim.schedule_after(delay, self._resolve_unit, unit)
+            self._schedule_resolve(unit)
         return True
 
     def send_unit_hop_by_hop(
@@ -419,25 +444,117 @@ class SimulationSession:
             self.scheme.attempt(payment, self)
             self._after_attempt(payment)
 
-    def _resolve_unit(self, unit: TransactionUnit) -> None:
-        payment = unit.payment
+    def _schedule_resolve(self, unit: TransactionUnit) -> None:
+        """Register ``unit`` for resolution one confirmation delay from now.
+
+        Units maturing at the same tick share one flush event — and, on
+        the vectorised path, one batched store write — instead of one
+        event plus one per-hop settle loop each.
+        """
+        tick = self.sim.now_tick + self._confirm_ticks
+        batch = self._resolve_batches.get(tick)
+        if batch is None:
+            self._resolve_batches[tick] = batch = [unit]
+            self.sim.schedule_at_tick(tick, self._flush_resolutions, (tick,))
+        else:
+            batch.append(unit)
+
+    def _flush_resolutions(self, tick: int) -> None:
+        """Resolve every unit that matured at ``tick``.
+
+        Payment accounting and collector hooks run per unit in scheduling
+        order (identical to the one-event-per-unit history); the store
+        writes of all :class:`PathLock`-backed units are coalesced into a
+        single ordered scatter-add
+        (:meth:`~repro.engine.store.ChannelStateStore.apply_resolution_batch`).
+        ``check_invariants`` runs reverts to per-unit resolution so the
+        store is consistent after every settlement, as the invariant check
+        expects.
+        """
+        units = self._resolve_batches.pop(tick)
+        if len(units) == 1 or self.config.check_invariants:
+            for unit in units:
+                self._resolve_unit(unit)
+            return
         now = self.sim.now
+        cid_parts: List[np.ndarray] = []
+        side_parts: List[np.ndarray] = []
+        col_parts: List[np.ndarray] = []
+        amount_parts: List[np.ndarray] = []
+        settled_parts: List[bool] = []
+        hop_counts: List[int] = []
+        for unit in units:
+            lock = unit.htlcs
+            if not isinstance(lock, PathLock):  # scalar-parity mode
+                self._resolve_unit(unit)
+                continue
+            settle = self._resolve_decision(unit, now)
+            self._resolve_accounting(unit, now, settle)
+            lock.resolved = True
+            cpath = lock.cpath
+            cid_parts.append(cpath.cids)
+            side_parts.append(cpath.sides)
+            col_parts.append((1 - cpath.sides) if settle else cpath.sides)
+            amount_parts.append(lock.amounts)
+            settled_parts.append(settle)
+            hop_counts.append(len(cpath.hops))
+        if not cid_parts:
+            return
+        self.network.state_store.apply_resolution_batch(
+            np.concatenate(cid_parts),
+            np.concatenate(side_parts),
+            np.concatenate(col_parts),
+            np.concatenate(amount_parts),
+            np.repeat(settled_parts, hop_counts),
+        )
+
+    @staticmethod
+    def _resolve_decision(unit: TransactionUnit, now: float) -> bool:
+        """Whether a maturing unit settles (``True``) or refunds.
+
+        §4.1: the sender withholds the hash key for units that would
+        settle after the payment's deadline (and for failed atomic
+        payments), cancelling them.  Computed exactly once per unit: the
+        store write and the payment/collector bookkeeping both consume the
+        same verdict.
+        """
+        payment = unit.payment
         withhold = payment.expired(now) and not payment.is_complete
-        if withhold or payment.state is PaymentState.FAILED and payment.atomic:
-            self.network.refund_path(unit.path, unit.htlcs)
+        return not (
+            withhold or payment.state is PaymentState.FAILED and payment.atomic
+        )
+
+    def _resolve_accounting(
+        self, unit: TransactionUnit, now: float, settle: bool
+    ) -> None:
+        """Payment/collector bookkeeping for one maturing unit.
+
+        ``settle`` is the :meth:`_resolve_decision` verdict; store writes
+        are the caller's responsibility.
+        """
+        payment = unit.payment
+        if not settle:
             payment.register_cancelled(unit.amount)
             unit.mark_cancelled()
             self.collector.on_unit_cancelled(unit, now)
-        else:
+            return
+        was_complete = payment.is_complete
+        payment.register_settled(unit.amount, now)
+        payment.fees_paid += unit.fee
+        unit.mark_settled()
+        self.collector.on_unit_settled(unit, now)
+        if payment.is_complete and not was_complete:
+            self._pending.discard(payment.payment_id)
+            self.collector.on_payment_completed(payment, now)
+
+    def _resolve_unit(self, unit: TransactionUnit) -> None:
+        now = self.sim.now
+        settle = self._resolve_decision(unit, now)
+        if settle:
             self.network.settle_path(unit.path, unit.htlcs)
-            was_complete = payment.is_complete
-            payment.register_settled(unit.amount, now)
-            payment.fees_paid += unit.fee
-            unit.mark_settled()
-            self.collector.on_unit_settled(unit, now)
-            if payment.is_complete and not was_complete:
-                self._pending.discard(payment.payment_id)
-                self.collector.on_payment_completed(payment, now)
+        else:
+            self.network.refund_path(unit.path, unit.htlcs)
+        self._resolve_accounting(unit, now, settle)
         if self.config.check_invariants:
             self.network.check_invariants()
 

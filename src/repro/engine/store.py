@@ -23,11 +23,12 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ChannelError
+from repro.errors import ChannelError, InsufficientFundsError
 
 __all__ = ["ChannelStateStore"]
 
 _INITIAL_CAPACITY = 16
+_LOCK_EPS = 1e-9
 
 
 class ChannelStateStore:
@@ -36,6 +37,12 @@ class ChannelStateStore:
     Side convention: column 0 is the channel's ``node_a``, column 1 its
     ``node_b``.  All values are float64 except the HTLC counters (int64),
     the queue depths (int64) and the frozen flags (bool).
+
+    Every mutation that can change a channel's *availability* (balance or
+    frozen flag) stamps the channel with a monotonically increasing
+    ``version`` counter.  :class:`~repro.engine.pathtable.PathTable` probe
+    caches compare their snapshot version against ``stamp`` to refresh only
+    the paths whose channels actually changed since the last probe.
     """
 
     __slots__ = (
@@ -50,6 +57,9 @@ class ChannelStateStore:
         "num_settled",
         "num_refunded",
         "frozen",
+        "frozen_count",
+        "stamp",
+        "version",
     )
 
     def __init__(self, reserve: int = _INITIAL_CAPACITY):
@@ -65,6 +75,9 @@ class ChannelStateStore:
         self.num_settled = np.zeros(reserve, dtype=np.int64)
         self.num_refunded = np.zeros(reserve, dtype=np.int64)
         self.frozen = np.zeros(reserve, dtype=bool)
+        self.frozen_count = 0
+        self.stamp = np.zeros(reserve, dtype=np.int64)
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Allocation
@@ -103,6 +116,7 @@ class ChannelStateStore:
         self.num_settled = widen(self.num_settled)
         self.num_refunded = widen(self.num_refunded)
         self.frozen = widen(self.frozen)
+        self.stamp = widen(self.stamp)
 
     # ------------------------------------------------------------------
     # Trimmed views (always sized to the allocated channel count)
@@ -203,11 +217,196 @@ class ChannelStateStore:
     # ------------------------------------------------------------------
     # Single-channel mutators used by the PaymentChannel view
     # ------------------------------------------------------------------
+    def touch(self, cid: int) -> None:
+        """Stamp ``cid`` as modified (invalidates cached path probes)."""
+        self.version = version = self.version + 1
+        self.stamp[cid] = version
+
+    def apply_lock(self, cid: int, side: int, amount: float) -> None:
+        """Move ``amount`` of ``(cid, side)``'s balance into in-flight."""
+        self.balance[cid, side] -= amount
+        self.inflight[cid, side] += amount
+        self.sent[cid, side] += amount
+        self.version = version = self.version + 1
+        self.stamp[cid] = version
+
+    def apply_settle(self, cid: int, sender_side: int, amount: float) -> None:
+        """Resolve an in-flight transfer by crediting the counterparty."""
+        self.inflight[cid, sender_side] -= amount
+        self.balance[cid, 1 - sender_side] += amount
+        self.settled_flow[cid, sender_side] += amount
+        self.num_settled[cid] += 1
+        self.version = version = self.version + 1
+        self.stamp[cid] = version
+
+    def apply_refund(self, cid: int, sender_side: int, amount: float) -> None:
+        """Resolve an in-flight transfer by returning it to the sender."""
+        self.inflight[cid, sender_side] -= amount
+        self.balance[cid, sender_side] += amount
+        self.num_refunded[cid] += 1
+        self.version = version = self.version + 1
+        self.stamp[cid] = version
+
+    def try_lock(self, cid: int, side: int, amount: float) -> float:
+        """Lock ``amount`` on ``(cid, side)`` if spendable; else return -1.
+
+        The no-exception twin of :meth:`apply_lock` for hot per-hop
+        forwarding: performs the frozen/balance check inline and returns
+        the *actual* locked value (clamped to the spendable balance within
+        the usual 1e-9 tolerance) or ``-1.0`` on failure.
+        """
+        if self.frozen_count and self.frozen[cid]:
+            return -1.0
+        balance = float(self.balance[cid, side])
+        if amount > balance + _LOCK_EPS:
+            return -1.0
+        actual = amount if amount <= balance else balance
+        self.balance[cid, side] = balance - actual
+        self.inflight[cid, side] += actual
+        self.sent[cid, side] += actual
+        self.version = version = self.version + 1
+        self.stamp[cid] = version
+        return actual
+
+    def set_frozen(self, cid: int, flag: bool) -> None:
+        """Freeze/unfreeze ``cid`` (stamped: availability changed).
+
+        Maintains ``frozen_count`` so hot paths skip frozen checks
+        entirely on an all-healthy network (the common case).  The flag
+        must only be flipped through this method (or the channel view's
+        ``freeze``/``unfreeze``) for the count to stay accurate.
+        """
+        flag = bool(flag)
+        if flag != bool(self.frozen[cid]):
+            self.frozen[cid] = flag
+            self.frozen_count += 1 if flag else -1
+        self.version = version = self.version + 1
+        self.stamp[cid] = version
+
     def deposit(self, cid: int, side: int, amount: float) -> None:
         """Credit on-chain funds: grows the side's balance and the capacity."""
         self.balance[cid, side] += amount
         self.capacity[cid] += amount
         self.total_deposited[cid] += amount
+        self.version = version = self.version + 1
+        self.stamp[cid] = version
+
+    # ------------------------------------------------------------------
+    # Vectorised path operations (PathTable's backing primitives)
+    # ------------------------------------------------------------------
+    def availability(self, cids: np.ndarray, sides: np.ndarray) -> np.ndarray:
+        """Spendable funds per ``(cid, side)`` hop; 0 where frozen."""
+        values = self.balance[cids, sides]
+        if self.frozen_count:
+            values = np.where(self.frozen[cids], 0.0, values)
+        return values
+
+    def lock_path_funds(
+        self, cids: np.ndarray, sides: np.ndarray, amounts: np.ndarray
+    ) -> np.ndarray:
+        """Atomically lock ``amounts[i]`` on every hop ``(cids[i], sides[i])``.
+
+        Returns the per-hop *actual* locked amounts (clamped exactly as the
+        scalar :meth:`~repro.network.channel.PaymentChannel.lock` clamps).
+        On a frozen or under-funded hop ``k`` it raises
+        :class:`~repro.errors.InsufficientFundsError` after reproducing the
+        scalar lock-then-rollback side effects on hops ``0..k-1`` bit for
+        bit: their balances round-trip through ``(b - a) + a``, their
+        ``sent`` totals grow, and their refund counters tick — all-or-
+        nothing for funds, but not traceless, exactly like the loop it
+        replaces.
+
+        A path is a trail, so ``(cid, side)`` pairs are unique and plain
+        fancy-indexed updates are safe (no duplicate-index buffering).
+        """
+        balance = self.balance[cids, sides]
+        ok = amounts <= balance + _LOCK_EPS
+        if self.frozen_count:
+            ok &= ~self.frozen[cids]
+        if ok.all():
+            actual = np.minimum(amounts, balance)
+            self.balance[cids, sides] = balance - actual
+            self.inflight[cids, sides] += actual
+            self.sent[cids, sides] += actual
+            self.version = version = self.version + 1
+            self.stamp[cids] = version
+            return actual
+        k = int(np.argmin(ok))  # first failing hop
+        if k > 0:
+            pre_c, pre_s = cids[:k], sides[:k]
+            pre_bal = balance[:k]
+            actual = np.minimum(amounts[:k], pre_bal)
+            inflight = self.inflight[pre_c, pre_s]
+            # Replicate the scalar rollback float-exactly: lock then refund.
+            self.balance[pre_c, pre_s] = (pre_bal - actual) + actual
+            self.inflight[pre_c, pre_s] = (inflight + actual) - actual
+            self.sent[pre_c, pre_s] += actual
+            self.num_refunded[pre_c] += 1
+            self.version = version = self.version + 1
+            self.stamp[pre_c] = version
+        cid = int(cids[k])
+        if self.frozen[cid]:
+            raise InsufficientFundsError(
+                f"channel {cid} is frozen (closing or endpoint offline)"
+            )
+        raise InsufficientFundsError(
+            f"hop {k} has {float(balance[k]):.6g} spendable on channel {cid}, "
+            f"cannot lock {float(amounts[k]):.6g}"
+        )
+
+    def settle_path_funds(
+        self, cids: np.ndarray, sides: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Settle a previously locked path: credit every receiving side."""
+        self.inflight[cids, sides] -= amounts
+        self.balance[cids, 1 - sides] += amounts
+        self.settled_flow[cids, sides] += amounts
+        self.num_settled[cids] += 1
+        self.version = version = self.version + 1
+        self.stamp[cids] = version
+
+    def refund_path_funds(
+        self, cids: np.ndarray, sides: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Refund a previously locked path: return funds to every sender."""
+        self.inflight[cids, sides] -= amounts
+        self.balance[cids, sides] += amounts
+        self.num_refunded[cids] += 1
+        self.version = version = self.version + 1
+        self.stamp[cids] = version
+
+    def apply_resolution_batch(
+        self,
+        infl_cids: np.ndarray,
+        infl_sides: np.ndarray,
+        bal_cols: np.ndarray,
+        amounts: np.ndarray,
+        settled: np.ndarray,
+    ) -> None:
+        """One coalesced store write for every unit resolving this tick.
+
+        ``infl_cids``/``infl_sides`` index the hop's *sender* direction,
+        ``bal_cols`` the column credited (receiver on settle, sender on
+        refund) and ``settled`` flags which hops settle.  Uses unbuffered
+        ``np.ufunc.at`` scatter-adds, which apply repeated indices in array
+        order — so hops are listed in resolution order and the float sums
+        match the sequential per-unit writes bit for bit.
+        """
+        np.subtract.at(self.inflight, (infl_cids, infl_sides), amounts)
+        np.add.at(self.balance, (infl_cids, bal_cols), amounts)
+        if settled.all():
+            np.add.at(self.settled_flow, (infl_cids, infl_sides), amounts)
+            np.add.at(self.num_settled, infl_cids, 1)
+        else:
+            np.add.at(
+                self.settled_flow,
+                (infl_cids[settled], infl_sides[settled]),
+                amounts[settled],
+            )
+            np.add.at(self.num_settled, infl_cids[settled], 1)
+            np.add.at(self.num_refunded, infl_cids[~settled], 1)
+        self.version = version = self.version + 1
+        self.stamp[infl_cids] = version
 
     def describe(self, cid: int) -> Tuple[float, float, float, float, float]:
         """``(capacity, balance_a, balance_b, inflight_a, inflight_b)``."""

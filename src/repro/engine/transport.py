@@ -40,8 +40,11 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.payments import Payment, TransactionUnit
 from repro.core.queueing import HopUnit
+from repro.engine.pathtable import PathLock
 from repro.errors import ConfigError, InsufficientFundsError
 from repro.fluid.paths import bfs_distances
 from repro.network.htlc import HashLock
@@ -142,13 +145,16 @@ class HopByHopTransport:
         """Launch one unit that forwards hop by hop, queueing when starved.
 
         Succeeds as long as the *first* hop can lock — downstream scarcity
-        parks the unit in a router queue rather than failing it.
+        parks the unit in a router queue rather than failing it.  The path
+        is compiled once (per distinct path, network-wide) into flat store
+        indices; every subsequent hop operation is a direct array access.
         """
         amount = min(amount, payment.remaining, self.config.mtu)
         if amount < self.config.min_unit_value:
             return False
         lock = HashLock.generate(payment.payment_id, payment.units_sent)
         unit = HopUnit(payment, amount, tuple(path), lock, self.sim.now)
+        unit.cpath = self.network.path_table.compile(unit.path)
         if not self._try_lock_hop(unit):
             return False  # source itself lacks funds; caller may queue/poll
         payment.register_inflight(amount)
@@ -159,13 +165,11 @@ class HopByHopTransport:
     # Hop machinery
     # ------------------------------------------------------------------
     def _try_lock_hop(self, unit: HopUnit) -> bool:
-        u, v = unit.current_node, unit.next_node
-        channel = self.network.channel(u, v)
-        try:
-            htlc = channel.lock(u, unit.amount, now=self.sim.now, lock=unit.lock)
-        except InsufficientFundsError:
+        cid, side = unit.cpath.hops[unit.hop_index]
+        actual = self.store.try_lock(cid, side, unit.amount)
+        if actual < 0.0:
             return False
-        unit.htlcs.append(htlc)
+        unit.locked.append(actual)
         unit.hop_index += 1
         return True
 
@@ -184,7 +188,7 @@ class HopByHopTransport:
         self._enqueue(unit)
 
     def _enqueue(self, unit: HopUnit) -> None:
-        key = self.network.channel_id(unit.current_node, unit.next_node)
+        key = unit.cpath.hops[unit.hop_index]
         queue = self._queues.setdefault(key, deque())
         unit.queued_at = self.sim.now
         unit.queue_seq += 1
@@ -222,7 +226,11 @@ class HopByHopTransport:
             if unit.done:  # lazily-cancelled corpse (timed out)
                 queue.popleft()
                 continue
-            available = 0.0 if store.frozen[cid] else float(store.balance[cid, side])
+            available = (
+                0.0
+                if store.frozen_count and store.frozen[cid]
+                else float(store.balance[cid, side])
+            )
             if available + _EPS < unit.amount:
                 break
             queue.popleft()
@@ -246,7 +254,7 @@ class HopByHopTransport:
         # re-queued at a later hop) since then carries a newer generation.
         if unit.done or unit.queued_at is None or unit.queue_seq != queue_seq:
             return
-        cid, side = self.network.channel_id(unit.current_node, unit.next_node)
+        cid, side = unit.cpath.hops[unit.hop_index]
         self.store.queue_depth[cid, side] -= 1
         unit.queued_at = None
         self.units_timed_out += 1
@@ -255,9 +263,10 @@ class HopByHopTransport:
     def _abort_unit(self, unit: HopUnit) -> None:
         """Refund all hops locked so far and release the payment value."""
         unit.done = True
-        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
-            self.network.channel(a, b).refund(htlc)
-            self._dequeue(self.network.channel_id(a, b))
+        store = self.store
+        for (cid, side), amount in zip(unit.cpath.hops, unit.locked):
+            store.apply_refund(cid, side, amount)
+            self._dequeue((cid, side))
         unit.payment.register_cancelled(unit.amount)
         if self.config.check_invariants:
             self.network.check_invariants()
@@ -270,20 +279,23 @@ class HopByHopTransport:
         payment = unit.payment
         now = self.sim.now
         withhold = payment.expired(now) and not payment.is_complete
-        credited: List[Tuple[int, int]] = []
-        for htlc, (a, b) in zip(unit.htlcs, zip(unit.path, unit.path[1:])):
-            channel = self.network.channel(a, b)
-            if withhold:
-                channel.refund(htlc)
-                credited.append((a, b))
-            else:
-                channel.settle(htlc)
-                credited.append((b, a))
+        cpath = unit.cpath
+        amounts = np.asarray(unit.locked, dtype=np.float64)
+        if withhold:
+            # One vectorised refund; the sending directions regain funds.
+            self.store.refund_path_funds(cpath.cids, cpath.sides, amounts)
+            credited: List[Tuple[int, int]] = cpath.hops
+        else:
+            # One vectorised settle; the receiving directions gain funds.
+            self.store.settle_path_funds(cpath.cids, cpath.sides, amounts)
+            credited = [(cid, 1 - side) for cid, side in cpath.hops]
+        hop_locks = PathLock(cpath, amounts)
+        hop_locks.resolved = True  # pure record: the store writes are done
         record = TransactionUnit.create(
             payment=payment,
             amount=unit.amount,
             path=unit.path,
-            htlcs=unit.htlcs,
+            htlcs=hop_locks,
             lock=unit.lock,
             sent_at=unit.launched_at,
         )
@@ -303,8 +315,8 @@ class HopByHopTransport:
             self.network.check_invariants()
         self._notify_scheme(unit, "cancelled" if withhold else "settled")
         # Freed/credited funds may unblock queued units downstream.
-        for a, b in credited:
-            self._dequeue(self.network.channel_id(a, b))
+        for direction in credited:
+            self._dequeue(direction)
 
     def _notify_scheme(self, unit: HopUnit, outcome: str) -> None:
         """Deliver the end-to-end ack (with its congestion mark) to schemes

@@ -166,7 +166,7 @@ class PaymentChannel:
         until settlement (§6.1).  A frozen channel (closing, or an offline
         endpoint — see :mod:`repro.network.faults`) accepts nothing.
         """
-        if self._store.frozen[self._cid]:
+        if self._store.frozen_count and self._store.frozen[self._cid]:
             return 0.0
         return self.balance(sender)
 
@@ -183,11 +183,11 @@ class PaymentChannel:
 
     def freeze(self) -> None:
         """Stop accepting new HTLCs (channel closure / endpoint outage)."""
-        self._store.frozen[self._cid] = True
+        self._store.set_frozen(self._cid, True)
 
     def unfreeze(self) -> None:
         """Resume normal operation (endpoint back online)."""
-        self._store.frozen[self._cid] = False
+        self._store.set_frozen(self._cid, False)
 
     def settled_flow(self, sender: NodeId) -> float:
         """Cumulative value settled in the ``sender →`` direction."""
@@ -255,7 +255,7 @@ class PaymentChannel:
         if amount <= 0 or not math.isfinite(amount):
             raise ChannelError(f"lock amount must be positive and finite, got {amount!r}")
         store, cid = self._store, self._cid
-        if store.frozen[cid]:
+        if store.frozen_count and store.frozen[cid]:
             raise InsufficientFundsError(
                 f"channel ({self.node_a!r}, {self.node_b!r}) is frozen "
                 "(closing or endpoint offline)"
@@ -279,6 +279,7 @@ class PaymentChannel:
         store.balance[cid, side] = balance - amount
         store.inflight[cid, side] += amount
         store.sent[cid, side] += amount
+        store.touch(cid)
         self._htlcs[htlc.htlc_id] = htlc
         return htlc
 
@@ -286,23 +287,14 @@ class PaymentChannel:
         """Complete a pending HTLC: credit the receiver's spendable balance."""
         self._require_owned(htlc)
         htlc.mark_settled()
-        store, cid = self._store, self._cid
-        sender_side = self._side[htlc.sender]
-        store.inflight[cid, sender_side] -= htlc.amount
-        store.balance[cid, 1 - sender_side] += htlc.amount
-        store.settled_flow[cid, sender_side] += htlc.amount
-        store.num_settled[cid] += 1
+        self._store.apply_settle(self._cid, self._side[htlc.sender], htlc.amount)
         del self._htlcs[htlc.htlc_id]
 
     def refund(self, htlc: Htlc) -> None:
         """Cancel a pending HTLC: return the funds to the sender."""
         self._require_owned(htlc)
         htlc.mark_refunded()
-        store, cid = self._store, self._cid
-        sender_side = self._side[htlc.sender]
-        store.inflight[cid, sender_side] -= htlc.amount
-        store.balance[cid, sender_side] += htlc.amount
-        store.num_refunded[cid] += 1
+        self._store.apply_refund(self._cid, self._side[htlc.sender], htlc.amount)
         del self._htlcs[htlc.htlc_id]
 
     def deposit(self, node: NodeId, amount: float) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.pathtable import PathLock, PathTable
 from repro.engine.store import ChannelStateStore
 from repro.errors import ChannelError, InsufficientFundsError, TopologyError
 from repro.network.channel import PaymentChannel
@@ -60,6 +61,14 @@ class PaymentNetwork:
     toward ``v`` right now.
     """
 
+    #: Class-wide default for new networks: route the path operations
+    #: (``bottleneck`` / ``hop_amounts`` / ``lock_path`` / ``settle_path``
+    #: / ``refund_path``) through the vectorised
+    #: :class:`~repro.engine.pathtable.PathTable`.  The scalar per-hop
+    #: implementations remain behind ``use_path_table = False`` — they are
+    #: the parity baseline the vectorised kernels are tested against.
+    vectorized_path_ops: bool = True
+
     def __init__(self) -> None:
         self._nodes: Dict[NodeId, Node] = {}
         self._channels: Dict[Tuple[NodeId, NodeId], PaymentChannel] = {}
@@ -68,6 +77,8 @@ class PaymentNetwork:
         self._store = ChannelStateStore()
         # (u, v) -> (channel, store row, u's store column), both directions.
         self._directions: Dict[Tuple[NodeId, NodeId], Tuple[PaymentChannel, int, int]] = {}
+        self._path_table: Optional[PathTable] = None
+        self.use_path_table = type(self).vectorized_path_ops
 
     # ------------------------------------------------------------------
     # Construction
@@ -203,9 +214,22 @@ class PaymentNetwork:
         """Spendable funds in the ``u → v`` direction."""
         cid, side = self.channel_id(u, v)
         store = self._store
-        if store.frozen[cid]:
+        if store.frozen_count and store.frozen[cid]:
             return 0.0
         return float(store.balance[cid, side])
+
+    @property
+    def path_table(self) -> PathTable:
+        """The network's compiled-path operation table (created lazily).
+
+        Compiles each distinct path once into flat ``(cid, side)`` index
+        arrays over the store, then serves bottleneck probes, fee passes
+        and lock/settle/refund as vectorised kernels — see
+        :mod:`repro.engine.pathtable`.
+        """
+        if self._path_table is None:
+            self._path_table = PathTable(self)
+        return self._path_table
 
     def bottleneck(self, path: Path) -> float:
         """Minimum directional availability along ``path``.
@@ -213,10 +237,27 @@ class PaymentNetwork:
         This is the quantity waterfilling and the baselines probe as "path
         capacity".  Returns ``inf`` for degenerate single-node paths.
         """
+        if self.use_path_table:
+            return self.path_table.bottleneck(path)
         self._validate_path(path)
         if len(path) < 2:
             return math.inf
         return min(self.available(a, b) for a, b in zip(path, path[1:]))
+
+    def bottleneck_many(self, paths: Sequence[Path]) -> List[float]:
+        """Bottlenecks of a whole path set in one batched probe.
+
+        The vectorised path memoises per path set and refreshes only the
+        paths whose channels changed since the last probe (see
+        :meth:`~repro.engine.pathtable.PathTable.bottleneck_many`); the
+        scalar fallback is the plain per-path loop.  Either way the result
+        is a list of Python floats, element-for-element identical.
+        """
+        if not paths:
+            return []
+        if self.use_path_table:
+            return self.path_table.bottleneck_many(paths)
+        return [self.bottleneck(p) for p in paths]
 
     def hop_amounts(self, path: Path, amount: float) -> List[float]:
         """Per-hop lock amounts delivering ``amount``, fees included.
@@ -227,6 +268,8 @@ class PaymentNetwork:
         ``amounts[i] = amounts[i+1] + fee(channel_{i+1}, amounts[i+1])``.
         With fee-free channels every entry equals ``amount``.
         """
+        if self.use_path_table:
+            return self.path_table.hop_amounts(path, amount)
         self._validate_path(path)
         hops = list(zip(path, path[1:]))
         if not hops:
@@ -245,18 +288,32 @@ class PaymentNetwork:
         now: float = 0.0,
         lock: Optional[HashLock] = None,
         amounts: Optional[Sequence[float]] = None,
-    ) -> List[Htlc]:
+    ) -> Sequence:
         """Atomically lock funds on every hop of ``path``.
 
         By default every hop locks ``amount``; passing ``amounts`` locks a
         different value per hop (how routing fees are carried — see
         :meth:`hop_amounts`).  Either all hops lock or none do: if an
-        intermediate hop lacks funds, the already-created HTLCs are
-        refunded and :class:`~repro.errors.InsufficientFundsError`
-        propagates.
+        intermediate hop lacks funds, the already-locked hops are refunded
+        and :class:`~repro.errors.InsufficientFundsError` propagates.
 
-        Returns the per-hop HTLC list, ordered from source to destination.
+        Returns the per-hop lock sequence, ordered from source to
+        destination: a :class:`~repro.engine.pathtable.PathLock` (one
+        vectorised record for the whole path) on the default table-backed
+        path, or the legacy per-hop :class:`~repro.network.htlc.Htlc` list
+        with ``use_path_table = False``.  Both support ``len()`` and
+        ``[j].amount`` and both resolve through :meth:`settle_path` /
+        :meth:`refund_path`.
         """
+        if self.use_path_table:
+            if len(path) < 2:
+                self.path_table.compile(path)  # raise the validation error
+                raise ChannelError(
+                    "cannot lock funds on a path with fewer than 2 nodes"
+                )
+            if amounts is None:
+                amounts = [amount] * (len(path) - 1)
+            return self.path_table.lock_path(path, amounts)
         self._validate_path(path)
         if len(path) < 2:
             raise ChannelError("cannot lock funds on a path with fewer than 2 nodes")
@@ -279,21 +336,27 @@ class PaymentNetwork:
             raise
         return htlcs
 
-    def settle_path(self, path: Path, htlcs: Sequence[Htlc]) -> None:
+    def settle_path(self, path: Path, htlcs: Sequence) -> None:
         """Settle every hop of a previously locked transfer."""
         self._resolve_path(path, htlcs, settle=True)
 
-    def refund_path(self, path: Path, htlcs: Sequence[Htlc]) -> None:
+    def refund_path(self, path: Path, htlcs: Sequence) -> None:
         """Refund every hop of a previously locked transfer."""
         self._resolve_path(path, htlcs, settle=False)
 
-    def _resolve_path(self, path: Path, htlcs: Sequence[Htlc], settle: bool) -> None:
-        hops = list(zip(path, path[1:]))
-        if len(hops) != len(htlcs):
+    def _resolve_path(self, path: Path, htlcs: Sequence, settle: bool) -> None:
+        if len(path) - 1 != len(htlcs):
             raise ChannelError(
-                f"path has {len(hops)} hops but {len(htlcs)} HTLCs were supplied"
+                f"path has {max(len(path) - 1, 0)} hops but {len(htlcs)} "
+                "HTLCs were supplied"
             )
-        for htlc, (a, b) in zip(htlcs, hops):
+        if isinstance(htlcs, PathLock):
+            if settle:
+                self.path_table.settle(htlcs)
+            else:
+                self.path_table.refund(htlcs)
+            return
+        for htlc, (a, b) in zip(htlcs, zip(path, path[1:])):
             channel = self.channel(a, b)
             if settle:
                 channel.settle(htlc)

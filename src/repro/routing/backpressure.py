@@ -32,22 +32,22 @@ Model
   misrouted backlog (reverse pressure builds up over time), while keeping
   every *settled* trail a simple path as the paper requires.
 
-:class:`CelerScheme` injects payment value; :class:`BackpressureRuntime`
-owns queues, gradients, forwarding, settlement and refunds.
+:class:`CelerScheme` injects payment value; the queues, gradients,
+forwarding, settlement and refunds live in
+:class:`repro.engine.transport.BackpressureTransport` (this module's
+original float-time runtime was retired to the thin
+:class:`BackpressureRuntime` shim once the native transport's parity was
+pinned).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from repro.core.payments import Payment, TransactionUnit
+from repro.core.payments import Payment
 from repro.core.runtime import Runtime, RuntimeConfig
-from repro.errors import InsufficientFundsError
-from repro.fluid.paths import bfs_distances
 from repro.network.htlc import HashLock, Htlc
 from repro.routing.base import RoutingScheme
-from repro.simulator.engine import RecurringTimer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.metrics.collectors import MetricsCollector
@@ -55,7 +55,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["BackpressureUnit", "BackpressureRuntime", "CelerScheme"]
 
-_EPS = 1e-9
 
 
 class BackpressureUnit:
@@ -97,24 +96,25 @@ class BackpressureUnit:
 
 
 class BackpressureRuntime(Runtime):
-    """Runtime that forwards units by per-destination queue gradients.
+    """Thin shim: gradient forwarding on the native session transport.
 
-    Extra parameters (on top of :class:`~repro.core.runtime.RuntimeConfig`):
+    .. deprecated::
+        The queue-gradient machinery this class used to implement lives in
+        :class:`repro.engine.transport.BackpressureTransport` and runs on
+        the tick engine; the parity suite pinned the two implementations
+        against each other for a release cycle before this body was
+        retired.  The class remains as the ``engine="legacy"`` /
+        ``runtime_class`` construction surface: it validates the same
+        parameters, then delegates the entire run to a
+        :class:`~repro.engine.session.SimulationSession` with a forced
+        ``("backpressure", ...)`` transport and mirrors the transport's
+        statistics and primitives (``inject``, ``backlog``,
+        ``units_injected``, ``total_pops``, ...).
 
-    service_interval:
-        Period of the gradient/forwarding epoch.
-    beta:
-        Weight of the shortest-path bias term.  ``0`` is pure backpressure;
-        large values degenerate to shortest-path forwarding.
-    max_hops:
-        Hard cap on hops per unit; exceeding it refunds the unit (its value
-        returns to the payment for reinjection at the next poll).
-    stuck_after:
-        How long a unit may sit in one queue before it becomes eligible to
-        backtrack (reverse pressure takes time to build).
-    settle_delay:
-        Destination-to-everyone settlement latency (defaults to the
-        configured confirmation delay).
+    Parameters on top of :class:`~repro.core.runtime.RuntimeConfig`:
+    ``service_interval``, ``beta``, ``max_hops``, ``stuck_after``,
+    ``settle_delay`` — see
+    :class:`~repro.engine.transport.BackpressureTransport`.
     """
 
     def __init__(
@@ -124,263 +124,61 @@ class BackpressureRuntime(Runtime):
         scheme: RoutingScheme,
         config: Optional[RuntimeConfig] = None,
         collector: Optional["MetricsCollector"] = None,
-        service_interval: float = 0.1,
-        beta: float = 1.0,
-        max_hops: int = 10,
-        stuck_after: float = 1.0,
-        settle_delay: Optional[float] = None,
+        **transport_kwargs,
     ):
+        from repro.engine.session import SimulationSession
+
         super().__init__(network, records, scheme, config, collector)
-        if service_interval <= 0:
-            raise ValueError(f"service_interval must be positive, got {service_interval}")
-        if beta < 0:
-            raise ValueError(f"beta must be non-negative, got {beta}")
-        if max_hops <= 0:
-            raise ValueError(f"max_hops must be positive, got {max_hops}")
-        if stuck_after <= 0:
-            raise ValueError(f"stuck_after must be positive, got {stuck_after}")
-        self.service_interval = service_interval
-        self.beta = beta
-        self.max_hops = max_hops
-        self.stuck_after = stuck_after
-        self.settle_delay = (
-            settle_delay if settle_delay is not None else self.config.confirmation_delay
+        self._session = SimulationSession(
+            network,
+            records,
+            scheme,
+            self.config,
+            collector=self.collector,
+            transport_spec=("backpressure", transport_kwargs),
         )
-        #: node -> destination -> FIFO of parked units.
-        self._queues: Dict[int, Dict[int, Deque[BackpressureUnit]]] = {}
-        #: node -> destination -> queued value (the gradient signal).
-        self._backlog: Dict[int, Dict[int, float]] = {}
-        self._distance_cache: Dict[int, Dict[int, int]] = {}
-        self._adjacency = {
-            node: sorted(network.neighbors(node)) for node in network.nodes()
-        }
-        self._service_timer: Optional[RecurringTimer] = None
-        self.units_injected = 0
-        self.units_expired = 0
-        self.total_hops = 0
-        self.total_pops = 0
+        # Built eagerly: parameters validate at construction and the
+        # direct-drive tests can inject units before run().
+        self._transport = self._session._ensure_transport()
+        # Alias the session's engine and payment registry so the inherited
+        # Runtime surface (``now``, ``sim.events_processed``,
+        # ``payments[id]``) reads the state the session actually mutates.
+        self.sim = self._session.sim
+        self.payments = self._session.payments
 
-    # ------------------------------------------------------------------
-    # Scheme-facing primitive
-    # ------------------------------------------------------------------
+    # -- delegation -----------------------------------------------------
+    def run(self):
+        """Run the trace on the session engine; returns the metrics."""
+        return self._session.run()
+
     def inject(self, payment: Payment, amount: float) -> bool:
-        """Park one unit of ``amount`` in the source's queue for routing.
-
-        Returns ``False`` for sub-``min_unit_value`` amounts or unreachable
-        destinations.  Injected value counts as in-flight: backpressure
-        owns it until settlement or expiry.
-        """
-        amount = min(amount, payment.remaining, self.config.mtu)
-        if amount < self.config.min_unit_value:
-            return False
-        if self._distance(payment.dest).get(payment.source) is None:
-            return False
-        unit = BackpressureUnit(payment, amount, self.now)
-        payment.register_inflight(amount)
-        self.units_injected += 1
-        self._park(unit)
-        return True
+        """Park one unit of ``amount`` in the source's queue for routing."""
+        return self._transport.inject(payment, amount)
 
     def backlog(self, node: int, dest: int) -> float:
         """Queued value at ``node`` destined for ``dest``."""
-        return self._backlog.get(node, {}).get(dest, 0.0)
-
-    # ------------------------------------------------------------------
-    # Queue plumbing
-    # ------------------------------------------------------------------
-    def _park(self, unit: BackpressureUnit) -> None:
-        node_queues = self._queues.setdefault(unit.node, {})
-        queue = node_queues.setdefault(unit.dest, deque())
-        queue.append(unit)
-        unit.parked_at = self.now
-        backlog = self._backlog.setdefault(unit.node, {})
-        backlog[unit.dest] = backlog.get(unit.dest, 0.0) + unit.amount
-        self.collector.on_unit_queued(len(queue))
-
-    def _unpark(self, unit: BackpressureUnit) -> None:
-        self._queues[unit.node][unit.dest].remove(unit)
-        backlog = self._backlog[unit.node]
-        backlog[unit.dest] = max(0.0, backlog[unit.dest] - unit.amount)
-
-    def _distance(self, dest: int) -> Dict[int, int]:
-        if dest not in self._distance_cache:
-            self._distance_cache[dest] = bfs_distances(self._adjacency, dest)
-        return self._distance_cache[dest]
-
-    # ------------------------------------------------------------------
-    # The service epoch
-    # ------------------------------------------------------------------
-    def run(self):
-        self._service_timer = RecurringTimer(
-            self.sim, self.service_interval, self._service_epoch
-        )
-        try:
-            return super().run()
-        finally:
-            if self._service_timer is not None:
-                self._service_timer.stop()
-
-    def _service_epoch(self) -> None:
-        for u, v in list(self.network.edges()):
-            self._service_direction(u, v)
-            self._service_direction(v, u)
-
-    def _service_direction(self, u: int, v: int) -> None:
-        """Forward queued units across ``u→v`` down the steepest gradient."""
-        node_queues = self._queues.get(u)
-        if not node_queues:
-            return
-        while True:
-            available = self.network.available(u, v)
-            if available < self.config.min_unit_value:
-                return
-            candidates = [
-                (self._weight(u, v, dest), dest)
-                for dest, queue in node_queues.items()
-                if queue
-            ]
-            candidates = [(w, d) for w, d in candidates if w > _EPS]
-            candidates.sort(reverse=True)
-            unit = None
-            for _, dest in candidates:
-                unit = self._eligible_unit(node_queues[dest], v, available)
-                if unit is not None:
-                    break
-            if unit is None:
-                # Every positive-gradient unit either already visited v or
-                # exceeds the direction's spendable funds.
-                return
-            self._forward(unit, v)
-
-    def _weight(self, u: int, v: int, dest: int) -> float:
-        gradient = self.backlog(u, dest) - self.backlog(v, dest)
-        distances = self._distance(dest)
-        du = distances.get(u)
-        dv = distances.get(v)
-        if du is None or dv is None:
-            return 0.0
-        return gradient + self.beta * (du - dv)
-
-    def _eligible_unit(
-        self, queue: Deque[BackpressureUnit], v: int, available: float
-    ) -> Optional[BackpressureUnit]:
-        for unit in queue:
-            if v not in unit.visited and unit.amount <= available + _EPS:
-                return unit
-            if (
-                v == unit.backtrack_target
-                and self.now - unit.parked_at >= self.stuck_after
-            ):
-                return unit  # stuck: pop backward (refunds, needs no funds)
-        return None
-
-    def _forward(self, unit: BackpressureUnit, v: int) -> None:
-        self._unpark(unit)
-        unit.steps += 1
-        if v in unit.visited:
-            self._pop_hop(unit, v)
-        elif not self._push_hop(unit, v):
-            self._park(unit)  # the lock raced away; retry next epoch
-            return
-        if unit.done:
-            return  # reached the destination; settlement is scheduled
-        if (
-            len(unit.hops) >= self.max_hops
-            or unit.steps >= 3 * self.max_hops
-            or unit.payment.expired(self.now)
-        ):
-            self._expire_unit(unit)
-        else:
-            self._park(unit)
-
-    def _push_hop(self, unit: BackpressureUnit, v: int) -> bool:
-        u = unit.node
-        channel = self.network.channel(u, v)
-        try:
-            htlc = channel.lock(u, unit.amount, now=self.now, lock=unit.lock)
-        except InsufficientFundsError:  # pragma: no cover - availability checked
-            return False
-        unit.htlcs.append(htlc)
-        unit.hops.append((u, v))
-        unit.node = v
-        unit.visited.add(v)
-        self.total_hops += 1
-        if v == unit.dest:
-            unit.done = True
-            self.sim.call_after(self.settle_delay, self._settle_unit, unit)
-        return True
+        return self._transport.backlog(node, dest)
 
     def _pop_hop(self, unit: BackpressureUnit, v: int) -> None:
-        """Backtrack: undo the last hop, refunding its HTLC."""
-        if unit.backtrack_target != v:
-            raise AssertionError(
-                f"pop to {v} but the unit came from {unit.backtrack_target}"
-            )
-        a, b = unit.hops.pop()
-        htlc = unit.htlcs.pop()
-        self.network.channel(a, b).refund(htlc)
-        unit.node = v
-        self.total_pops += 1
+        """Backtrack: undo the unit's last hop (transport-delegated)."""
+        self._transport._pop_hop(unit, v)
 
-    # ------------------------------------------------------------------
-    # Resolution
-    # ------------------------------------------------------------------
-    def _settle_unit(self, unit: BackpressureUnit) -> None:
-        payment = unit.payment
-        withhold = payment.expired(self.now) and not payment.is_complete
-        for htlc, (a, b) in zip(unit.htlcs, unit.hops):
-            channel = self.network.channel(a, b)
-            if withhold:
-                channel.refund(htlc)
-            else:
-                channel.settle(htlc)
-        record = TransactionUnit.create(
-            payment=payment,
-            amount=unit.amount,
-            path=self._trail(unit),
-            htlcs=unit.htlcs,
-            lock=unit.lock,
-            sent_at=unit.created_at,
-        )
-        if withhold:
-            payment.register_cancelled(unit.amount)
-            record.mark_cancelled()
-            self.collector.on_unit_cancelled(record, self.now)
-        else:
-            was_complete = payment.is_complete
-            payment.register_settled(unit.amount, self.now)
-            record.mark_settled()
-            self.collector.on_unit_settled(record, self.now)
-            if payment.is_complete and not was_complete:
-                self._pending.discard(payment.payment_id)
-                self.collector.on_payment_completed(payment, self.now)
-        if self.config.check_invariants:
-            self.network.check_invariants()
+    # -- mirrored transport statistics ---------------------------------
+    @property
+    def units_injected(self) -> int:
+        return self._transport.units_injected
 
-    def _expire_unit(self, unit: BackpressureUnit) -> None:
-        """TTL hit or payment dead: unwind every locked hop."""
-        unit.done = True
-        self.units_expired += 1
-        for htlc, (a, b) in zip(unit.htlcs, unit.hops):
-            self.network.channel(a, b).refund(htlc)
-        unit.payment.register_cancelled(unit.amount)
-        if self.config.check_invariants:
-            self.network.check_invariants()
+    @property
+    def units_expired(self) -> int:
+        return self._transport.units_expired
 
-    @staticmethod
-    def _trail(unit: BackpressureUnit) -> Tuple[int, ...]:
-        if not unit.hops:
-            return (unit.payment.source,)
-        return tuple([unit.hops[0][0]] + [hop[1] for hop in unit.hops])
+    @property
+    def total_hops(self) -> int:
+        return self._transport.total_hops
 
-    def _finish(self) -> None:
-        """Refund every still-parked unit, then fail incomplete payments."""
-        for node_queues in self._queues.values():
-            for queue in node_queues.values():
-                while queue:
-                    self._expire_unit(queue.popleft())
-        self._backlog.clear()
-        super()._finish()
+    @property
+    def total_pops(self) -> int:
+        return self._transport.total_pops
 
 
 class CelerScheme(RoutingScheme):

@@ -105,7 +105,9 @@ class LandmarkScheme(RoutingScheme):
         if not paths:
             runtime.fail_payment(payment)
             return
-        capacities = [runtime.network.bottleneck(p) for p in paths]
+        # Batched probe: the landmark path set is fixed per pair, so
+        # repeat attempts refresh only the paths whose channels changed.
+        capacities = runtime.network.bottleneck_many(paths)
         total = sum(capacities)
         if total < payment.amount - 1e-6:
             runtime.fail_payment(payment)

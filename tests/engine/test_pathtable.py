@@ -1,0 +1,318 @@
+"""PathTable correctness: vectorised path ops pinned against the scalar ones.
+
+The vectorised kernels (`repro.engine.pathtable`) must be *float-for-float*
+identical to the per-hop scalar implementations they replaced — same
+results, same side effects, same exceptions — on arbitrary topologies with
+fee-bearing channels, frozen channels and mid-path rollback.  Hypothesis
+drives random networks and operation mixes against a vectorised and a
+scalar twin of the same network and compares the raw store arrays exactly
+(no tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.pathtable import PathLock
+from repro.errors import ChannelError, InsufficientFundsError
+from repro.network.network import PaymentNetwork
+
+
+def build_twins(spec):
+    """Build two identical networks: one vectorised, one scalar.
+
+    ``spec`` is ``(edges, frozen_flags)`` where each edge is
+    ``(u, v, capacity, balance_u, base_fee, fee_rate)``.
+    """
+    twins = []
+    for use_table in (True, False):
+        network = PaymentNetwork()
+        network.use_path_table = use_table
+        for u, v, capacity, balance_u, base_fee, fee_rate in spec[0]:
+            network.add_channel(
+                u, v, capacity, balance_u=balance_u,
+                base_fee=base_fee, fee_rate=fee_rate,
+            )
+        for index, frozen in enumerate(spec[1]):
+            if frozen:
+                list(network.channels())[index].freeze()
+        twins.append(network)
+    return twins
+
+
+def assert_stores_identical(vec: PaymentNetwork, ref: PaymentNetwork):
+    """Byte-exact comparison of every mutable store array."""
+    a, b = vec.state_store, ref.state_store
+    for field in ("balance", "inflight", "sent", "settled_flow",
+                  "num_settled", "num_refunded", "frozen"):
+        va = getattr(a, field)[: len(a)]
+        vb = getattr(b, field)[: len(b)]
+        assert np.array_equal(va, vb), f"{field} diverged:\n{va}\nvs\n{vb}"
+
+
+@st.composite
+def network_specs(draw):
+    """A small random connected network with fees, plus candidate trails."""
+    n = draw(st.integers(min_value=3, max_value=7))
+    edge_set = {(i, i + 1) for i in range(n - 1)}  # spanning chain
+    extras = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=5,
+        )
+    )
+    for u, v in extras:
+        if u != v:
+            edge_set.add((min(u, v), max(u, v)))
+    edges = []
+    for u, v in sorted(edge_set):
+        capacity = draw(st.floats(min_value=10.0, max_value=200.0))
+        balance_u = draw(st.floats(min_value=0.0, max_value=1.0)) * capacity
+        fee_bearing = draw(st.booleans())
+        base_fee = draw(st.floats(min_value=0.0, max_value=2.0)) if fee_bearing else 0.0
+        fee_rate = draw(st.floats(min_value=0.0, max_value=0.1)) if fee_bearing else 0.0
+        edges.append((u, v, capacity, balance_u, base_fee, fee_rate))
+    frozen = [draw(st.booleans()) and draw(st.booleans()) for _ in edges]
+    adjacency = {i: set() for i in range(n)}
+    for u, v, *_ in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    # Candidate trails: random walks without node revisits.
+    paths = []
+    for _ in range(draw(st.integers(min_value=2, max_value=6))):
+        node = draw(st.integers(min_value=0, max_value=n - 1))
+        path = [node]
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            options = sorted(adjacency[path[-1]] - set(path))
+            if not options:
+                break
+            path.append(options[draw(st.integers(min_value=0, max_value=8)) % len(options)])
+        if len(path) >= 2:
+            paths.append(tuple(path))
+    if not paths:
+        paths.append((0, 1))
+    return (edges, frozen), paths
+
+
+@settings(max_examples=60, deadline=None)
+@given(network_specs())
+def test_bottleneck_and_hop_amounts_match_scalar(data):
+    spec, paths = data
+    vec, ref = build_twins(spec)
+    for path in paths:
+        assert vec.bottleneck(path) == ref.bottleneck(path)
+        assert vec.hop_amounts(path, 13.7) == ref.hop_amounts(path, 13.7)
+    # The batch probe agrees with the scalar per-path loop, exactly.
+    batch = vec.bottleneck_many(paths)
+    assert batch == [ref.bottleneck(p) for p in paths]
+    # And the memoised re-probe (no mutations in between) is identical.
+    assert vec.bottleneck_many(paths) == batch
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    network_specs(),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=63),  # path selector
+            st.floats(min_value=0.01, max_value=80.0, allow_nan=False),
+            st.sampled_from(["settle", "refund", "hold"]),
+            st.integers(min_value=0, max_value=63),  # freeze/unfreeze selector
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+)
+def test_lock_settle_refund_parity_under_random_traffic(data, operations):
+    """Same op mix on both twins ⇒ byte-identical store state throughout,
+    including clamped lock amounts, frozen rejections and mid-path
+    rollback side effects."""
+    spec, paths = data
+    vec, ref = build_twins(spec)
+    held = []
+    channels_vec = list(vec.channels())
+    channels_ref = list(ref.channels())
+    for step, (path_index, amount, resolution, churn) in enumerate(operations):
+        path = paths[path_index % len(paths)]
+        if churn % 7 == 0:  # occasional churn: freeze or thaw one channel
+            index = churn % len(channels_vec)
+            if channels_vec[index].frozen:
+                channels_vec[index].unfreeze()
+                channels_ref[index].unfreeze()
+            else:
+                channels_vec[index].freeze()
+                channels_ref[index].freeze()
+        outcome_vec = outcome_ref = None
+        try:
+            lock_vec = vec.lock_path(path, amount)
+        except InsufficientFundsError:
+            outcome_vec = "insufficient"
+        try:
+            lock_ref = ref.lock_path(path, amount)
+        except InsufficientFundsError:
+            outcome_ref = "insufficient"
+        assert outcome_vec == outcome_ref, f"step {step} on {path}"
+        assert_stores_identical(vec, ref)
+        if outcome_vec is not None:
+            continue
+        assert isinstance(lock_vec, PathLock)
+        assert len(lock_vec) == len(lock_ref) == len(path) - 1
+        for j in range(len(lock_ref)):
+            assert lock_vec[j].amount == lock_ref[j].amount
+        if resolution == "settle":
+            vec.settle_path(path, lock_vec)
+            ref.settle_path(path, lock_ref)
+        elif resolution == "refund":
+            vec.refund_path(path, lock_vec)
+            ref.refund_path(path, lock_ref)
+        else:
+            held.append((path, lock_vec, lock_ref))
+        assert_stores_identical(vec, ref)
+        vec.check_invariants()
+    for index, (path, lock_vec, lock_ref) in enumerate(held):
+        if index % 2 == 0:
+            vec.settle_path(path, lock_vec)
+            ref.settle_path(path, lock_ref)
+        else:
+            vec.refund_path(path, lock_vec)
+            ref.refund_path(path, lock_ref)
+    assert_stores_identical(vec, ref)
+    assert vec.total_inflight() == ref.total_inflight()
+
+
+@settings(max_examples=60, deadline=None)
+@given(network_specs(), st.data())
+def test_batch_probe_refreshes_after_mutations(data, rand):
+    """The memoised batch probe must track every kind of store mutation:
+    locks, settles, refunds, freezes, thaws and deposits."""
+    spec, paths = data
+    vec, ref = build_twins(spec)
+    channels_vec = list(vec.channels())
+    channels_ref = list(ref.channels())
+    for _ in range(6):
+        assert vec.bottleneck_many(paths) == [ref.bottleneck(p) for p in paths]
+        action = rand.draw(st.sampled_from(["lock", "freeze", "thaw", "deposit"]))
+        index = rand.draw(st.integers(min_value=0, max_value=len(channels_vec) - 1))
+        cv, cr = channels_vec[index], channels_ref[index]
+        if action == "lock" and not cv.frozen and cv.balance(cv.node_a) > 1.0:
+            amount = cv.balance(cv.node_a) / 2.0
+            cv.lock(cv.node_a, amount)
+            cr.lock(cr.node_a, amount)
+        elif action == "freeze":
+            cv.freeze()
+            cr.freeze()
+        elif action == "thaw":
+            cv.unfreeze()
+            cr.unfreeze()
+        else:
+            cv.deposit(cv.node_b, 5.0)
+            cr.deposit(cr.node_b, 5.0)
+
+
+class TestMidPathRollback:
+    """Deterministic pin of the engineered §lock_path failure semantics."""
+
+    def build(self, use_table: bool) -> PaymentNetwork:
+        network = PaymentNetwork()
+        network.use_path_table = use_table
+        network.add_channel(0, 1, 100.0)
+        network.add_channel(1, 2, 100.0, base_fee=1.0, fee_rate=0.05)
+        network.add_channel(2, 3, 100.0)
+        # Drain 2->3 so the last hop fails after two hops locked.
+        network.channel(2, 3).lock(2, 49.0)
+        return network
+
+    def test_rollback_side_effects_match_scalar(self):
+        vec, ref = self.build(True), self.build(False)
+        for network in (vec, ref):
+            amounts = network.hop_amounts((0, 1, 2, 3), 10.0)
+            with pytest.raises(InsufficientFundsError):
+                network.lock_path((0, 1, 2, 3), 10.0, amounts=amounts)
+        assert_stores_identical(vec, ref)
+        # The scalar loop's visible scars are reproduced: attempted value
+        # counted on the rolled-back hops, one refund each, no net funds.
+        store = vec.state_store
+        assert store.sent[0, 0] > 0.0
+        assert store.num_refunded[0] == 1
+        assert store.num_refunded[1] == 1
+        assert store.num_refunded[2] == 0
+        vec.check_invariants()
+
+    def test_frozen_mid_hop_rejects_all_or_nothing(self):
+        vec, ref = self.build(True), self.build(False)
+        for network in (vec, ref):
+            network.channel(1, 2).freeze()
+            with pytest.raises(InsufficientFundsError):
+                network.lock_path((0, 1, 2), 5.0)
+        assert_stores_identical(vec, ref)
+
+
+class TestPathLockLifecycle:
+    def network(self) -> PaymentNetwork:
+        network = PaymentNetwork()
+        network.use_path_table = True
+        network.add_channel(0, 1, 100.0)
+        network.add_channel(1, 2, 100.0)
+        return network
+
+    def test_double_settle_raises(self):
+        network = self.network()
+        lock = network.lock_path((0, 1, 2), 5.0)
+        network.settle_path((0, 1, 2), lock)
+        with pytest.raises(ChannelError):
+            network.settle_path((0, 1, 2), lock)
+
+    def test_refund_after_settle_raises(self):
+        network = self.network()
+        lock = network.lock_path((0, 1, 2), 5.0)
+        network.settle_path((0, 1, 2), lock)
+        with pytest.raises(ChannelError):
+            network.refund_path((0, 1, 2), lock)
+
+    def test_hop_count_mismatch_raises(self):
+        network = self.network()
+        lock = network.lock_path((0, 1, 2), 5.0)
+        with pytest.raises(ChannelError):
+            network.settle_path((0, 1), lock)
+        network.settle_path((0, 1, 2), lock)
+
+    def test_degenerate_single_node_path_in_batch(self):
+        network = self.network()
+        values = network.bottleneck_many([(0, 1, 2), (1,)])
+        assert values == [50.0, float("inf")]
+        # And again, to exercise the cached degenerate-set branch.
+        assert network.bottleneck_many([(0, 1, 2), (1,)]) == values
+
+    def test_lock_sequence_protocol(self):
+        network = self.network()
+        lock = network.lock_path((0, 1, 2), 5.0)
+        assert len(lock) == 2
+        assert [hop.amount for hop in lock] == [5.0, 5.0]
+        assert lock[1].amount == 5.0
+
+    def test_validation_errors_match_scalar_types(self):
+        network = self.network()
+        scalar = PaymentNetwork()
+        scalar.use_path_table = False
+        scalar.add_channel(0, 1, 100.0)
+        scalar.add_channel(1, 2, 100.0)
+        from repro.errors import TopologyError
+
+        for net in (network, scalar):
+            with pytest.raises(ChannelError):
+                net.bottleneck([])
+            with pytest.raises(TopologyError):
+                net.bottleneck([0, 2])
+            with pytest.raises(TopologyError):
+                net.bottleneck([0, 9])
+            with pytest.raises(ChannelError):
+                net.lock_path([0, 1, 0], 1.0)
+            with pytest.raises(ChannelError):
+                net.lock_path([0], 1.0)
+            assert net.bottleneck([0]) == float("inf")
