@@ -16,11 +16,15 @@ which times the legacy float-time ``Simulator`` against the new slab-queue
 ``TickEngine`` on two event workloads (chained timers = shallow heap,
 pre-scheduled fan-out = deep heap), the hop-by-hop queueing transport
 (``spider-queueing`` on a congested line) with scalar vs. vectorised
-path operations, and the ``path_ops`` microbenchmark (batch bottleneck
+path operations, the ``path_ops`` microbenchmark (batch bottleneck
 probes and lock+settle round-trips through the PathTable vs. the scalar
-loops), recording events/sec and speedups for all of them.  Pass
+loops), the ``signals`` microbenchmark (ControlPlane price updates and
+mark scans, vectorised vs. scalar), and a bounded ``scale`` smoke (a
+10k-node Ripple-like waterfilling run plus a parallel SweepExecutor
+grid), recording events/sec and speedups for all of them.  Pass
 ``--assert-floor`` to fail when native hop-by-hop throughput regresses
-below 0.8x the previously recorded value (the CI gate).
+below 0.8x the previously recorded value, or when either signals kernel
+drops under its 3x acceptance floor (the CI gate).
 """
 
 from __future__ import annotations
@@ -435,6 +439,165 @@ def run_path_ops_microbench(
     }
 
 
+# ----------------------------------------------------------------------
+# Congestion-signal microbenchmark: the ControlPlane's vectorised price
+# updates and mark scans against the scalar parity baselines they replace
+# (the per-object PriceTable loop and the per-unit mark branch).
+# ----------------------------------------------------------------------
+class _ScanUnit:
+    """Minimal stand-in for a HopUnit in the mark-scan benchmark."""
+
+    __slots__ = ("marked",)
+
+    def __init__(self):
+        self.marked = False
+
+
+def run_signals_microbench(
+    iterations: int = 200, batch: int = 2048, repeats: int = 3
+) -> dict:
+    """Scalar vs. vectorised congestion signalling on one shared store.
+
+    * ``price_update``: channel price updates/sec through a
+      ``PriceTable`` driving a realistic observe-then-update control loop
+      (8 path observations per dual step).  Vectorised mode runs
+      :meth:`ControlPlane.update_prices` (a handful of array ops across
+      every channel); scalar mode loops the per-channel
+      ``ChannelPriceState`` objects.
+    * ``mark_scan``: serviced-unit scans/sec through
+      :meth:`ControlPlane.observe_service` on a large service batch —
+      one array comparison vs. the per-unit Python branch.
+    """
+    from repro.core.prices import PriceTable
+    from repro.engine.signals import ControlPlane
+    from repro.simulator.rng import make_rng
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def measure_prices(vectorized: bool):
+        previous = ControlPlane.vectorized_signals
+        ControlPlane.vectorized_signals = vectorized
+        try:
+            network, path_sets = _path_ops_fixture(num_pairs=16)
+            table = PriceTable(network, delta=0.5)
+            paths = [path for paths in path_sets for path in paths][:8]
+            for path in paths:  # compile outside the timed region
+                table.observe_path(path, 1.0)
+            table.update_all(dt=1.0, eta=0.1, kappa=0.1)
+
+            def run():
+                for _ in range(iterations):
+                    for path in paths:
+                        table.observe_path(path, 5.0)
+                    table.update_all(dt=1.0, eta=0.1, kappa=0.1)
+
+            elapsed = best_of(run)
+        finally:
+            ControlPlane.vectorized_signals = previous
+        return iterations * network.num_channels / elapsed, network.num_channels
+
+    def measure_marks(vectorized: bool):
+        previous = ControlPlane.vectorized_signals
+        ControlPlane.vectorized_signals = vectorized
+        try:
+            network = PaymentNetwork()
+            network.add_channel(0, 1, 1000.0)
+            control = network.control_plane
+            control.configure_marking(0.75)
+            rng = make_rng(5)
+            delays = [float(d) for d in rng.uniform(0.0, 1.0, size=batch)]
+            units = [_ScanUnit() for _ in range(batch)]
+
+            def run():
+                for _ in range(iterations):
+                    control.observe_service(0, 0, delays, units)
+
+            elapsed = best_of(run)
+        finally:
+            ControlPlane.vectorized_signals = previous
+        return iterations * batch / elapsed
+
+    scalar_price, channels = measure_prices(vectorized=False)
+    vector_price, _ = measure_prices(vectorized=True)
+    scalar_scan = measure_marks(vectorized=False)
+    vector_scan = measure_marks(vectorized=True)
+    return {
+        "channels": channels,
+        "price_update": {
+            "scalar_updates_per_sec": round(scalar_price),
+            "vectorised_updates_per_sec": round(vector_price),
+            "speedup": round(vector_price / scalar_price, 3),
+        },
+        "mark_scan": {
+            "batch": batch,
+            "scalar_scans_per_sec": round(scalar_scan),
+            "vectorised_scans_per_sec": round(vector_scan),
+            "speedup": round(vector_scan / scalar_scan, 3),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Scale smoke: a 10k-node Ripple-like topology through the session engine
+# and a parallel SweepExecutor grid (bounded runtime; the CI smoke runs it
+# and BENCH_substrate.json keeps the numbers).
+# ----------------------------------------------------------------------
+def run_scale_smoke(
+    transactions: int = 600, preset: str = "huge", processes: int = 2
+) -> dict:
+    """One bounded waterfilling run at 10k-node scale, plus a 2-cell sweep.
+
+    Records events/sec and transactions/sec of the direct session run
+    (path discovery over a 33k-edge graph dominates wall time at this
+    scale — the next optimisation target ROADMAP tracks) and the wall
+    time of the same workload fanned out across SweepExecutor workers.
+    """
+    from repro.engine.session import SimulationSession
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.executor import SweepExecutor
+
+    base = ExperimentConfig(
+        scheme="spider-waterfilling",
+        topology=f"ripple-{preset}",
+        capacity=500.0,
+        num_transactions=transactions,
+        arrival_rate=250.0,
+        seed=23,
+    )
+    build_start = time.perf_counter()
+    session = SimulationSession.from_config(base)
+    build_elapsed = time.perf_counter() - build_start
+    network = session.network
+    run_start = time.perf_counter()
+    metrics = session.run()
+    run_elapsed = time.perf_counter() - run_start
+
+    executor = SweepExecutor(base, processes=processes, cache_dir=None)
+    sweep_start = time.perf_counter()
+    sweep = executor.capacity_sweep([400.0, 600.0], ["spider-waterfilling"])
+    sweep_elapsed = time.perf_counter() - sweep_start
+    return {
+        "network": {"nodes": network.num_nodes, "channels": network.num_channels},
+        "transactions": transactions,
+        "build_seconds": round(build_elapsed, 2),
+        "run_seconds": round(run_elapsed, 2),
+        "events_per_sec": round(session.events_processed / run_elapsed),
+        "transactions_per_sec": round(transactions / run_elapsed, 1),
+        "success_ratio": round(metrics.success_ratio, 4),
+        "sweep": {
+            "cells": len(sweep),
+            "processes": processes,
+            "wall_seconds": round(sweep_elapsed, 2),
+        },
+    }
+
+
 def check_throughput_floor(report: dict, baseline: dict, ratio: float = 0.8):
     """Regression gate: native hop throughput must stay near the recorded
     baseline.  Returns an error string, or ``None`` when within bounds.
@@ -448,7 +611,21 @@ def check_throughput_floor(report: dict, baseline: dict, ratio: float = 0.8):
       on *this* machine in the same run) ≥ ``ratio`` × the recorded
       speedup.  A slower CI runner scales both measurements equally, so
       only a genuine hot-path regression drops the speedup.
+
+    Signal-kernel coverage: the ``signals`` section's vectorised-vs-scalar
+    speedups must also stay above the 3x acceptance floor (both sides are
+    timed on this machine in the same run, so the ratio is
+    hardware-independent).
     """
+    signals = report.get("signals")
+    if signals:
+        for section in ("price_update", "mark_scan"):
+            speedup = signals[section]["speedup"]
+            if speedup < 3.0:
+                return (
+                    f"signals {section} vectorised speedup {speedup:.2f}x "
+                    "fell below the 3x acceptance floor"
+                )
     recorded_hop = (baseline or {}).get("hop_by_hop", {})
     recorded = recorded_hop.get("native_events_per_sec")
     if not recorded:
@@ -486,6 +663,18 @@ def main(argv=None) -> int:
         default=200,
         help="probe sweeps per repeat in the path-ops microbenchmark",
     )
+    parser.add_argument(
+        "--signals-iterations",
+        type=int,
+        default=200,
+        help="control-loop iterations per repeat in the signals microbenchmark",
+    )
+    parser.add_argument(
+        "--scale-transactions",
+        type=int,
+        default=600,
+        help="trace length of the 10k-node scale smoke (0 disables it)",
+    )
     parser.add_argument("--repeats", type=int, default=3, help="best-of repeats")
     parser.add_argument(
         "--assert-floor",
@@ -509,6 +698,15 @@ def main(argv=None) -> int:
     report["path_ops"] = run_path_ops_microbench(
         iterations=args.path_ops_iterations, repeats=args.repeats
     )
+    report["signals"] = run_signals_microbench(
+        iterations=args.signals_iterations, repeats=args.repeats
+    )
+    if args.scale_transactions > 0:
+        report["scale"] = run_scale_smoke(transactions=args.scale_transactions)
+    elif "scale" in baseline:
+        # Keep the recorded entry rather than dropping it, but tag it so
+        # nobody mistakes another machine's numbers for this run's.
+        report["scale"] = dict(baseline["scale"], carried_forward=True)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -534,6 +732,25 @@ def main(argv=None) -> int:
         f"{ops['lock_settle']['vectorised_round_trips_per_sec']:>7,} trips/s "
         f"({ops['lock_settle']['speedup']:.2f}x)"
     )
+    sig = report["signals"]
+    print(
+        f"signals  prices {sig['price_update']['scalar_updates_per_sec']:>9,} -> "
+        f"{sig['price_update']['vectorised_updates_per_sec']:>11,} updates/s "
+        f"({sig['price_update']['speedup']:.2f}x)   "
+        f"marks {sig['mark_scan']['scalar_scans_per_sec']:>9,} -> "
+        f"{sig['mark_scan']['vectorised_scans_per_sec']:>11,} scans/s "
+        f"({sig['mark_scan']['speedup']:.2f}x)"
+    )
+    if "scale" in report:
+        scale = report["scale"]
+        print(
+            f"scale    {scale['network']['nodes']:,} nodes / "
+            f"{scale['network']['channels']:,} channels: "
+            f"{scale['transactions_per_sec']} txn/s, "
+            f"{scale['events_per_sec']} ev/s, sweep "
+            f"{scale['sweep']['cells']} cells in "
+            f"{scale['sweep']['wall_seconds']}s"
+        )
     print(f"overall speedup: {report['speedup']:.2f}x  ->  {args.out}")
     if args.assert_floor:
         error = check_throughput_floor(report, baseline)

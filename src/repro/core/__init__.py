@@ -6,9 +6,18 @@ from repro.core.lp_routing import SpiderLPScheme
 from repro.core.payments import Payment, PaymentState, TransactionUnit, UnitState
 from repro.core.prices import ChannelPriceState, PriceTable
 from repro.core.primal_dual_routing import SpiderPrimalDualScheme
-from repro.core.queueing import QueueingRuntime, SpiderQueueingScheme
+from repro.core.queueing import (
+    QueueGradientWaterfillingScheme,
+    QueueingRuntime,
+    SpiderQueueingScheme,
+)
 from repro.core.runtime import Runtime, RuntimeConfig
-from repro.core.scheduling import SCHEDULING_POLICIES, get_policy, order_payments
+from repro.core.scheduling import (
+    PendingHeap,
+    SCHEDULING_POLICIES,
+    get_policy,
+    order_payments,
+)
 from repro.core.waterfilling import WaterfillingScheme
 from repro.core.window_control import (
     ImbalanceAwareWindowScheme,
@@ -23,7 +32,9 @@ __all__ = [
     "PathWindow",
     "Payment",
     "PaymentState",
+    "PendingHeap",
     "PriceTable",
+    "QueueGradientWaterfillingScheme",
     "QueueingRuntime",
     "Runtime",
     "RuntimeConfig",

@@ -7,11 +7,22 @@ dimensionless and one set of defaults works across capacity scales.
 
 The directed edge price is ``z_(u,v) = λ + µ_(u,v) − µ_(v,u)``; path prices
 are sums over hops (§5.3) and feed the hosts' primal updates.
+
+:class:`PriceTable` is a thin view over the network
+:class:`~repro.engine.signals.ControlPlane`'s flat λ/µ/window arrays:
+``observe_path`` and ``path_price`` are compiled-path gathers (like
+:meth:`~repro.engine.pathtable.PathTable.bottleneck`) and ``update_all`` is
+one set of array ops across every channel.  With
+``ControlPlane.vectorized_signals = False`` the table instead keeps the
+original per-channel :class:`ChannelPriceState` objects — the parity
+baseline the vectorised kernels are pinned against.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.network.network import PaymentNetwork, canonical_edge
@@ -56,6 +67,66 @@ class ChannelPriceState:
         return self.lam + self.mu[(a, b)] - self.mu[(b, a)]
 
 
+class _DirectedCells:
+    """Dict-like ``(a, b) → value`` view over one channel's array columns.
+
+    Lets the vectorised :class:`PriceTable` keep the
+    :class:`ChannelPriceState` surface (``state.mu[(u, v)]`` reads and
+    writes) while the numbers live in the control plane's flat arrays.
+    """
+
+    __slots__ = ("_array", "_network", "_cid")
+
+    def __init__(self, array: np.ndarray, network: PaymentNetwork, cid: int):
+        self._array = array
+        self._network = network
+        self._cid = cid
+
+    def _side(self, key: DirectedEdge) -> int:
+        a, b = key
+        cid, side = self._network.channel_id(a, b)
+        if cid != self._cid:
+            raise KeyError(key)
+        return side
+
+    def __getitem__(self, key: DirectedEdge) -> float:
+        return float(self._array[self._cid, self._side(key)])
+
+    def __setitem__(self, key: DirectedEdge, value: float) -> None:
+        self._array[self._cid, self._side(key)] = value
+
+
+class _ChannelPriceView:
+    """:class:`ChannelPriceState`-compatible view over control-plane arrays."""
+
+    __slots__ = ("_control", "_cid", "u", "v", "mu", "window")
+
+    def __init__(self, control, network: PaymentNetwork, u: int, v: int):
+        self.u, self.v = canonical_edge(u, v)
+        cid, _ = network.channel_id(self.u, self.v)
+        self._control = control
+        self._cid = cid
+        self.mu = _DirectedCells(control.state.mu, network, cid)
+        self.window = _DirectedCells(control.state.window, network, cid)
+
+    @property
+    def lam(self) -> float:
+        """Capacity price λ of this channel."""
+        return float(self._control.state.lam[self._cid])
+
+    @lam.setter
+    def lam(self, value: float) -> None:
+        self._control.state.lam[self._cid] = value
+
+    def observe(self, a: int, b: int, amount: float) -> None:
+        """Record ``amount`` locked in the a→b direction this window."""
+        self.window[(a, b)] = self.window[(a, b)] + amount
+
+    def price(self, a: int, b: int) -> float:
+        """Directed price z_(a,b) = λ + µ_(a,b) − µ_(b,a)."""
+        return self._control.hop_price(a, b)
+
+
 class PriceTable:
     """All channels' price states, with path-price queries."""
 
@@ -63,6 +134,15 @@ class PriceTable:
         if delta <= 0:
             raise ConfigError(f"delta must be positive, got {delta!r}")
         self._delta = delta
+        self._network = network
+        control = network.control_plane
+        self._control = control if control.vectorized else None
+        if self._control is not None:
+            control.configure_prices(delta)
+            self._states = None
+            self._capacity_rate = None
+            return
+        # Scalar parity baseline: one ChannelPriceState object per channel.
         self._states: Dict[Tuple[int, int], ChannelPriceState] = {}
         self._capacity_rate: Dict[Tuple[int, int], float] = {}
         for channel in network.channels():
@@ -71,22 +151,42 @@ class PriceTable:
             self._states[key] = ChannelPriceState(*key)
             self._capacity_rate[key] = channel.capacity / delta
 
-    def state(self, u: int, v: int) -> ChannelPriceState:
+    def state(self, u: int, v: int):
         """Price state of the channel joining u and v."""
+        if self._control is not None:
+            return _ChannelPriceView(self._control, self._network, u, v)
         return self._states[canonical_edge(u, v)]
 
     def observe_path(self, path: Iterable[int], amount: float) -> None:
         """Record a unit of ``amount`` locked along every hop of ``path``."""
         path = list(path)
+        if self._control is not None:
+            self._control.observe_path(tuple(path), amount)
+            return
         for a, b in zip(path, path[1:]):
             self.state(a, b).observe(a, b, amount)
 
     def update_all(self, dt: float, eta: float, kappa: float) -> None:
-        """Run the dual step on every channel."""
+        """Run the dual step on every channel.
+
+        Vectorised: one :meth:`ControlPlane.update_prices` array pass.
+        Scalar baseline: the original per-state loop (the mean-λ sample
+        still lands on the control plane so the ``mean_price`` metric is
+        identical in both modes).
+        """
+        if self._control is not None:
+            self._control.update_prices(dt, eta, kappa)
+            return
         for key, state in self._states.items():
             state.update(dt, self._capacity_rate[key], eta, kappa)
+        lams = np.array([state.lam for state in self._states.values()])
+        self._network.control_plane.record_price_sample(
+            float(np.mean(lams)) if lams.size else 0.0
+        )
 
     def path_price(self, path: Iterable[int]) -> float:
         """z_p — the sum of directed hop prices along ``path``."""
         path = list(path)
+        if self._control is not None:
+            return self._control.path_price(tuple(path))
         return sum(self.state(a, b).price(a, b) for a, b in zip(path, path[1:]))

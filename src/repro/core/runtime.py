@@ -180,6 +180,13 @@ class Runtime:
         )
         self.sim.run(until=self._end_time)
         self._finish()
+        control = self.network.peek_control_plane()
+        if control is not None:
+            # Same congestion columns the session engine reports, so
+            # cross-engine metric comparisons cover the new fields too.
+            self.collector.on_congestion_summary(
+                control.mark_rate(), control.mean_price()
+            )
         return self.collector.finalize(
             scheme=self.scheme.name, network=self.network, duration=self._end_time
         )

@@ -13,13 +13,19 @@ ties break deterministically by payment id.
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.core.payments import Payment
 from repro.errors import ConfigError
 
-__all__ = ["SCHEDULING_POLICIES", "get_policy", "order_payments"]
+__all__ = [
+    "PendingHeap",
+    "SCHEDULING_POLICIES",
+    "get_policy",
+    "order_payments",
+]
 
 PolicyKey = Callable[[Payment], tuple]
 
@@ -85,3 +91,103 @@ def order_payments(payments: Sequence[Payment], policy: str = "srpt") -> List[Pa
     """Return ``payments`` sorted according to the named policy."""
     key = get_policy(policy)
     return sorted(payments, key=key)
+
+
+class PendingHeap:
+    """Incrementally ordered pending-payment queue (lazy invalidation).
+
+    The session used to rebuild and re-sort the whole pending list on every
+    poll — n policy-key calls plus an O(n log n) sort even when nothing
+    changed since the last poll.  This heap keeps the order standing:
+
+    * :meth:`add` / :meth:`touch` push ``(key, payment_id, seq)`` entries;
+      a payment's live entry is the one whose ``seq`` matches the registry,
+      so re-keys and removals are O(log n) pushes / O(1) dict ops and stale
+      entries are simply skipped when popped;
+    * :meth:`ordered` drains the heap once, skipping stale entries, and
+      re-seats the surviving ascending run (a sorted list satisfies the
+      heap invariant), memoising the result until the next mutation — an
+      idle poll costs one list copy and zero key computations.
+
+    Every built-in policy key ends with the payment id, so the order is
+    total and the drain reproduces ``sorted(payments, key=policy)`` bit for
+    bit (pinned by the scheduling tests and the determinism suite).  The
+    one contract change: policies whose keys read mutable payment state
+    must be re-keyed via :meth:`touch` wherever that state changes — for
+    the built-ins only settlement moves a key (``outstanding``, the SRPT
+    quantity), and the session/transports call :meth:`touch` there.
+    """
+
+    __slots__ = ("_policy", "_live", "_heap", "_seq", "_cache")
+
+    def __init__(self, policy: PolicyKey):
+        self._policy = policy
+        self._live: Dict[int, Tuple[tuple, int]] = {}  # pid -> (key, seq)
+        self._heap: List[Tuple[tuple, int, int]] = []  # (key, pid, seq)
+        self._seq = 0
+        self._cache: List[int] = None  # memoised drain (None when dirty)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, payment_id: int) -> bool:
+        return payment_id in self._live
+
+    def __iter__(self) -> Iterator[int]:
+        """Live payment ids in insertion order (not priority order)."""
+        return iter(list(self._live))
+
+    def add(self, payment: Payment) -> None:
+        """Register ``payment`` under its current policy key."""
+        key = self._policy(payment)
+        self._seq += 1
+        self._live[payment.payment_id] = (key, self._seq)
+        heapq.heappush(self._heap, (key, payment.payment_id, self._seq))
+        self._cache = None
+
+    def touch(self, payment: Payment) -> None:
+        """Re-key ``payment`` after policy-relevant state changed.
+
+        No-op when the payment is not pending or its key is unchanged
+        (static-key policies pay one key computation and no push).
+        """
+        entry = self._live.get(payment.payment_id)
+        if entry is None:
+            return
+        key = self._policy(payment)
+        if key == entry[0]:
+            return
+        self._seq += 1
+        self._live[payment.payment_id] = (key, self._seq)
+        heapq.heappush(self._heap, (key, payment.payment_id, self._seq))
+        self._cache = None
+
+    def discard(self, payment_id: int) -> None:
+        """Remove a payment; its heap entries become skippable corpses."""
+        if self._live.pop(payment_id, None) is not None:
+            self._cache = None
+
+    def clear(self) -> None:
+        """Drop every payment and every heap entry."""
+        self._live.clear()
+        self._heap.clear()
+        self._cache = None
+
+    def ordered(self) -> List[int]:
+        """Payment ids in policy order — exactly the old full-sort order."""
+        if self._cache is not None:
+            return list(self._cache)
+        heap = self._heap
+        live = self._live
+        fresh: List[Tuple[tuple, int, int]] = []
+        out: List[int] = []
+        while heap:
+            entry = heapq.heappop(heap)
+            state = live.get(entry[1])
+            if state is None or state[1] != entry[2]:
+                continue  # removed or superseded by a newer key
+            out.append(entry[1])
+            fresh.append(entry)
+        self._heap = fresh  # ascending: already a valid heap
+        self._cache = out
+        return list(out)

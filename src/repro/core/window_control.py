@@ -8,8 +8,9 @@ transport, reproduced here:
 * every (sender, destination, path) triple has a **window** bounding the
   value of in-flight transaction units on that path;
 * routers **mark** units whose queueing delay exceeds a threshold (the
-  1-bit explicit congestion signal implemented by
-  :class:`~repro.core.queueing.QueueingRuntime` via ``mark_threshold``);
+  1-bit explicit congestion signal: the hop transport hands each service
+  batch to the network :class:`~repro.engine.signals.ControlPlane`, which
+  scans delays against its per-direction ``mark_threshold`` arrays);
 * the receiver echoes the mark on the end-to-end ack, and the sender
   reacts per path: **additive increase** on clean acks (``+alpha`` per
   window's worth of acked value), **multiplicative decrease**
@@ -268,15 +269,24 @@ class ImbalanceAwareWindowScheme(WindowedSpiderScheme):
             )
         self.imbalance_gain = imbalance_gain
         self._network = None
+        self._control = None
 
     def prepare(self, runtime: "Runtime") -> None:
         super().prepare(runtime)
         self._network = runtime.network
+        self._control = runtime.network.control_plane
 
     def rebalance_score(self, path: Path) -> float:
         """How much sending on ``path`` rebalances its channels, in [−1, 1]."""
         if self._network is None or len(path) < 2:
             return 0.0
+        if self._control is not None and self._control.vectorized:
+            # The control plane's stamp-cached per-channel imbalance: no
+            # balance arithmetic at all when the path's channels are
+            # unchanged since the last probe.
+            return self._control.path_imbalance(
+                self._network.path_table.compile(path)
+            )
         if self._network.use_path_table:
             # One gather over the compiled path: (sender − receiver)
             # balance per hop, normalised by channel capacity.

@@ -6,6 +6,7 @@ This package is the execution core of the reproduction:
 ``events``     slab-allocated event queue and the :class:`TickEngine`
 ``store``      flat NumPy arrays holding every channel's mutable state
 ``pathtable``  compiled-path index cache + vectorised path operations
+``signals``    :class:`ControlPlane` — array-backed congestion signalling
 ``transport``  hop-by-hop / backpressure transports on the tick engine
 ``session``    :class:`SimulationSession` — the one facade that runs a trace
 
@@ -18,6 +19,7 @@ story.
 from repro.engine.clock import DEFAULT_QUANTUM, TickClock
 from repro.engine.events import SlabEventQueue, TickEngine, TickHandle, TickTimer
 from repro.engine.pathtable import CompiledPath, PathLock, PathTable
+from repro.engine.signals import CongestionState, ControlPlane
 from repro.engine.store import ChannelStateStore
 
 
@@ -40,6 +42,8 @@ __all__ = [
     "BackpressureTransport",
     "ChannelStateStore",
     "CompiledPath",
+    "CongestionState",
+    "ControlPlane",
     "DEFAULT_QUANTUM",
     "HopByHopTransport",
     "PathLock",

@@ -33,12 +33,12 @@ deprecated compatibility path; new code should construct sessions::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.payments import Payment, PaymentState, TransactionUnit
-from repro.core.scheduling import get_policy
+from repro.core.scheduling import PendingHeap, get_policy
 from repro.core.runtime import RuntimeConfig
 from repro.engine.clock import DEFAULT_QUANTUM
 from repro.engine.events import TickEngine, TickTimer
@@ -124,8 +124,10 @@ class SimulationSession:
         self.collector = collector or MetricsCollector()
         self.sim = TickEngine(quantum=quantum)
         self.payments: Dict[int, Payment] = {}
-        self._pending: Set[int] = set()
         self._policy = get_policy(self.config.scheduling_policy)
+        #: Pending payments, incrementally ordered by the scheduling policy
+        #: (replaces the per-poll full sort; see PendingHeap).
+        self._pending = PendingHeap(self._policy)
         self._poll_timer: Optional[TickTimer] = None
         self._delegate = None  # set when a legacy runtime runs the trace
         self.transport = None  # set when the scheme declares a native transport
@@ -247,6 +249,13 @@ class SimulationSession:
         self._poll_timer = engine.every(self.config.poll_interval, self._poll)
         engine.run(until=self._end_time)
         self._finish()
+        control = self.network.peek_control_plane()
+        if control is not None:
+            # Congestion columns read straight off the control-plane
+            # arrays (identical in vectorised and scalar-parity modes).
+            self.collector.on_congestion_summary(
+                control.mark_rate(), control.mean_price()
+            )
         return self.collector.finalize(
             scheme=self.scheme.name, network=self.network, duration=self._end_time
         )
@@ -418,18 +427,22 @@ class SimulationSession:
         )
         self.payments[payment.payment_id] = payment
         self.collector.on_payment_arrival(payment)
-        self._pending.add(payment.payment_id)
+        self._pending.add(payment)
         payment.attempts += 1
         self.scheme.attempt(payment, self)
         self._after_attempt(payment)
 
     def _poll(self) -> None:
+        control = self.network.peek_control_plane()
+        if control is not None:
+            # One control-plane tick per poll interval: folds the store's
+            # live queue depths into the smoothed congestion signal.
+            control.tick(self.sim.now)
         if not self._pending:
             return
         now = self.sim.now
-        pending_payments = [self.payments[pid] for pid in self._pending]
-        pending_payments.sort(key=self._policy)
-        for payment in pending_payments:
+        for pid in self._pending.ordered():
+            payment = self.payments[pid]
             if payment.is_terminal:
                 self._pending.discard(payment.payment_id)
                 continue
@@ -546,6 +559,10 @@ class SimulationSession:
         if payment.is_complete and not was_complete:
             self._pending.discard(payment.payment_id)
             self.collector.on_payment_completed(payment, now)
+        else:
+            # Settlement moved the payment's outstanding value — the SRPT
+            # scheduling key — so re-seat it in the pending order.
+            self._pending.touch(payment)
 
     def _resolve_unit(self, unit: TransactionUnit) -> None:
         now = self.sim.now

@@ -127,6 +127,12 @@ class HopByHopTransport:
         self.queue_timeout = queue_timeout
         self.queue_policy = queue_policy
         self.mark_threshold = mark_threshold
+        #: Congestion signalling: thresholds, mark/serviced counters and
+        #: delay EWMAs live on the network control plane, which scans each
+        #: service batch in one vectorised comparison (scalar per-unit
+        #: branch behind ``ControlPlane.vectorized_signals = False``).
+        self.control = session.network.control_plane
+        self.control.configure_marking(mark_threshold)
         #: (cid, side) -> parked units; timed-out corpses are popped lazily.
         self._queues: Dict[DirectionKey, Deque[HopUnit]] = {}
         self._draining = False  # end-of-run drain: no re-launches
@@ -221,6 +227,8 @@ class HopByHopTransport:
             )
             queue.clear()
             queue.extend(ordered)
+        serviced: List[HopUnit] = []
+        delays: List[float] = []
         while queue:
             unit = queue[0]
             if unit.done:  # lazily-cancelled corpse (timed out)
@@ -238,16 +246,19 @@ class HopByHopTransport:
             now = self.sim.now
             delay = now - (unit.queued_at or now)
             self.queue_delays.append(delay)
-            if (
-                self.mark_threshold is not None
-                and delay > self.mark_threshold
-                and not unit.marked
-            ):
-                unit.marked = True
-                self.units_marked += 1
+            serviced.append(unit)
+            delays.append(delay)
             unit.queued_at = None
             if self._try_lock_hop(unit):  # pragma: no branch - funds checked above
                 self._schedule_advance(unit)
+        if serviced:
+            # One control-plane scan marks every late unit in the batch
+            # (the marks are consumed later, at each unit's end-to-end
+            # ack, so scanning after the service loop is equivalent to
+            # the retired per-unit inline comparison).
+            self.units_marked += self.control.observe_service(
+                cid, side, delays, serviced
+            )
 
     def _timeout_unit(self, unit: HopUnit, queue_seq: int) -> None:
         # Lazy cancel: the record always fires; a unit serviced (or even
@@ -311,6 +322,9 @@ class HopByHopTransport:
             if payment.is_complete and not was_complete:
                 self.session._pending.discard(payment.payment_id)
                 self.collector.on_payment_completed(payment, now)
+            else:
+                # Partial settle: the SRPT key (outstanding value) moved.
+                self.session._pending.touch(payment)
         if self.config.check_invariants:
             self.network.check_invariants()
         self._notify_scheme(unit, "cancelled" if withhold else "settled")
@@ -389,6 +403,8 @@ class BackpressureTransport:
         self.settle_delay = (
             settle_delay if settle_delay is not None else self.config.confirmation_delay
         )
+        #: Gradient-weight kernel (vectorised over candidate destinations).
+        self.control = session.network.control_plane
         #: node -> destination -> FIFO of parked units.
         self._queues: Dict[int, Dict[int, Deque[BackpressureUnit]]] = {}
         #: node -> destination -> queued value (the gradient signal).
@@ -471,12 +487,9 @@ class BackpressureTransport:
             available = self.network.available(u, v)
             if available < self.config.min_unit_value:
                 return
-            candidates = [
-                (self._weight(u, v, dest), dest)
-                for dest, queue in node_queues.items()
-                if queue
-            ]
-            candidates = [(w, d) for w, d in candidates if w > _EPS]
+            dests = [dest for dest, queue in node_queues.items() if queue]
+            weights = self._gradient_weights(u, v, dests)
+            candidates = [(w, d) for w, d in zip(weights, dests) if w > _EPS]
             candidates.sort(reverse=True)
             unit = None
             for _, dest in candidates:
@@ -489,7 +502,32 @@ class BackpressureTransport:
                 return
             self._forward(unit, v)
 
+    def _gradient_weights(self, u: int, v: int, dests: List[int]) -> List[float]:
+        """Service weights of every candidate destination across ``u→v``.
+
+        The backlog/distance gathers stay dict-driven (queues are sparse);
+        the gradient arithmetic runs through the control plane's kernel —
+        one vectorised expression over the whole candidate batch instead
+        of a per-destination :meth:`_weight` call.
+        """
+        if not dests:
+            return []
+        backlog_u = [self.backlog(u, dest) for dest in dests]
+        backlog_v = [self.backlog(v, dest) for dest in dests]
+        dist_u: List[int] = []
+        dist_v: List[int] = []
+        for dest in dests:
+            distances = self._distance(dest)
+            dist_u.append(distances.get(u, -1))
+            dist_v.append(distances.get(v, -1))
+        return self.control.gradient_weights(
+            backlog_u, backlog_v, dist_u, dist_v, self.beta
+        )
+
     def _weight(self, u: int, v: int, dest: int) -> float:
+        """One destination's service weight — the single-dest reference
+        for the control plane's batch kernel (kept for readability and
+        direct-drive tests; the service epoch uses the batch form)."""
         gradient = self.backlog(u, dest) - self.backlog(v, dest)
         distances = self._distance(dest)
         du = distances.get(u)
@@ -593,6 +631,9 @@ class BackpressureTransport:
             if payment.is_complete and not was_complete:
                 self.session._pending.discard(payment.payment_id)
                 self.collector.on_payment_completed(payment, now)
+            else:
+                # Partial settle: the SRPT key (outstanding value) moved.
+                self.session._pending.touch(payment)
         if self.config.check_invariants:
             self.network.check_invariants()
 

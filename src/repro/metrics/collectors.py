@@ -54,6 +54,12 @@ class ExperimentMetrics:
     max_queue_depth: int = 0
     #: Mean depth of the queue each parked unit joined (0 if none parked).
     mean_queue_depth: float = 0.0
+    #: Fraction of serviced hop-queue units that came out congestion-marked
+    #: (the windowed transport's 1-bit signal; 0 when no units queued).
+    mean_mark_rate: float = 0.0
+    #: Run-mean of the mean channel capacity price λ, sampled at every
+    #: price update (0 for schemes that maintain no prices).
+    mean_price: float = 0.0
 
     def as_row(self) -> Dict[str, object]:
         """Flat dict for table rendering."""
@@ -113,6 +119,8 @@ class MetricsCollector:
         self.max_queue_depth = 0
         self._queue_depth_sum = 0
         self._queue_depth_events = 0
+        self._mark_rate = 0.0
+        self._mean_price = 0.0
         self._latencies: List[float] = []
         self._settled_by_bucket: Dict[int, float] = defaultdict(float)
 
@@ -156,6 +164,17 @@ class MetricsCollector:
             self.max_queue_depth = depth
         self._queue_depth_sum += depth
         self._queue_depth_events += 1
+
+    def on_congestion_summary(self, mark_rate: float, mean_price: float) -> None:
+        """End-of-run congestion columns, read off the control plane.
+
+        Called by the session when the run instantiated a
+        :class:`~repro.engine.signals.ControlPlane`; both numbers are
+        identical whether the plane ran its vectorised kernels or the
+        scalar parity baseline.
+        """
+        self._mark_rate = mark_rate
+        self._mean_price = mean_price
 
     # ------------------------------------------------------------------
     def finalize(
@@ -212,4 +231,6 @@ class MetricsCollector:
                 if self._queue_depth_events
                 else 0.0
             ),
+            mean_mark_rate=self._mark_rate,
+            mean_price=self._mean_price,
         )

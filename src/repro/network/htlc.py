@@ -12,6 +12,14 @@ layers:
 * :class:`Htlc` — the per-channel conditional transfer record with the
   ``PENDING → SETTLED | REFUNDED`` state machine that
   :class:`~repro.network.channel.PaymentChannel` enforces.
+
+Lock generation is on the per-unit hot path (every transaction unit of
+every scheme mints one), so :meth:`HashLock.generate` runs in counter
+mode: keys are a seeded 24-byte stream prefix plus a 64-bit counter —
+unique by construction with no per-unit hashing — and the SHA-256 hash
+value is computed lazily, only when something actually inspects or
+verifies the lock.  :func:`seed_hash_locks` re-seeds the stream (wired to
+the experiment seed), keeping key material reproducible run to run.
 """
 
 from __future__ import annotations
@@ -24,39 +32,74 @@ from typing import Optional
 
 from repro.errors import ChannelError
 
-__all__ = ["HashLock", "Htlc", "HtlcState"]
+__all__ = ["HashLock", "Htlc", "HtlcState", "seed_hash_locks"]
 
 _hash_lock_counter = itertools.count()
+_key_stream_prefix = hashlib.sha256(b"spider-keystream:0").digest()[:24]
 
 
-@dataclass(frozen=True)
+def seed_hash_locks(seed: int = 0) -> None:
+    """Re-seed the counter-mode key stream (and restart its counter).
+
+    Called by the experiment construction path with a seed derived from
+    the experiment's, so the exact key bytes are reproducible run to run.
+    Simulation outcomes never depend on key material — locks are opaque
+    tokens — but reproducible bytes keep traces comparable.
+    """
+    global _key_stream_prefix, _hash_lock_counter
+    _key_stream_prefix = hashlib.sha256(
+        f"spider-keystream:{seed}".encode()
+    ).digest()[:24]
+    _hash_lock_counter = itertools.count()
+
+
 class HashLock:
-    """A hash lock: ``hash = SHA256(key)``.
+    """A hash lock: ``hash = SHA256(key)`` (hash computed lazily).
 
     The sender keeps ``key`` secret until it decides the transfer should
     complete; every hop can verify a revealed key against ``hash_value``.
     """
 
-    key: bytes
-    hash_value: bytes
+    __slots__ = ("key", "_hash_value")
+
+    def __init__(self, key: bytes, hash_value: Optional[bytes] = None):
+        self.key = key
+        self._hash_value = hash_value
+
+    @property
+    def hash_value(self) -> bytes:
+        """SHA-256 of the key, computed on first access and cached."""
+        if self._hash_value is None:
+            self._hash_value = hashlib.sha256(self.key).digest()
+        return self._hash_value
 
     @classmethod
     def generate(cls, payment_id: int, sequence: int, salt: int = 0) -> "HashLock":
-        """Deterministically derive a fresh lock for a transaction unit.
+        """Derive a fresh lock for a transaction unit, in counter mode.
 
-        Real implementations draw the key from a CSPRNG; for reproducibility
-        the simulator derives it from the (payment, unit) identity, which
-        preserves the uniqueness property the protocol needs.
+        Real implementations draw the key from a CSPRNG; the simulator
+        concatenates the seeded stream prefix with a monotone 64-bit
+        counter, which preserves the uniqueness property the protocol
+        needs at a fraction of the former two-SHA-256 cost.  The
+        ``payment_id``/``sequence``/``salt`` identity is accepted for API
+        compatibility; uniqueness comes from the counter alone (the old
+        derivation already relied on it to disambiguate retries).
         """
         nonce = next(_hash_lock_counter)
-        key = hashlib.sha256(
-            f"spider-key:{payment_id}:{sequence}:{salt}:{nonce}".encode()
-        ).digest()
-        return cls(key=key, hash_value=hashlib.sha256(key).digest())
+        return cls(key=_key_stream_prefix + nonce.to_bytes(8, "big"))
 
     def verify(self, key: bytes) -> bool:
         """Check whether ``key`` is the preimage of this lock's hash."""
         return hashlib.sha256(key).digest() == self.hash_value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashLock) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashLock(key={self.key.hex()[:16]}…)"
 
 
 class HtlcState(enum.Enum):

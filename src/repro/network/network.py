@@ -23,6 +23,7 @@ import math
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.pathtable import PathLock, PathTable
+from repro.engine.signals import ControlPlane
 from repro.engine.store import ChannelStateStore
 from repro.errors import ChannelError, InsufficientFundsError, TopologyError
 from repro.network.channel import PaymentChannel
@@ -78,6 +79,7 @@ class PaymentNetwork:
         # (u, v) -> (channel, store row, u's store column), both directions.
         self._directions: Dict[Tuple[NodeId, NodeId], Tuple[PaymentChannel, int, int]] = {}
         self._path_table: Optional[PathTable] = None
+        self._control_plane: Optional[ControlPlane] = None
         self.use_path_table = type(self).vectorized_path_ops
 
     # ------------------------------------------------------------------
@@ -230,6 +232,28 @@ class PaymentNetwork:
         if self._path_table is None:
             self._path_table = PathTable(self)
         return self._path_table
+
+    @property
+    def control_plane(self) -> ControlPlane:
+        """The network's congestion control plane (created lazily).
+
+        Flat per-``(cid, side)`` congestion signals — queue-delay marks,
+        channel prices, queue gradients, imbalance — derived from the
+        state store; see :mod:`repro.engine.signals`.  Shared by the hop
+        transport, the windowed/backpressure schemes, the price table and
+        the metrics summary, and ticked once per poll by the session.
+        """
+        if self._control_plane is None:
+            self._control_plane = ControlPlane(self)
+        return self._control_plane
+
+    def peek_control_plane(self) -> Optional[ControlPlane]:
+        """The control plane if one was created this run, else ``None``.
+
+        The session uses this to tick and summarise congestion state
+        without forcing planes onto runs whose schemes never signal.
+        """
+        return self._control_plane
 
     def bottleneck(self, path: Path) -> float:
         """Minimum directional availability along ``path``.

@@ -37,7 +37,11 @@ forwarding, settlement and refunds live in
 :class:`repro.engine.transport.BackpressureTransport` (this module's
 original float-time runtime was retired to the thin
 :class:`BackpressureRuntime` shim once the native transport's parity was
-pinned).
+pinned).  The service epoch's gradient weights compute through the
+network :class:`~repro.engine.signals.ControlPlane` — one vectorised
+expression per candidate batch rather than per-destination Python calls,
+with the per-destination loop preserved behind
+``ControlPlane.vectorized_signals = False`` as the parity baseline.
 """
 
 from __future__ import annotations

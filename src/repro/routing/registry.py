@@ -33,6 +33,7 @@ SCHEME_FACTORIES: Dict[str, Union[str, SchemeFactory]] = {
     "spider-primal-dual": "repro.core.primal_dual_routing:SpiderPrimalDualScheme",
     "spider-amp": "repro.core.amp:AmpWaterfillingScheme",
     "spider-queueing": "repro.core.queueing:SpiderQueueingScheme",
+    "spider-queueing-qgrad": "repro.core.queueing:QueueGradientWaterfillingScheme",
     "spider-window": "repro.core.window_control:WindowedSpiderScheme",
     "spider-window-imbalance": "repro.core.window_control:ImbalanceAwareWindowScheme",
     "spider-admission": "repro.core.admission:AdmissionControlScheme",

@@ -16,6 +16,7 @@ preset     nodes   edges (target ≈ 3.32 × nodes)
 ``small``     200   ≈ 663
 ``medium``    800   ≈ 2 653
 ``full``     3774   12 512 (paper scale, exact)
+``huge``    10000   ≈ 33 157 (the scale smoke test's target)
 =========  ======  ================================
 """
 
@@ -39,6 +40,7 @@ RIPPLE_PRESETS: Dict[str, Tuple[int, Optional[int]]] = {
     "small": (200, None),
     "medium": (800, None),
     "full": (3774, 12512),
+    "huge": (10000, None),
 }
 
 

@@ -5,8 +5,14 @@ from __future__ import annotations
 import pytest
 
 from repro.core.payments import Payment
-from repro.core.scheduling import SCHEDULING_POLICIES, get_policy, order_payments
+from repro.core.scheduling import (
+    PendingHeap,
+    SCHEDULING_POLICIES,
+    get_policy,
+    order_payments,
+)
 from repro.errors import ConfigError
+from repro.simulator.rng import make_rng
 
 
 def payment(pid, amount, arrival, delivered=0.0, deadline=None):
@@ -68,6 +74,106 @@ class TestOtherPolicies:
     def test_largest_remaining_is_reverse_srpt(self):
         payments = [payment(1, 100.0, 0.0), payment(2, 10.0, 0.0)]
         assert [p.payment_id for p in order_payments(payments, "largest-remaining")] == [1, 2]
+
+
+class TestPendingHeap:
+    """The incremental heap must reproduce the retired full sort exactly."""
+
+    def _reference(self, heap, payments, policy):
+        alive = [payments[pid] for pid in heap]
+        return [p.payment_id for p in sorted(alive, key=policy)]
+
+    @pytest.mark.parametrize("policy_name", sorted(SCHEDULING_POLICIES))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_churn_matches_full_sort(self, policy_name, seed):
+        """Adds, partial settles (touch) and removals under every policy."""
+        policy = get_policy(policy_name)
+        heap = PendingHeap(policy)
+        rng = make_rng(1000 * seed + 17)
+        payments = {}
+        next_pid = 0
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.45 or not payments:
+                p = payment(
+                    next_pid,
+                    float(rng.uniform(1.0, 200.0)),
+                    float(rng.uniform(0.0, 50.0)),
+                    deadline=(
+                        float(rng.uniform(1.0, 100.0)) if rng.random() < 0.5 else None
+                    ),
+                )
+                payments[next_pid] = p
+                heap.add(p)
+                next_pid += 1
+            elif action < 0.75:
+                pid = int(rng.choice(sorted(payments)))
+                p = payments[pid]
+                chunk = p.remaining * 0.5
+                if chunk > 0:
+                    p.register_inflight(chunk)
+                    p.register_settled(chunk, now=0.0)
+                    heap.touch(p)
+            else:
+                pid = int(rng.choice(sorted(payments)))
+                heap.discard(pid)
+                del payments[pid]
+            if rng.random() < 0.3:
+                assert heap.ordered() == self._reference(heap, payments, policy)
+        assert heap.ordered() == self._reference(heap, payments, policy)
+
+    def test_ordered_is_memoised_until_mutation(self):
+        heap = PendingHeap(get_policy("srpt"))
+        a, b = payment(1, 50.0, 0.0), payment(2, 10.0, 1.0)
+        heap.add(a)
+        heap.add(b)
+        assert heap.ordered() == [2, 1]
+        assert heap.ordered() == [2, 1]  # served from the memo
+        heap.discard(2)
+        assert heap.ordered() == [1]
+
+    def test_touch_reorders_on_partial_settle(self):
+        heap = PendingHeap(get_policy("srpt"))
+        big, small = payment(1, 100.0, 0.0), payment(2, 60.0, 1.0)
+        heap.add(big)
+        heap.add(small)
+        assert heap.ordered() == [2, 1]
+        big.register_inflight(90.0)
+        big.register_settled(90.0, now=2.0)
+        heap.touch(big)
+        assert heap.ordered() == [1, 2]  # 10 outstanding < 60
+
+    def test_touch_on_unknown_payment_is_a_noop(self):
+        heap = PendingHeap(get_policy("srpt"))
+        heap.touch(payment(9, 5.0, 0.0))
+        assert len(heap) == 0
+
+    def test_set_like_surface(self):
+        heap = PendingHeap(get_policy("fifo"))
+        p = payment(4, 5.0, 0.0)
+        heap.add(p)
+        assert 4 in heap and len(heap) == 1 and list(heap) == [4]
+        heap.discard(4)
+        heap.discard(4)  # idempotent
+        assert 4 not in heap and not heap
+        heap.add(p)
+        heap.clear()
+        assert not heap and heap.ordered() == []
+
+    def test_stale_entries_do_not_resurface(self):
+        """A→B→A re-keys leave corpses that must be skipped exactly once."""
+        heap = PendingHeap(get_policy("srpt"))
+        p = payment(1, 100.0, 0.0)
+        other = payment(2, 50.0, 0.0)
+        heap.add(p)
+        heap.add(other)
+        p.register_inflight(80.0)
+        p.register_settled(80.0, now=1.0)
+        heap.touch(p)  # key: 20
+        p.register_inflight(20.0)
+        heap.touch(p)  # outstanding still 20 -> same key, no push
+        assert heap.ordered() == [1, 2]
+        assert heap.ordered().count(1) == 1
 
 
 class TestRegistry:

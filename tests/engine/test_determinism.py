@@ -131,6 +131,63 @@ def test_vectorised_and_scalar_path_ops_byte_identical(scheme):
     assert vectorised.encode() == scalar.encode()
 
 
+@pytest.mark.parametrize(
+    "scheme",
+    [
+        "spider-window",
+        "spider-window-imbalance",
+        "celer",
+        "spider-primal-dual",
+        "spider-queueing-qgrad",
+    ],
+)
+def test_vectorised_and_scalar_signals_byte_identical(scheme):
+    """The ControlPlane kernels reproduce the scalar signals bit for bit.
+
+    The same seeded experiment runs once with the vectorised congestion
+    signalling (the default) and once with
+    ``ControlPlane.vectorized_signals = False`` (per-unit mark branches,
+    per-channel price objects, per-element gradient loops); the serialised
+    metrics — including the new ``mean_mark_rate``/``mean_price`` columns —
+    must match byte for byte across the windowed, backpressure and
+    primal-dual schemes.
+    """
+    from repro.engine.signals import ControlPlane
+
+    config = _config(scheme=scheme, num_transactions=150)
+    vectorised = metrics_to_json(run_experiment(config, engine="session"))
+    assert ControlPlane.vectorized_signals
+    ControlPlane.vectorized_signals = False
+    try:
+        scalar = metrics_to_json(run_experiment(config, engine="session"))
+    finally:
+        ControlPlane.vectorized_signals = True
+    assert vectorised.encode() == scalar.encode()
+
+
+def test_queue_gradient_scheme_reduces_to_queueing_at_zero_bias():
+    """``queue_bias = 0`` makes the qgrad variant exactly spider-queueing.
+
+    Pinned byte-for-byte (modulo the scheme-name field): the gradient term
+    is the only behavioural delta, so zeroing it must reproduce the parent
+    scheme's run. This doubles as the incremental-heap determinism pin —
+    both runs poll through the PendingHeap drain order.
+    """
+    base = run_experiment(_config(scheme="spider-queueing", num_transactions=150))
+    qgrad = run_experiment(
+        _config(
+            scheme="spider-queueing-qgrad",
+            num_transactions=150,
+            scheme_params={"queue_bias": 0.0},
+        )
+    )
+    base_dict = base.to_dict()
+    qgrad_dict = qgrad.to_dict()
+    assert base_dict.pop("scheme") == "spider-queueing"
+    assert qgrad_dict.pop("scheme") == "spider-queueing-qgrad"
+    assert base_dict == qgrad_dict
+
+
 def test_backpressure_transport_parity_through_runtime_shim():
     """``engine="legacy"`` (the BackpressureRuntime shim) matches the session.
 

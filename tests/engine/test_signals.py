@@ -1,0 +1,415 @@
+"""ControlPlane parity: vectorised kernels vs. the scalar baselines.
+
+The control plane's acceptance bar is float-for-float equality with the
+per-element implementations it replaces (``ControlPlane.vectorized_signals
+= False``), across random fee-bearing / frozen topologies: marks, prices,
+gradients and imbalance must agree exactly — not approximately — because
+the determinism suite pins byte-identical metrics JSON across both modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.prices import PriceTable
+from repro.engine.signals import ControlPlane
+from repro.errors import ConfigError
+from repro.network.network import PaymentNetwork
+from repro.routing.base import PathCache
+from repro.simulator.rng import make_rng
+from repro.topology import ripple_topology
+from tests.engine.test_pathtable import network_specs
+
+
+@pytest.fixture(autouse=True)
+def _restore_flag():
+    """Every test leaves the class-wide parity flag as it found it."""
+    previous = ControlPlane.vectorized_signals
+    yield
+    ControlPlane.vectorized_signals = previous
+
+
+def _random_network(rng, fees: bool = True, frozen: bool = True):
+    """A Ripple-like network with random balances, fees and frozen edges."""
+    network = ripple_topology("tiny", seed=int(rng.integers(0, 2**31))).build_network(
+        default_capacity=200.0
+    )
+    for channel in network.channels():
+        # Skew balances so imbalance signals are non-trivial.
+        a, _ = channel.endpoints
+        shift = float(rng.uniform(-80.0, 80.0))
+        if shift > 0:
+            shift = min(shift, channel.balance(channel.node_b))
+            if shift > 0:
+                htlc = channel.lock(channel.node_b, shift)
+                channel.settle(htlc)
+        elif shift < 0:
+            take = min(-shift, channel.balance(channel.node_a))
+            if take > 0:
+                htlc = channel.lock(channel.node_a, take)
+                channel.settle(htlc)
+        if fees and rng.random() < 0.3:
+            channel.base_fee = float(rng.uniform(0.0, 0.5))
+            channel.fee_rate = float(rng.uniform(0.0, 0.01))
+    if frozen:
+        channels = list(network.channels())
+        for channel in rng.choice(len(channels), size=2, replace=False):
+            channels[int(channel)].freeze()
+    return network
+
+
+def _random_paths(network, rng, count: int = 12):
+    """Sample ``count`` multi-hop paths through the network."""
+    cache = PathCache.from_network(network, k=4)
+    nodes = sorted(network.nodes())
+    paths = []
+    while len(paths) < count:
+        i, j = rng.choice(len(nodes), size=2, replace=False)
+        for path in cache.paths(nodes[int(i)], nodes[int(j)]):
+            if len(path) >= 2:
+                paths.append(path)
+    return paths[:count]
+
+
+class TestPriceParity:
+    def _drive(self, network, paths, rng) -> PriceTable:
+        """One deterministic observe/update workload on a fresh table."""
+        table = PriceTable(network, delta=0.5)
+        for step in range(40):
+            path = paths[int(rng.integers(0, len(paths)))]
+            table.observe_path(path, float(rng.uniform(0.5, 40.0)))
+            if step % 5 == 4:
+                table.update_all(dt=1.0, eta=0.08, kappa=0.06)
+        return table
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_lambda_mu_and_path_prices_match_exactly(self, seed):
+        """Vectorised λ/µ/path prices equal the scalar loop bit for bit."""
+        results = {}
+        for vectorized in (True, False):
+            ControlPlane.vectorized_signals = vectorized
+            rng = make_rng(100 + seed)
+            network = _random_network(rng)
+            paths = _random_paths(network, rng)
+            drive_rng = make_rng(200 + seed)
+            table = self._drive(network, paths, drive_rng)
+            lam = {}
+            mu = {}
+            for u, v in network.edges():
+                state = table.state(u, v)
+                lam[(u, v)] = state.lam
+                mu[(u, v)] = (state.mu[(u, v)], state.mu[(v, u)])
+            prices = [table.path_price(p) for p in paths]
+            results[vectorized] = (lam, mu, prices)
+        assert results[True] == results[False]
+
+    def test_mean_price_sample_matches_across_modes(self):
+        """The metrics sample (mean λ per update) is mode-independent."""
+        samples = {}
+        for vectorized in (True, False):
+            ControlPlane.vectorized_signals = vectorized
+            rng = make_rng(7)
+            network = _random_network(rng)
+            paths = _random_paths(network, rng)
+            table = self._drive(network, paths, make_rng(8))
+            samples[vectorized] = list(network.control_plane.price_samples)
+        assert samples[True] == samples[False]
+        assert samples[True]  # the workload updated at least once
+
+    def test_price_view_write_through(self):
+        """The dict-like view writes land in the control-plane arrays."""
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        table = PriceTable(network, delta=0.5)
+        table.state(0, 1).mu[(0, 1)] = 0.25
+        table.state(0, 1).lam = 0.5
+        assert table.path_price([0, 1]) == pytest.approx(0.75)
+        cid, side = network.channel_id(0, 1)
+        assert network.control_plane.state.mu[cid, side] == 0.25
+
+    def test_update_rejects_non_positive_dt(self):
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        table = PriceTable(network, delta=0.5)
+        with pytest.raises(ConfigError):
+            table.update_all(dt=0.0, eta=0.1, kappa=0.1)
+
+
+class _FakeUnit:
+    __slots__ = ("marked",)
+
+    def __init__(self, marked=False):
+        self.marked = marked
+
+
+class TestMarkScanParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("batch", [1, 3, 7, 64])
+    def test_marks_and_counters_match(self, seed, batch):
+        """Batch scans mark exactly the units the per-unit branch marks."""
+        rng = make_rng(300 + seed)
+        delays = [float(d) for d in rng.uniform(0.0, 1.0, size=batch)]
+        pre_marked = [bool(b) for b in rng.random(batch) < 0.2]
+        outcomes = {}
+        for vectorized in (True, False):
+            ControlPlane.vectorized_signals = vectorized
+            network = PaymentNetwork()
+            network.add_channel(0, 1, 100.0)
+            control = network.control_plane
+            control.configure_marking(0.4)
+            units = [_FakeUnit(m) for m in pre_marked]
+            newly = control.observe_service(0, 0, delays, units)
+            outcomes[vectorized] = (
+                newly,
+                [u.marked for u in units],
+                int(control.state.marks[0, 0]),
+                int(control.state.serviced[0, 0]),
+            )
+        assert outcomes[True] == outcomes[False]
+
+    def test_disabled_marking_never_marks(self):
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        control = network.control_plane
+        control.configure_marking(None)
+        units = [_FakeUnit() for _ in range(8)]
+        assert control.observe_service(0, 1, [9e9] * 8, units) == 0
+        assert not any(u.marked for u in units)
+        assert int(control.state.serviced[0, 1]) == 8
+
+    def test_already_marked_units_not_double_counted(self):
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        control = network.control_plane
+        control.configure_marking(0.1)
+        units = [_FakeUnit(marked=True) for _ in range(6)]
+        assert control.observe_service(0, 0, [1.0] * 6, units) == 0
+        assert int(control.state.marks[0, 0]) == 0
+
+
+class TestGradientParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gradient_weights_match(self, seed):
+        rng = make_rng(400 + seed)
+        n = int(rng.integers(1, 24))
+        backlog_u = [float(x) for x in rng.uniform(0.0, 50.0, size=n)]
+        backlog_v = [float(x) for x in rng.uniform(0.0, 50.0, size=n)]
+        dist_u = [int(x) for x in rng.integers(-1, 10, size=n)]
+        dist_v = [int(x) for x in rng.integers(-1, 10, size=n)]
+        beta = float(rng.uniform(0.1, 2.0))
+        results = {}
+        for vectorized in (True, False):
+            ControlPlane.vectorized_signals = vectorized
+            network = PaymentNetwork()
+            network.add_channel(0, 1, 10.0)
+            results[vectorized] = network.control_plane.gradient_weights(
+                backlog_u, backlog_v, dist_u, dist_v, beta
+            )
+        assert results[True] == results[False]
+        for bu, bv, du, dv, w in zip(
+            backlog_u, backlog_v, dist_u, dist_v, results[True]
+        ):
+            if du < 0 or dv < 0:
+                assert w == 0.0
+            else:
+                assert w == (bu - bv) + beta * (du - dv)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_path_queue_penalty_matches(self, seed):
+        results = {}
+        for vectorized in (True, False):
+            ControlPlane.vectorized_signals = vectorized
+            rng = make_rng(500 + seed)
+            network = _random_network(rng, fees=False, frozen=False)
+            paths = _random_paths(network, rng)
+            control = network.control_plane
+            store = network.state_store
+            depth_rng = make_rng(600 + seed)
+            store.queue_depth_view[:] = depth_rng.integers(
+                0, 12, size=store.queue_depth_view.shape
+            )
+            for _ in range(4):
+                control.tick()
+            results[vectorized] = control.path_queue_penalty(paths)
+        assert results[True] == results[False]
+        assert any(p > 0 for p in results[True])
+
+    def test_queue_gradient_reads_live_depths(self):
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        store = network.state_store
+        store.queue_depth[0, 0] = 5
+        store.queue_depth[0, 1] = 2
+        gradient = network.control_plane.queue_gradient(
+            np.array([0, 0]), np.array([0, 1])
+        )
+        assert gradient.tolist() == [3, -3]
+
+
+class TestImbalanceParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_path_imbalance_matches(self, seed):
+        results = {}
+        for vectorized in (True, False):
+            ControlPlane.vectorized_signals = vectorized
+            rng = make_rng(700 + seed)
+            network = _random_network(rng, frozen=False)
+            paths = _random_paths(network, rng)
+            control = network.control_plane
+            table = network.path_table
+            values = [control.path_imbalance(table.compile(p)) for p in paths]
+            # Mutate some balances, probe again: the stamp-driven refresh
+            # must track the store (not serve stale cache entries).
+            for channel in list(network.channels())[:5]:
+                amount = min(5.0, channel.balance(channel.node_a))
+                if amount > 0:
+                    channel.settle(channel.lock(channel.node_a, amount))
+            values += [control.path_imbalance(table.compile(p)) for p in paths]
+            results[vectorized] = values
+        assert results[True] == results[False]
+
+
+class TestTickParity:
+    def test_ewma_qdepth_matches_and_decays(self):
+        results = {}
+        for vectorized in (True, False):
+            ControlPlane.vectorized_signals = vectorized
+            rng = make_rng(11)
+            network = _random_network(rng, fees=False, frozen=False)
+            control = network.control_plane
+            store = network.state_store
+            store.queue_depth_view[:] = 10
+            control.tick()
+            store.queue_depth_view[:] = 0
+            control.tick()
+            control.tick()
+            results[vectorized] = control.state.ewma_qdepth.copy()
+        assert (results[True] == results[False]).all()
+        # Rising then decaying toward the live (zero) depth.
+        assert (results[True] > 0).all()
+        assert (results[True] < 10).all()
+
+    def test_invalid_ewma_alpha_rejected(self):
+        network = PaymentNetwork()
+        with pytest.raises(ConfigError):
+            ControlPlane(network, ewma_alpha=0.0)
+
+
+def _signal_twins(spec):
+    """Two identical networks; one plane vectorised, one scalar."""
+    twins = []
+    for vectorized in (True, False):
+        network = PaymentNetwork()
+        for u, v, capacity, balance_u, base_fee, fee_rate in spec[0]:
+            network.add_channel(
+                u, v, capacity, balance_u=balance_u,
+                base_fee=base_fee, fee_rate=fee_rate,
+            )
+        for index, frozen in enumerate(spec[1]):
+            if frozen:
+                list(network.channels())[index].freeze()
+        network.control_plane.vectorized = vectorized
+        twins.append(network)
+    return twins
+
+
+#: The module's autouse flag-restore fixture is function-scoped; these
+#: hypothesis tests flip per-instance flags only, so reuse is harmless.
+_HYPOTHESIS_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestHypothesisParity:
+    """Random fee/frozen topologies: vectorised twin == scalar twin."""
+
+    @settings(max_examples=40, **_HYPOTHESIS_SETTINGS)
+    @given(
+        network_specs(),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),  # path selector
+                st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+                st.booleans(),  # run a dual update after this observe?
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+    def test_prices_and_imbalance_parity(self, data, operations):
+        """Identical observe/update mixes ⇒ identical λ/µ/z_p/imbalance."""
+        spec, paths = data
+        vec, ref = _signal_twins(spec)
+        tables = [PriceTable(network, delta=0.5) for network in (vec, ref)]
+        for selector, amount, update in operations:
+            path = paths[selector % len(paths)]
+            for table in tables:
+                table.observe_path(path, amount)
+            if update:
+                for table in tables:
+                    table.update_all(dt=1.0, eta=0.1, kappa=0.07)
+        for path in paths:
+            assert tables[0].path_price(path) == tables[1].path_price(path)
+            imbalances = [
+                network.control_plane.path_imbalance(
+                    network.path_table.compile(path)
+                )
+                for network in (vec, ref)
+            ]
+            assert imbalances[0] == imbalances[1]
+        for u, v, *_ in spec[0]:
+            state_vec, state_ref = tables[0].state(u, v), tables[1].state(u, v)
+            assert state_vec.lam == state_ref.lam
+            assert state_vec.mu[(u, v)] == state_ref.mu[(u, v)]
+            assert state_vec.mu[(v, u)] == state_ref.mu[(v, u)]
+
+    @settings(max_examples=40, **_HYPOTHESIS_SETTINGS)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+                st.booleans(),  # pre-marked at an earlier hop?
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.05, max_value=1.5, allow_nan=False),
+    )
+    def test_mark_scan_parity(self, batch, threshold):
+        delays = [delay for delay, _ in batch]
+        outcomes = {}
+        for vectorized in (True, False):
+            network = PaymentNetwork()
+            network.add_channel(0, 1, 10.0)
+            control = network.control_plane
+            control.vectorized = vectorized
+            control.configure_marking(threshold)
+            units = [_FakeUnit(marked) for _, marked in batch]
+            newly = control.observe_service(0, 1, delays, units)
+            outcomes[vectorized] = (
+                newly,
+                [unit.marked for unit in units],
+                int(control.state.marks[0, 1]),
+                int(control.state.serviced[0, 1]),
+            )
+        assert outcomes[True] == outcomes[False]
+
+
+class TestSizing:
+    def test_plane_grows_with_the_store(self):
+        network = PaymentNetwork()
+        network.add_channel(0, 1, 100.0)
+        control = network.control_plane
+        assert control.state.n == 1
+        network.add_channel(1, 2, 100.0)
+        control.tick()
+        assert control.state.n == 2
+        assert control.state.mark_threshold[1, 0] == np.inf
+        # Every entry point grows on demand, not just tick().
+        assert control.observe_service(1, 0, [0.1], [_FakeUnit()]) == 0
+        network.add_channel(2, 3, 100.0)
+        assert control.path_price((2, 3)) == 0.0

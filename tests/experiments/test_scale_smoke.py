@@ -1,0 +1,48 @@
+"""Scale smoke: the session engine at 10k-node Ripple-like scale.
+
+The full 10k-node / 33k-channel run takes tens of seconds, so locally it
+is gated behind ``REPRO_SLOW_TESTS=1`` (CI's engine-smoke job runs the
+identical workload through ``benchmarks/bench_substrate_micro.py`` and
+records the numbers in ``BENCH_substrate.json``).  A miniature variant of
+the same harness — same code path, ``tiny`` preset — always runs so the
+scale plumbing stays covered by the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.bench_substrate_micro import run_scale_smoke
+
+RUN_SLOW = os.environ.get("REPRO_SLOW_TESTS") == "1"
+
+
+def _check_report(report, nodes: int):
+    assert report["network"]["nodes"] == nodes
+    assert report["network"]["channels"] > nodes  # edge/node ratio ≈ 3.32
+    assert report["events_per_sec"] > 0
+    assert report["transactions_per_sec"] > 0
+    assert 0.0 <= report["success_ratio"] <= 1.0
+    assert report["sweep"]["cells"] == 2
+    assert report["sweep"]["wall_seconds"] > 0
+
+
+def test_scale_smoke_miniature():
+    """The scale harness end to end on the tiny preset (sub-second)."""
+    report = run_scale_smoke(transactions=40, preset="tiny", processes=1)
+    _check_report(report, nodes=60)
+
+
+@pytest.mark.skipif(
+    not RUN_SLOW, reason="10k-node scale smoke: set REPRO_SLOW_TESTS=1 to run"
+)
+def test_scale_smoke_10k_nodes():
+    """The full 10k-node Ripple-like workload through the SweepExecutor."""
+    report = run_scale_smoke(transactions=600, preset="huge", processes=2)
+    _check_report(report, nodes=10000)
+    # Bounded runtime: a regression that blows the budget should fail
+    # loudly here rather than silently eat the CI smoke allowance.
+    assert report["run_seconds"] < 120
+    assert report["sweep"]["wall_seconds"] < 240
