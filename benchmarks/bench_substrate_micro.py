@@ -19,18 +19,23 @@ pre-scheduled fan-out = deep heap), the hop-by-hop queueing transport
 path operations, the ``path_ops`` microbenchmark (batch bottleneck
 probes and lock+settle round-trips through the PathTable vs. the scalar
 loops), the ``signals`` microbenchmark (ControlPlane price updates and
-mark scans, vectorised vs. scalar), and a bounded ``scale`` smoke (a
-10k-node Ripple-like waterfilling run plus a parallel SweepExecutor
-grid), recording events/sec and speedups for all of them.  Pass
-``--assert-floor`` to fail when native hop-by-hop throughput regresses
-below 0.8x the previously recorded value, or when either signals kernel
-drops under its 3x acceptance floor (the CI gate).
+mark scans, vectorised vs. scalar), the ``path_discovery``
+microbenchmark (k-edge-disjoint pairs/sec on the 10k-node Ripple-like
+graph: scalar per-pair BFS vs. the CSR array-frontier provider, cold vs.
+memoised vs. disk-artifact warm), and a bounded ``scale`` smoke (a
+10k-node Ripple-like waterfilling run plus a parallel SweepExecutor grid
+exercising the persistent path cache), recording events/sec and speedups
+for all of them.  Pass ``--assert-floor`` to fail when native hop-by-hop
+throughput regresses below 0.8x the previously recorded value, when
+either signals kernel drops under its 3x acceptance floor, or when CSR
+path discovery falls under 3x the scalar BFS (the CI gate).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 
 from repro.engine.events import TickEngine
@@ -544,6 +549,101 @@ def run_signals_microbench(
 
 
 # ----------------------------------------------------------------------
+# Path-discovery microbenchmark: k edge-disjoint shortest paths on the
+# 10k-node Ripple-like graph — the per-pair scalar BFS the seed ran vs.
+# the PathService's CSR array-frontier provider, plus the memoised and
+# disk-artifact warm paths (cold vs. cached).
+# ----------------------------------------------------------------------
+def run_path_discovery_microbench(
+    num_pairs: int = 48, k: int = 4, repeats: int = 3
+) -> dict:
+    """Pairs/sec of scalar vs. CSR discovery on ripple-huge, cold vs. warm.
+
+    All modes resolve the identical pair list and are asserted
+    byte-identical.  ``speedup`` is CSR-cold over scalar-cold — both sides
+    timed on this machine in the same run, so the ratio is
+    hardware-independent (the ≥5x ripple-huge acceptance number).
+    ``cached`` times the in-process PersistentCache memo hit and
+    ``disk_warm`` a fresh process-level store serving the persisted
+    artifact.
+    """
+    import tempfile
+
+    from repro.engine.pathservice import (
+        CsrDisjointProvider,
+        CsrGraph,
+        PathService,
+        PersistentCache,
+        ScalarDisjointProvider,
+    )
+    from repro.simulator.rng import make_rng
+
+    adjacency = {
+        node: sorted(neighbours)
+        for node, neighbours in ripple_topology("huge", seed=0)
+        .adjacency()
+        .items()
+    }
+    build_start = time.perf_counter()
+    graph = CsrGraph.from_adjacency(adjacency)
+    graph.edge_positions  # the masking index, also built once per graph
+    build_elapsed = time.perf_counter() - build_start
+    nodes = sorted(adjacency)
+    rng = make_rng(3)
+    pairs = [
+        (nodes[int(a)], nodes[int(b)])
+        for a, b in (
+            rng.choice(len(nodes), size=2, replace=False)
+            for _ in range(num_pairs)
+        )
+    ]
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    scalar = ScalarDisjointProvider(adjacency, k)
+    csr = CsrDisjointProvider(graph, k)
+    expected = scalar.paths_many(pairs)
+    assert csr.paths_many(pairs) == expected  # byte-identical discovery
+    scalar_time = best_of(lambda: scalar.paths_many(pairs))
+    csr_time = best_of(lambda: csr.paths_many(pairs))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        PersistentCache.clear_shared()
+        service = PathService.from_adjacency(adjacency, cache_dir=tmp)
+        service.prepare(pairs, k=k)  # populate memo + write the artifact
+        assert service.paths_many(pairs, k=k) == expected
+        cached_time = best_of(lambda: service.paths_many(pairs, k=k))
+        PersistentCache.clear_shared()
+        disk_start = time.perf_counter()
+        warm = PathService.from_adjacency(adjacency, cache_dir=tmp)
+        loaded = warm.paths_many(pairs, k=k)
+        disk_time = time.perf_counter() - disk_start
+        assert loaded == expected
+        PersistentCache.clear_shared()
+
+    return {
+        "network": {
+            "nodes": len(nodes),
+            "channels": int(graph.indices.shape[0] // 2),
+        },
+        "pairs": num_pairs,
+        "k": k,
+        "csr_build_seconds": round(build_elapsed, 3),
+        "scalar_pairs_per_sec": round(num_pairs / scalar_time, 1),
+        "csr_pairs_per_sec": round(num_pairs / csr_time, 1),
+        "speedup": round(scalar_time / csr_time, 3),
+        "cached_pairs_per_sec": round(num_pairs / cached_time),
+        "disk_warm_pairs_per_sec": round(num_pairs / disk_time, 1),
+    }
+
+
+# ----------------------------------------------------------------------
 # Scale smoke: a 10k-node Ripple-like topology through the session engine
 # and a parallel SweepExecutor grid (bounded runtime; the CI smoke runs it
 # and BENCH_substrate.json keeps the numbers).
@@ -554,10 +654,15 @@ def run_scale_smoke(
     """One bounded waterfilling run at 10k-node scale, plus a 2-cell sweep.
 
     Records events/sec and transactions/sec of the direct session run
-    (path discovery over a 33k-edge graph dominates wall time at this
-    scale — the next optimisation target ROADMAP tracks) and the wall
-    time of the same workload fanned out across SweepExecutor workers.
+    (since PR 5 path discovery runs through the CSR PathService, so event
+    dispatch and scheme-side probing are back in front) and the wall time
+    of the same workload fanned out across SweepExecutor workers with the
+    persistent path cache active — the parent precomputes each topology's
+    pair sets once and every worker loads the artifact from disk.
     """
+    import tempfile
+
+    from repro.engine.pathservice import PersistentCache
     from repro.engine.session import SimulationSession
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.executor import SweepExecutor
@@ -570,6 +675,7 @@ def run_scale_smoke(
         arrival_rate=250.0,
         seed=23,
     )
+    PersistentCache.clear_shared()
     build_start = time.perf_counter()
     session = SimulationSession.from_config(base)
     build_elapsed = time.perf_counter() - build_start
@@ -578,10 +684,18 @@ def run_scale_smoke(
     metrics = session.run()
     run_elapsed = time.perf_counter() - run_start
 
-    executor = SweepExecutor(base, processes=processes, cache_dir=None)
-    sweep_start = time.perf_counter()
-    sweep = executor.capacity_sweep([400.0, 600.0], ["spider-waterfilling"])
-    sweep_elapsed = time.perf_counter() - sweep_start
+    PersistentCache.clear_shared()  # sweep workers start cold, like CI
+    with tempfile.TemporaryDirectory() as path_cache_dir:
+        executor = SweepExecutor(
+            base,
+            processes=processes,
+            cache_dir=None,
+            path_cache_dir=path_cache_dir,
+        )
+        sweep_start = time.perf_counter()
+        sweep = executor.capacity_sweep([400.0, 600.0], ["spider-waterfilling"])
+        sweep_elapsed = time.perf_counter() - sweep_start
+        path_artifacts = len(os.listdir(path_cache_dir))
     return {
         "network": {"nodes": network.num_nodes, "channels": network.num_channels},
         "transactions": transactions,
@@ -594,6 +708,7 @@ def run_scale_smoke(
             "cells": len(sweep),
             "processes": processes,
             "wall_seconds": round(sweep_elapsed, 2),
+            "path_artifacts": path_artifacts,
         },
     }
 
@@ -615,7 +730,10 @@ def check_throughput_floor(report: dict, baseline: dict, ratio: float = 0.8):
     Signal-kernel coverage: the ``signals`` section's vectorised-vs-scalar
     speedups must also stay above the 3x acceptance floor (both sides are
     timed on this machine in the same run, so the ratio is
-    hardware-independent).
+    hardware-independent).  Path-discovery coverage: the
+    ``path_discovery`` section's CSR-vs-scalar speedup on the 10k-node
+    graph must stay above its 3x floor (the recorded value documents the
+    ≥5x ripple-huge acceptance number).
     """
     signals = report.get("signals")
     if signals:
@@ -626,6 +744,14 @@ def check_throughput_floor(report: dict, baseline: dict, ratio: float = 0.8):
                     f"signals {section} vectorised speedup {speedup:.2f}x "
                     "fell below the 3x acceptance floor"
                 )
+    discovery = report.get("path_discovery")
+    if discovery:
+        speedup = discovery["speedup"]
+        if speedup < 3.0:
+            return (
+                f"path_discovery CSR speedup {speedup:.2f}x fell below "
+                "the 3x acceptance floor"
+            )
     recorded_hop = (baseline or {}).get("hop_by_hop", {})
     recorded = recorded_hop.get("native_events_per_sec")
     if not recorded:
@@ -670,6 +796,12 @@ def main(argv=None) -> int:
         help="control-loop iterations per repeat in the signals microbenchmark",
     )
     parser.add_argument(
+        "--discovery-pairs",
+        type=int,
+        default=48,
+        help="pair count of the path-discovery microbenchmark (0 disables it)",
+    )
+    parser.add_argument(
         "--scale-transactions",
         type=int,
         default=600,
@@ -701,6 +833,14 @@ def main(argv=None) -> int:
     report["signals"] = run_signals_microbench(
         iterations=args.signals_iterations, repeats=args.repeats
     )
+    if args.discovery_pairs > 0:
+        report["path_discovery"] = run_path_discovery_microbench(
+            num_pairs=args.discovery_pairs, repeats=args.repeats
+        )
+    elif "path_discovery" in baseline:
+        report["path_discovery"] = dict(
+            baseline["path_discovery"], carried_forward=True
+        )
     if args.scale_transactions > 0:
         report["scale"] = run_scale_smoke(transactions=args.scale_transactions)
     elif "scale" in baseline:
@@ -741,6 +881,16 @@ def main(argv=None) -> int:
         f"{sig['mark_scan']['vectorised_scans_per_sec']:>11,} scans/s "
         f"({sig['mark_scan']['speedup']:.2f}x)"
     )
+    if "path_discovery" in report:
+        disc = report["path_discovery"]
+        print(
+            f"discovery {disc['network']['nodes']:,} nodes: scalar "
+            f"{disc['scalar_pairs_per_sec']:>7,} -> csr "
+            f"{disc['csr_pairs_per_sec']:>7,} pairs/s "
+            f"({disc['speedup']:.2f}x), cached "
+            f"{disc['cached_pairs_per_sec']:,}/s, disk-warm "
+            f"{disc['disk_warm_pairs_per_sec']:,}/s"
+        )
     if "scale" in report:
         scale = report["scale"]
         print(

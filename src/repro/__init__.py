@@ -50,6 +50,7 @@ from repro.errors import (
     TopologyError,
 )
 from repro.engine import ChannelStateStore, SimulationSession, TickEngine
+from repro.engine.pathservice import PathService
 from repro.experiments import (
     ExperimentConfig,
     SweepExecutor,
@@ -108,6 +109,7 @@ __all__ = [
     "MetricsCollector",
     "NoPathError",
     "NodeOutage",
+    "PathService",
     "Payment",
     "PaymentChannel",
     "PaymentError",

@@ -18,12 +18,17 @@ Sweep capacity (Fig. 7 style)::
 Analyse a payment graph's circulation structure (Fig. 5)::
 
     spider-repro decompose --topology fig4
+
+Precompute a topology's pair path sets into a reusable artifact::
+
+    spider-repro paths precompute --topology ripple-huge --out-dir cache/paths
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.experiments.config import ExperimentConfig
@@ -70,6 +75,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         choices=("session", "legacy"),
         help="execution engine: unified tick-engine session (default) or "
         "the deprecated Runtime/Simulator pair",
+    )
+    parser.add_argument(
+        "--path-cache-dir",
+        default=None,
+        help="directory for persistent path-discovery artifacts (pair "
+        "path sets are loaded from and written back to it; see "
+        "'paths precompute')",
     )
 
 
@@ -151,6 +163,26 @@ def build_parser() -> argparse.ArgumentParser:
     figures_parser.add_argument("--out", default="results", help="output directory")
     figures_parser.add_argument("--seed", type=int, default=7, help="random seed")
 
+    paths_parser = sub.add_parser(
+        "paths", help="path-discovery artifacts (PathService)"
+    )
+    paths_sub = paths_parser.add_subparsers(dest="paths_command", required=True)
+    precompute_parser = paths_sub.add_parser(
+        "precompute",
+        help="discover a config's trace pair path sets once and persist "
+        "them for later runs and sweeps",
+    )
+    precompute_parser.add_argument(
+        "--k", type=int, default=4, help="paths per pair (paper: 4)"
+    )
+    precompute_parser.add_argument(
+        "--out-dir",
+        required=True,
+        help="artifact directory (pass the same directory as "
+        "--path-cache-dir / sweep --cache-dir later)",
+    )
+    _add_common_options(precompute_parser)
+
     sub.add_parser("schemes", help="list available schemes")
     return parser
 
@@ -166,14 +198,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "run":
         metrics = run_experiment(
-            _config_from_args(args, scheme=args.scheme), engine=args.engine
+            _config_from_args(args, scheme=args.scheme),
+            engine=args.engine,
+            path_cache_dir=args.path_cache_dir,
         )
         print(format_metrics_table([metrics], title=f"{args.scheme} on {args.topology}"))
         return 0
 
     if args.command == "compare":
         schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-        results = compare_schemes(_config_from_args(args), schemes, engine=args.engine)
+        results = compare_schemes(
+            _config_from_args(args),
+            schemes,
+            engine=args.engine,
+            path_cache_dir=args.path_cache_dir,
+        )
         print(
             format_metrics_table(
                 results,
@@ -188,13 +227,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         capacities = [float(c) for c in args.capacities.split(",") if c.strip()]
         schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
-        if args.parallel > 0 or args.cache_dir is not None:
+        if (
+            args.parallel > 0
+            or args.cache_dir is not None
+            or args.path_cache_dir is not None
+        ):
             executor = SweepExecutor(
                 _config_from_args(args),
                 processes=max(1, args.parallel),
                 cache_dir=args.cache_dir,
                 engine=args.engine,
                 reseed_cells=False,  # match the serial sweep cell for cell
+                path_cache_dir=args.path_cache_dir,
             )
             results = executor.capacity_sweep(capacities, schemes)
         else:
@@ -226,6 +270,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         written = generate_all(args.out, seed=args.seed)
         for path in written:
             print(f"wrote {path}")
+        return 0
+
+    if args.command == "paths":
+        # paths precompute: discover the config's trace pair sets once and
+        # persist the artifact for later runs/sweeps to load.
+        from repro.experiments.executor import precompute_trace_paths
+
+        start = time.perf_counter()
+        pairs, service = precompute_trace_paths(
+            _config_from_args(args), args.out_dir, budgets=(args.k,)
+        )
+        elapsed = time.perf_counter() - start
+        path_sets = service.paths_many(pairs, k=args.k)
+        total_paths = sum(len(paths) for paths in path_sets)
+        print(
+            f"precomputed {len(pairs)} pairs ({total_paths} paths, k={args.k}) "
+            f"on {args.topology} in {elapsed:.2f}s "
+            f"({len(pairs) / max(elapsed, 1e-9):.0f} pairs/s) -> {args.out_dir}"
+        )
         return 0
 
     if args.command == "decompose":

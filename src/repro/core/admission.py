@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.routing.base import PathCache, RoutingScheme
+from repro.routing.base import RoutingScheme
 from repro.routing.registry import make_scheme
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -69,7 +69,9 @@ class AdmissionControlScheme(RoutingScheme):
         self.rejected = 0
 
     def prepare(self, runtime: "Runtime") -> None:
-        self.path_cache = PathCache.from_network(runtime.network, k=self.num_paths)
+        # Shared service view: when the inner scheme probes the same k it
+        # reuses exactly these pair sets.
+        self.path_cache = runtime.network.path_service.view(k=self.num_paths)
         self.rejected = 0
         self.inner.prepare(runtime)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.fluid.lp import solve_fluid_lp
-from repro.routing.base import PathCache, RoutingScheme
+from repro.routing.base import RoutingScheme
 from repro.workload.demand import estimate_demand_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,12 +52,15 @@ class SpiderLPScheme(RoutingScheme):
         self._weights: Dict[Tuple[int, int], List[Tuple[Path, float]]] = {}
 
     def prepare(self, runtime: "Runtime") -> None:
-        self.path_cache = PathCache.from_network(runtime.network, k=self.num_paths)
+        self.path_cache = runtime.network.path_service.view(k=self.num_paths)
         demands = estimate_demand_matrix(runtime.records, duration=runtime.end_time)
         demands = {pair: rate for pair, rate in demands.items() if rate > _EPS}
         if not demands:
             self._weights = {}
             return
+        # One batched discovery pass over the demand pairs (and one disk
+        # flush, when the session persists path artifacts).
+        self.path_cache.prepare(sorted(demands))
         path_set = {}
         for pair in demands:
             paths = self.path_cache.paths(*pair)
@@ -100,10 +103,10 @@ class SpiderLPScheme(RoutingScheme):
             # Precompile every LP-weighted path into store indices so the
             # first attempt pays no compilation cost and every per-unit
             # bottleneck probe is a pure vectorised gather.
-            table = runtime.network.path_table
-            for weighted in self._weights.values():
-                for path, _ in weighted:
-                    table.compile(path)
+            runtime.network.path_table.compile_many(
+                [path for path, _ in weighted]
+                for weighted in self._weights.values()
+            )
 
     def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
         weighted = self._weights.get((payment.source, payment.dest))

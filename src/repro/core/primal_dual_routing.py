@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.congestion import TokenBucket
 from repro.core.prices import PriceTable
 from repro.fluid.primal_dual import project_capped_simplex
-from repro.routing.base import PathCache, RoutingScheme
+from repro.routing.base import RoutingScheme
 from repro.simulator.engine import RecurringTimer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -113,7 +113,7 @@ class SpiderPrimalDualScheme(RoutingScheme):
 
     # ------------------------------------------------------------------
     def prepare(self, runtime: "Runtime") -> None:
-        self.path_cache = PathCache.from_network(runtime.network, k=self.num_paths)
+        self.path_cache = runtime.network.path_service.view(k=self.num_paths)
         delta = max(runtime.config.confirmation_delay, 1e-3)
         self._prices = PriceTable(runtime.network, delta=delta)
         self._pairs = {}
@@ -141,8 +141,7 @@ class SpiderPrimalDualScheme(RoutingScheme):
             if runtime.network.use_path_table:
                 # Compile the pair's paths once; every subsequent token-
                 # bucket probe is a vectorised gather over store indices.
-                for path in paths:
-                    runtime.network.path_table.compile(path)
+                runtime.network.path_table.compile_many([paths])
             initial = max(payment.amount / len(paths), 1.0)
             state = _PairState(paths, runtime.now, initial_rate=initial)
             self._pairs[pair] = state

@@ -6,6 +6,8 @@ This package is the execution core of the reproduction:
 ``events``     slab-allocated event queue and the :class:`TickEngine`
 ``store``      flat NumPy arrays holding every channel's mutable state
 ``pathtable``  compiled-path index cache + vectorised path operations
+``pathservice`` :class:`PathService` — pluggable, batched, persistent
+               path discovery (CSR array-frontier BFS + providers)
 ``signals``    :class:`ControlPlane` — array-backed congestion signalling
 ``transport``  hop-by-hop / backpressure transports on the tick engine
 ``session``    :class:`SimulationSession` — the one facade that runs a trace
@@ -36,6 +38,19 @@ def __getattr__(name: str):
         from repro.engine import transport
 
         return getattr(transport, name)
+    if name in (
+        "CsrDisjointProvider",
+        "CsrGraph",
+        "LandmarkProvider",
+        "PairPathView",
+        "PathService",
+        "PersistentCache",
+        "ScalarDisjointProvider",
+    ):
+        # pathservice pulls in repro.fluid (scipy) — keep it lazy too.
+        from repro.engine import pathservice
+
+        return getattr(pathservice, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -44,10 +59,17 @@ __all__ = [
     "CompiledPath",
     "CongestionState",
     "ControlPlane",
+    "CsrDisjointProvider",
+    "CsrGraph",
     "DEFAULT_QUANTUM",
     "HopByHopTransport",
+    "LandmarkProvider",
+    "PairPathView",
     "PathLock",
+    "PathService",
     "PathTable",
+    "PersistentCache",
+    "ScalarDisjointProvider",
     "SimulationSession",
     "SlabEventQueue",
     "TickClock",

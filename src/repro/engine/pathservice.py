@@ -1,0 +1,887 @@
+"""First-class path discovery: the PathService facade and its providers.
+
+The paper fixes every pair's path set before the run starts ("4 edge-disjoint
+shortest paths", §6.1), so path discovery is a precomputable, shareable
+artifact — yet the seed smeared it across three incompatible APIs
+(:class:`repro.routing.base.PathCache`, :func:`repro.fluid.paths.build_path_set`
+and ad-hoc BFS inside the landmark/LND/embedding schemes), each scheme
+rebuilding its own cache per run.  At 10k-node scale the per-pair
+``k_edge_disjoint_paths`` BFS dominated wall time (~10 ms/pair on 33k edges).
+
+:class:`PathService` is now the only way the system discovers paths.  It
+owns one sorted adjacency per network and serves every consumer through a
+small provider protocol — ``prepare(pairs)`` / ``paths(src, dst)`` /
+``paths_many(pairs)``:
+
+* :class:`CsrDisjointProvider` — CSR adjacency (flat ``indptr``/``indices``
+  arrays, rows sorted so the BFS tie-break is explicit) with an
+  array-frontier BFS that expands whole levels as NumPy index operations;
+  the k-edge-disjoint loop runs over masked CSR edge arrays.  Paths are
+  **byte-identical** to the scalar per-pair BFS (pinned by
+  ``tests/engine/test_pathservice.py``).
+* :class:`ScalarDisjointProvider` — the legacy
+  :func:`~repro.fluid.paths.k_edge_disjoint_paths` /
+  :func:`~repro.fluid.paths.k_shortest_paths` loops, kept as the parity
+  baseline behind ``PathService.vectorized_discovery = False`` (mirroring
+  the PathTable / ControlPlane pattern).
+* :class:`LandmarkProvider` — SilentWhispers pair assembly from shared BFS
+  trees (one tree per landmark plus one per distinct source) instead of two
+  fresh BFS runs per (pair, landmark).
+* :class:`PersistentCache` — wraps any provider: memoises in-process
+  (shared across networks with identical topology, keyed by a
+  topology/k/method/provider hash) and persists path sets to disk next to
+  the sweep JSON cache, so repeat runs and :class:`SweepExecutor` cells
+  load discovery artifacts instead of recomputing them.
+
+Discovery output feeds :meth:`repro.engine.pathtable.PathTable.compile_many`
+directly, so pair list → path sets → compiled store-index arrays is one
+pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fluid.paths import k_edge_disjoint_paths, k_shortest_paths
+
+__all__ = [
+    "CsrGraph",
+    "CsrDisjointProvider",
+    "ScalarDisjointProvider",
+    "LandmarkProvider",
+    "PersistentCache",
+    "PairPathView",
+    "PathService",
+    "contract_loops",
+]
+
+Path = Tuple[int, ...]
+Pair = Tuple[int, int]
+
+
+def contract_loops(path: Sequence[int]) -> Path:
+    """Remove loops from a node sequence, keeping first occurrences.
+
+    ``(s, a, b, a, d)`` contracts to ``(s, a, d)``: when a node re-appears,
+    everything since its first visit is dropped.  The result is a simple
+    path usable for HTLC locking (the landmark assembly step).
+    """
+    out: List[int] = []
+    seen: Dict[int, int] = {}
+    for node in path:
+        if node in seen:
+            del out[seen[node] + 1 :]
+            for removed in list(seen):
+                if seen[removed] > seen[node]:
+                    del seen[removed]
+            continue
+        seen[node] = len(out)
+        out.append(node)
+    return tuple(out)
+
+
+def _sorted_ids(ids) -> Tuple[List, bool]:
+    """``(sorted list, natural)`` — ``natural`` is False on the repr fallback."""
+    try:
+        return sorted(ids), True
+    except TypeError:
+        return sorted(ids, key=repr), False
+
+
+# ----------------------------------------------------------------------
+# CSR graph + array-frontier BFS kernels
+# ----------------------------------------------------------------------
+class CsrGraph:
+    """Sorted CSR adjacency over dense node indices.
+
+    ``indices[indptr[i]:indptr[i+1]]`` are node ``i``'s neighbours in
+    ascending index order; node ids are mapped to indices in ascending id
+    order, so index order and id order agree and the BFS neighbour
+    tie-break is the *explicit* sorted order the scalar
+    :func:`~repro.fluid.paths.bfs_shortest_path` applies implicitly on
+    every visit.  ``consistent`` is False when the node ids are not
+    totally ordered (repr-sort fallback) — the service then keeps
+    discovery on the scalar provider, whose per-row sort semantics the
+    CSR layout cannot reproduce.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "indptr",
+        "indices",
+        "consistent",
+        "_edge_positions",
+        "_arange",
+    )
+
+    def __init__(
+        self,
+        nodes: List,
+        index: Dict,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        consistent: bool,
+    ):
+        self.nodes = nodes
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self.consistent = consistent
+        self._edge_positions: Optional[Dict[Tuple[int, int], int]] = None
+        self._arange: Optional[np.ndarray] = None
+
+    @property
+    def edge_positions(self) -> Dict[Tuple[int, int], int]:
+        """``(u, v) index pair -> CSR entry position`` (built lazily).
+
+        O(1) directed-edge lookups for the k-disjoint edge masking — a
+        binary search per hop costs more in call overhead than the walk
+        it guards.
+        """
+        if self._edge_positions is None:
+            owners = np.repeat(
+                np.arange(self.indptr.shape[0] - 1, dtype=np.int32),
+                np.diff(self.indptr),
+            )
+            self._edge_positions = {
+                edge: pos
+                for pos, edge in enumerate(
+                    zip(owners.tolist(), self.indices.tolist())
+                )
+            }
+        return self._edge_positions
+
+    @property
+    def arange(self) -> np.ndarray:
+        """Shared ``0..max(E, n)`` ramp; kernels slice it instead of
+        re-allocating an ``np.arange`` per BFS level."""
+        if self._arange is None:
+            self._arange = np.arange(
+                max(self.indices.shape[0], self.indptr.shape[0]),
+                dtype=np.int32,
+            )
+        return self._arange
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Dict) -> "CsrGraph":
+        """Compile an adjacency mapping into the sorted CSR layout."""
+        nodes, natural = _sorted_ids(adjacency)
+        index = {node: i for i, node in enumerate(nodes)}
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int32)
+        rows: List[np.ndarray] = []
+        for i, node in enumerate(nodes):
+            # unique = sort + dedup: parallel entries in the input would
+            # otherwise leave the edge mask covering only one of them and
+            # break the k-disjoint loop's edge removal.
+            row = np.unique(
+                np.fromiter(
+                    (index[nb] for nb in adjacency[node]),
+                    dtype=np.int32,
+                )
+            )
+            rows.append(row)
+            indptr[i + 1] = indptr[i] + row.shape[0]
+        indices = (
+            np.concatenate(rows) if rows else np.zeros(0, dtype=np.int32)
+        )
+        return cls(nodes, index, indptr, indices, natural)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    def fingerprint(self) -> str:
+        """Stable hash of the graph structure (nodes + sorted edges)."""
+        digest = hashlib.sha256()
+        digest.update(repr(self.nodes).encode())
+        digest.update(self.indptr.tobytes())
+        digest.update(self.indices.tobytes())
+        return digest.hexdigest()[:24]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CsrGraph(nodes={self.num_nodes}, "
+            f"edges={self.indices.shape[0] // 2})"
+        )
+
+
+def _csr_level_bfs(
+    graph: CsrGraph,
+    source: int,
+    target: int = -1,
+    alive: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Array-frontier BFS over sorted CSR; returns the parent array.
+
+    Whole levels expand as NumPy index operations: gather every frontier
+    node's row, drop visited/masked candidates, and keep each node's
+    *first occurrence* in candidate order — which is exactly the parent
+    the scalar FIFO BFS assigns (frontier order × sorted-neighbour order),
+    so parent chains are bit-identical to
+    :func:`~repro.fluid.paths.bfs_shortest_path`.
+
+    ``target=-1`` builds the full tree; otherwise the search stops as soon
+    as a frontier node borders the target — detected against the *target's*
+    CSR row before the frontier is expanded, so the final (largest) level
+    is never gathered at all.  The early exit assigns the exact parent the
+    scalar loop would: the first frontier-order node with a live edge to
+    the target.  ``alive`` masks CSR entries (directed edges) out of the
+    traversal — the k-edge-disjoint loop's removed edges; the early-exit
+    check reads the target's own row positions, which is only equivalent
+    because that loop always masks both directions of an edge.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    ramp = graph.arange
+    num_nodes = indptr.shape[0] - 1
+    parent = np.full(num_nodes, -1, dtype=np.int32)
+    parent[source] = source
+    # Scratch for the first-occurrence dedup below; never reset — every
+    # entry read in a level was scatter-written in that same level.
+    stamp = np.empty(num_nodes, dtype=np.int32)
+    if target >= 0:
+        # The target's neighbourhood, for the pre-expansion exit check.
+        # ``fpos`` maps frontier nodes to their frontier position; stale
+        # entries from earlier levels are harmless — a node with a live
+        # edge to the target would already have ended the search when its
+        # level was checked.
+        t_start, t_end = int(indptr[target]), int(indptr[target + 1])
+        row_t = indices[t_start:t_end]
+        alive_t = None if alive is None else alive[t_start:t_end]
+        fpos = np.full(num_nodes, -1, dtype=np.int32)
+    frontier = np.array([source], dtype=np.int32)
+    while frontier.size:
+        if target >= 0:
+            fpos[frontier] = ramp[: frontier.shape[0]]
+            reach = fpos[row_t]
+            ok = reach >= 0
+            if alive_t is not None:
+                ok &= alive_t
+            if ok.any():
+                parent[target] = frontier[int(reach[ok].min())]
+                break
+        starts = indptr[frontier]
+        deg = indptr[frontier + 1] - starts
+        total = int(deg.sum())
+        if total == 0:
+            break
+        csum = deg.cumsum()
+        pos = ramp[:total] + (starts - (csum - deg)).repeat(deg)
+        cand = indices[pos]
+        keep_idx = None
+        if alive is not None:
+            live = alive[pos]
+            if not live.all():
+                keep_idx = live.nonzero()[0].astype(np.int32)
+                if keep_idx.shape[0] == 0:
+                    break
+                cand = cand[keep_idx]
+        # First occurrence of each candidate wins — the scalar FIFO parent
+        # assignment — found in O(m) by a reversed scatter (later writes
+        # win, so reversing makes the *earliest* position stick) instead
+        # of a sort-based unique.  Already-visited candidates dedup too,
+        # then drop in the (much smaller) per-node check below; their
+        # presence never displaces a new node's first occurrence.
+        order = ramp[: cand.shape[0]]
+        stamp[cand[::-1]] = order[::-1]
+        sel = (stamp[cand] == order).nonzero()[0].astype(np.int32)
+        fresh = cand[sel]
+        new = parent[fresh] == -1
+        if not new.all():
+            fresh = fresh[new]
+            sel = sel[new]
+        if fresh.shape[0] == 0:
+            break
+        level_pos = keep_idx[sel] if keep_idx is not None else sel
+        parent[fresh] = frontier.repeat(deg)[level_pos]
+        frontier = fresh
+    return parent
+
+
+def _parent_chain(
+    parent: np.ndarray, source: int, target: int
+) -> Optional[List[int]]:
+    """Source→target index path out of a BFS parent array, or ``None``."""
+    if parent[target] == -1:
+        return None
+    chain = [target]
+    while chain[-1] != source:
+        chain.append(int(parent[chain[-1]]))
+    chain.reverse()
+    return chain
+
+
+def _csr_k_edge_disjoint(
+    graph: CsrGraph, source: int, target: int, k: int
+) -> List[List[int]]:
+    """Greedy k edge-disjoint shortest index paths over masked CSR arrays.
+
+    The same construction as
+    :func:`~repro.fluid.paths.k_edge_disjoint_paths`: repeatedly take the
+    BFS shortest path and mask its edges (both directions — the symmetry
+    the BFS early-exit check relies on) before searching again.
+    """
+    alive: Optional[np.ndarray] = None
+    paths: List[List[int]] = []
+    for _ in range(k):
+        parent = _csr_level_bfs(graph, source, target, alive)
+        chain = _parent_chain(parent, source, target)
+        if chain is None:
+            break
+        paths.append(chain)
+        if alive is None:
+            alive = np.ones(graph.indices.shape[0], dtype=bool)
+        edge_positions = graph.edge_positions
+        for u, v in zip(chain, chain[1:]):
+            alive[edge_positions[(u, v)]] = False
+            alive[edge_positions[(v, u)]] = False
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Providers (protocol: prepare(pairs) / paths(src, dst) / paths_many(pairs))
+# ----------------------------------------------------------------------
+class ScalarDisjointProvider:
+    """The legacy per-pair BFS loops — the parity baseline provider."""
+
+    kind = "scalar"
+
+    def __init__(self, adjacency: Dict, k: int, method: str = "edge-disjoint"):
+        self._adjacency = adjacency
+        self._k = k
+        self._method = method
+
+    def prepare(self, pairs: Iterable[Pair]) -> None:
+        """Eagerly compute every pair (memoisation is the wrapper's job)."""
+        for source, dest in pairs:
+            self.paths(source, dest)
+
+    def paths(self, source, dest) -> List[Path]:
+        """The pair's path set (fewer than k when the graph runs out)."""
+        if self._method == "edge-disjoint":
+            return k_edge_disjoint_paths(self._adjacency, source, dest, self._k)
+        return k_shortest_paths(self._adjacency, source, dest, self._k)
+
+    def paths_many(self, pairs: Sequence[Pair]) -> List[List[Path]]:
+        """Path sets for every pair, in pair order."""
+        return [self.paths(source, dest) for source, dest in pairs]
+
+
+class CsrDisjointProvider:
+    """k edge-disjoint shortest paths via array-frontier BFS over CSR.
+
+    Output is byte-identical to :class:`ScalarDisjointProvider` with
+    ``method="edge-disjoint"`` — including the degenerate cases the scalar
+    loop produces (``src == dst`` yields ``k`` copies of the single-node
+    path; unknown endpoints yield an empty set).
+    """
+
+    kind = "csr"
+
+    def __init__(self, graph: CsrGraph, k: int):
+        self._graph = graph
+        self._k = k
+
+    def prepare(self, pairs: Iterable[Pair]) -> None:
+        """Eagerly compute every pair (memoisation is the wrapper's job)."""
+        for source, dest in pairs:
+            self.paths(source, dest)
+
+    def paths(self, source, dest) -> List[Path]:
+        """The pair's path set (fewer than k when the graph runs out)."""
+        if source == dest:
+            # Parity: the scalar loop re-finds the single-node path k times.
+            return [(source,)] * self._k
+        graph = self._graph
+        src = graph.index.get(source)
+        dst = graph.index.get(dest)
+        if src is None or dst is None:
+            return []
+        nodes = graph.nodes
+        return [
+            tuple(nodes[i] for i in chain)
+            for chain in _csr_k_edge_disjoint(graph, src, dst, self._k)
+        ]
+
+    def paths_many(self, pairs: Sequence[Pair]) -> List[List[Path]]:
+        """Path sets for every pair, in pair order."""
+        return [self.paths(source, dest) for source, dest in pairs]
+
+
+class _ArrayTree:
+    """BFS parent tree over CSR indices (vectorised discovery mode)."""
+
+    __slots__ = ("_graph", "_parent", "_root")
+
+    def __init__(self, graph: CsrGraph, parent: np.ndarray, root: int):
+        self._graph = graph
+        self._parent = parent
+        self._root = root
+
+    def path_from_root(self, node) -> Optional[Path]:
+        """Root → node path with root-side BFS tie-breaks, or ``None``."""
+        idx = self._graph.index.get(node)
+        if idx is None or self._parent[idx] == -1:
+            return None
+        chain = _parent_chain(self._parent, self._root, idx)
+        nodes = self._graph.nodes
+        return tuple(nodes[i] for i in chain)
+
+
+class _DictTree:
+    """BFS parent tree as a plain dict (scalar parity mode)."""
+
+    __slots__ = ("_parent", "_root")
+
+    def __init__(self, parent: Dict, root):
+        self._parent = parent
+        self._root = root
+
+    def path_from_root(self, node) -> Optional[Path]:
+        """Root → node path with root-side BFS tie-breaks, or ``None``."""
+        if node not in self._parent:
+            return None
+        chain = [node]
+        while chain[-1] != self._root:
+            chain.append(self._parent[chain[-1]])
+        return tuple(reversed(chain))
+
+
+def _dict_bfs_tree(adjacency: Dict, root) -> Dict:
+    """Full FIFO BFS parent map (adjacency rows must be pre-sorted)."""
+    parent = {root: root}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbour in adjacency.get(node, ()):
+            if neighbour not in parent:
+                parent[neighbour] = node
+                queue.append(neighbour)
+    return parent
+
+
+class LandmarkProvider:
+    """SilentWhispers pair paths assembled from shared BFS trees.
+
+    The legacy scheme ran two fresh BFS searches per (pair, landmark).
+    Both legs come out of full BFS trees instead — one tree per landmark
+    (the ``landmark → dest`` leg for every destination) and one per
+    distinct source (the ``source → landmark`` leg for every landmark) —
+    with tie-breaks identical to the per-pair searches, because a BFS
+    parent chain is the same whether or not the search stopped early.
+    Landmark trees and assembled pair sets are memoised for the
+    provider's lifetime; source trees are O(nodes) each, so they live in
+    a bounded FIFO (an evicted source only pays a tree rebuild when it
+    later sends to a *new* destination — known pairs stay memoised).
+    """
+
+    kind = "landmark"
+    #: Source-rooted trees kept at once (landmark trees are unbounded —
+    #: there are only ``num_landmarks`` of them and every pair reuses
+    #: them).  64 trees × O(4·nodes) bytes stays a few MB at 10k nodes.
+    source_tree_limit = 64
+
+    def __init__(self, service: "PathService", landmarks: Sequence):
+        self._service = service
+        self.landmarks = list(landmarks)
+        self._trees: Dict[object, object] = {}
+        self._source_trees: Dict[object, object] = {}
+        self._pairs: Dict[Pair, List[Path]] = {}
+
+    def _tree(self, root):
+        tree = self._trees.get(root)
+        if tree is None:
+            tree = self._service.bfs_tree(root)
+            self._trees[root] = tree
+        return tree
+
+    def _source_tree(self, source):
+        if source in self._trees:  # a landmark sending: reuse its tree
+            return self._trees[source]
+        tree = self._source_trees.get(source)
+        if tree is None:
+            tree = self._service.bfs_tree(source)
+            if len(self._source_trees) >= self.source_tree_limit:
+                self._source_trees.pop(next(iter(self._source_trees)))
+            self._source_trees[source] = tree
+        return tree
+
+    def prepare(self, pairs: Iterable[Pair]) -> None:
+        """Assemble (and memoise) every pair's landmark path set."""
+        for source, dest in pairs:
+            self.paths(source, dest)
+
+    def paths(self, source, dest) -> List[Path]:
+        """One loop-free path per landmark (deduplicated), memoised."""
+        key = (source, dest)
+        cached = self._pairs.get(key)
+        if cached is not None:
+            return cached
+        paths: List[Path] = []
+        seen = set()
+        source_tree = self._source_tree(source)
+        for landmark in self.landmarks:
+            first = source_tree.path_from_root(landmark)
+            second = self._tree(landmark).path_from_root(dest)
+            if first is None or second is None:
+                continue
+            merged = contract_loops(first + second[1:])
+            if len(merged) < 2 or merged[0] != source or merged[-1] != dest:
+                continue
+            if merged not in seen:
+                seen.add(merged)
+                paths.append(merged)
+        self._pairs[key] = paths
+        return paths
+
+    def paths_many(self, pairs: Sequence[Pair]) -> List[List[Path]]:
+        """Path sets for every pair, in pair order."""
+        return [self.paths(source, dest) for source, dest in pairs]
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+class PersistentCache:
+    """Provider wrapper: in-process memoisation + on-disk path artifacts.
+
+    Pair sets live in a process-wide store keyed by the
+    topology/k/method/provider hash, so two networks with identical
+    adjacency (repeat runs, multi-scheme comparisons, sweep cells in one
+    process) share one computation.  :meth:`persist_to` attaches a cache
+    directory: known artifacts are loaded eagerly and :meth:`flush`
+    (called by :meth:`prepare` and at session end) writes the merged pair
+    sets back atomically — the same share-by-content discipline as the
+    sweep JSON cache, so ``SweepExecutor`` workers load discovery from
+    disk instead of recomputing it per cell.
+    """
+
+    _ARTIFACT_SCHEMA = 1
+    #: Process-wide pair stores, keyed by the full cache key.
+    _shared: Dict[str, Dict[Pair, List[Path]]] = {}
+
+    def __init__(self, provider, key: str, cache_dir: Optional[str] = None):
+        self.provider = provider
+        self.key = key
+        self._pairs = self._shared.setdefault(key, {})
+        self._dir: Optional[str] = None
+        self._dirty = False
+        if cache_dir is not None:
+            self.persist_to(cache_dir)
+
+    @classmethod
+    def clear_shared(cls) -> None:
+        """Drop the process-wide stores (tests and cold benchmarks)."""
+        cls._shared.clear()
+
+    # -- discovery ------------------------------------------------------
+    def paths(self, source, dest) -> List[Path]:
+        """The pair's path set, computed at most once per process."""
+        key = (source, dest)
+        if key not in self._pairs:
+            self._pairs[key] = self.provider.paths(source, dest)
+            self._dirty = True
+        return self._pairs[key]
+
+    def paths_many(self, pairs: Sequence[Pair]) -> List[List[Path]]:
+        """Path sets for every pair, in pair order."""
+        return [self.paths(source, dest) for source, dest in pairs]
+
+    def prepare(self, pairs: Iterable[Pair]) -> None:
+        """Batch-compute every missing pair, then flush the artifact."""
+        missing = [
+            (source, dest)
+            for source, dest in pairs
+            if (source, dest) not in self._pairs
+        ]
+        if missing:
+            for pair, paths in zip(missing, self.provider.paths_many(missing)):
+                self._pairs[pair] = paths
+            self._dirty = True
+        self.flush()
+
+    # -- disk artifacts -------------------------------------------------
+    def persist_to(self, cache_dir: str) -> None:
+        """Attach ``cache_dir`` and load this key's artifact if present."""
+        self._dir = cache_dir
+        loaded = self._read_artifact()
+        if loaded:
+            for pair, paths in loaded.items():
+                self._pairs.setdefault(pair, paths)
+        if any(pair not in loaded for pair in self._pairs):
+            # The process-wide store already holds pairs the artifact
+            # lacks (discovered before this directory was attached, by
+            # this or an earlier service instance) — mark dirty so the
+            # next flush writes them out rather than silently skipping.
+            self._dirty = True
+
+    def _artifact_path(self) -> Optional[str]:
+        if self._dir is None:
+            return None
+        return os.path.join(self._dir, f"paths-{self.key}.json")
+
+    def _read_artifact(self) -> Dict[Pair, List[Path]]:
+        path = self._artifact_path()
+        if path is None or not os.path.exists(path):
+            return {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return {
+                (source, dest): [tuple(p) for p in paths]
+                for source, dest, paths in payload["pairs"]
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return {}  # unreadable artifacts are simply recomputed
+
+    def flush(self) -> None:
+        """Write the merged pair sets to the artifact (atomic replace).
+
+        A no-op without a cache directory or new pairs; silently skips
+        node ids JSON cannot represent (artifacts are for the integer
+        topologies the experiments use).
+        """
+        path = self._artifact_path()
+        if path is None or not self._dirty:
+            return
+        merged = self._read_artifact()
+        merged.update(self._pairs)
+        payload = {
+            "schema": self._ARTIFACT_SCHEMA,
+            "key": self.key,
+            "pairs": [
+                [source, dest, [list(p) for p in paths]]
+                for (source, dest), paths in sorted(
+                    merged.items(), key=repr
+                )
+            ],
+        }
+        try:
+            blob = json.dumps(payload, sort_keys=True)
+        except TypeError:
+            return
+        os.makedirs(self._dir, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+        self._dirty = False
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class PairPathView:
+    """A :class:`~repro.routing.base.PathCache`-compatible (k, method) view.
+
+    What ``RoutingScheme.prepare`` hands to schemes as ``self.path_cache``:
+    the same ``paths`` / ``shortest`` / ``k`` surface, served by the
+    session's shared service instead of a private per-scheme cache.
+    """
+
+    __slots__ = ("_cache", "_k")
+
+    def __init__(self, cache: PersistentCache, k: int):
+        self._cache = cache
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        """Paths requested per pair."""
+        return self._k
+
+    def paths(self, source, dest) -> List[Path]:
+        """The pair's path set (possibly fewer than k; empty if
+        disconnected)."""
+        return self._cache.paths(source, dest)
+
+    def shortest(self, source, dest) -> Optional[Path]:
+        """The pair's shortest path, or ``None`` if disconnected."""
+        paths = self._cache.paths(source, dest)
+        return paths[0] if paths else None
+
+    def paths_many(self, pairs: Sequence[Pair]) -> List[List[Path]]:
+        """Path sets for every pair, in pair order."""
+        return self._cache.paths_many(pairs)
+
+    def prepare(self, pairs: Iterable[Pair]) -> None:
+        """Batch-discover ``pairs`` and flush the disk artifact (if any)."""
+        self._cache.prepare(pairs)
+
+
+class PathService:
+    """One network's path-discovery facade — the only discovery entry point.
+
+    Owns the sorted adjacency (built once, shared by every consumer that
+    previously re-derived it), compiles the CSR graph lazily, and serves
+    (k, method) :class:`PairPathView` views whose pair sets are memoised
+    process-wide and optionally persisted via :class:`PersistentCache`.
+
+    ``vectorized_discovery`` is the class-wide mode switch: ``True``
+    (default) discovers through the CSR array-frontier BFS, ``False``
+    keeps every provider on the scalar per-pair loops — the parity
+    baseline, mirroring ``PaymentNetwork.vectorized_path_ops`` and
+    ``ControlPlane.vectorized_signals``.
+    """
+
+    #: Class-wide default, captured per instance at construction.
+    vectorized_discovery: bool = True
+
+    def __init__(self, adjacency: Dict, cache_dir: Optional[str] = None):
+        self._adjacency: Dict[object, List] = {
+            node: _sorted_ids(neighbours)[0]
+            for node, neighbours in adjacency.items()
+        }
+        self.use_vectorized = type(self).vectorized_discovery
+        self._cache_dir = cache_dir
+        self._graph: Optional[CsrGraph] = None
+        self._fingerprint: Optional[str] = None
+        self._views: Dict[Tuple[int, str], PersistentCache] = {}
+        self._landmark_providers: Dict[int, LandmarkProvider] = {}
+
+    @classmethod
+    def from_network(cls, network, cache_dir: Optional[str] = None) -> "PathService":
+        """Build the service over a
+        :class:`~repro.network.network.PaymentNetwork`'s channel graph."""
+        return cls(
+            {node: list(network.neighbors(node)) for node in network.nodes()},
+            cache_dir=cache_dir,
+        )
+
+    @classmethod
+    def from_adjacency(cls, adjacency: Dict, cache_dir: Optional[str] = None) -> "PathService":
+        """Build the service over a plain adjacency mapping."""
+        return cls(adjacency, cache_dir=cache_dir)
+
+    # -- shared graph structure ----------------------------------------
+    def sorted_adjacency(self) -> Dict[object, List]:
+        """``{node: sorted neighbour list}`` — built once per network.
+
+        The explicit neighbour ordering every BFS tie-break derives from;
+        consumers (LND's gossip view, the embedding trees) must not
+        mutate it.
+        """
+        return self._adjacency
+
+    @property
+    def graph(self) -> CsrGraph:
+        """The compiled CSR adjacency (built lazily, cached)."""
+        if self._graph is None:
+            self._graph = CsrGraph.from_adjacency(self._adjacency)
+        return self._graph
+
+    @property
+    def topology_fingerprint(self) -> str:
+        """Stable content hash of the channel graph (artifact keying)."""
+        if self._fingerprint is None:
+            self._fingerprint = self.graph.fingerprint()
+        return self._fingerprint
+
+    def _vectorized_ok(self) -> bool:
+        return self.use_vectorized and self.graph.consistent
+
+    # -- providers ------------------------------------------------------
+    def provider(self, k: int, method: str = "edge-disjoint") -> PersistentCache:
+        """The (k, method) discovery provider, wrapped for caching.
+
+        ``edge-disjoint`` runs on the CSR provider in vectorised mode;
+        ``yen`` (and the scalar parity mode) uses the legacy loops.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if method not in ("edge-disjoint", "yen"):
+            raise ValueError(f"unknown path method {method!r}")
+        view_key = (k, method)
+        cache = self._views.get(view_key)
+        if cache is None:
+            if method == "edge-disjoint" and self._vectorized_ok():
+                inner = CsrDisjointProvider(self.graph, k)
+            else:
+                inner = ScalarDisjointProvider(self._adjacency, k, method)
+            cache_key = (
+                f"{self.topology_fingerprint}-k{k}-{method}-{inner.kind}"
+            )
+            cache = PersistentCache(inner, cache_key, self._cache_dir)
+            self._views[view_key] = cache
+        return cache
+
+    def view(self, k: int, method: str = "edge-disjoint") -> PairPathView:
+        """A PathCache-compatible view of the (k, method) provider."""
+        return PairPathView(self.provider(k, method), k)
+
+    def landmark_provider(self, num_landmarks: int) -> LandmarkProvider:
+        """The tree-backed landmark provider (landmarks = top degree).
+
+        Landmark selection matches the SilentWhispers scheme: the
+        ``num_landmarks`` highest-degree nodes, ties broken by node id.
+        """
+        if num_landmarks <= 0:
+            raise ValueError(
+                f"num_landmarks must be positive, got {num_landmarks}"
+            )
+        provider = self._landmark_providers.get(num_landmarks)
+        if provider is None:
+            adjacency = self._adjacency
+            by_degree = sorted(
+                adjacency, key=lambda n: (-len(adjacency[n]), n)
+            )
+            provider = LandmarkProvider(self, by_degree[:num_landmarks])
+            self._landmark_providers[num_landmarks] = provider
+        return provider
+
+    def bfs_tree(self, root):
+        """A full BFS parent tree rooted at ``root`` (mode-matched).
+
+        Array-backed in vectorised mode, dict-backed in scalar parity
+        mode; parent chains are identical either way (pinned).
+        """
+        if root not in self._adjacency:
+            return _DictTree({root: root}, root)
+        if self._vectorized_ok():
+            graph = self.graph
+            parent = _csr_level_bfs(graph, graph.index[root])
+            return _ArrayTree(graph, parent, graph.index[root])
+        return _DictTree(_dict_bfs_tree(self._adjacency, root), root)
+
+    # -- convenience discovery -----------------------------------------
+    def paths(self, source, dest, k: int = 4, method: str = "edge-disjoint") -> List[Path]:
+        """One pair's path set through the (k, method) provider."""
+        return self.provider(k, method).paths(source, dest)
+
+    def paths_many(
+        self, pairs: Sequence[Pair], k: int = 4, method: str = "edge-disjoint"
+    ) -> List[List[Path]]:
+        """Path sets for every pair, in pair order."""
+        return self.provider(k, method).paths_many(pairs)
+
+    def prepare(
+        self, pairs: Iterable[Pair], k: int = 4, method: str = "edge-disjoint"
+    ) -> None:
+        """Batch-discover ``pairs`` and flush the artifact (if persisted)."""
+        self.provider(k, method).prepare(pairs)
+
+    # -- persistence ----------------------------------------------------
+    def persist_to(self, cache_dir: str) -> None:
+        """Attach a cache directory to current and future providers."""
+        self._cache_dir = cache_dir
+        for cache in self._views.values():
+            cache.persist_to(cache_dir)
+
+    def flush(self) -> None:
+        """Write every provider's dirty pair sets to its artifact."""
+        for cache in self._views.values():
+            cache.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PathService(nodes={len(self._adjacency)}, "
+            f"views={len(self._views)}, "
+            f"vectorized={self.use_vectorized})"
+        )

@@ -34,7 +34,7 @@ partial-lock rollback side effects on a mid-path
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -231,6 +231,20 @@ class PathTable:
         compiled = CompiledPath(key, cids, sides, base_fees, fee_rates)
         self._compiled[key] = compiled
         return compiled
+
+    def compile_many(
+        self, path_sets: Iterable[Sequence[Sequence[int]]]
+    ) -> None:
+        """Compile every path of an iterable of path sets.
+
+        Accepts :meth:`PathService.paths_many
+        <repro.engine.pathservice.PathService.paths_many>` output
+        directly, so discovery → compiled store-index arrays is one
+        pipeline: ``table.compile_many(service.paths_many(pairs))``.
+        """
+        for paths in path_sets:
+            for path in paths:
+                self.compile(path)
 
     # ------------------------------------------------------------------
     # Probes

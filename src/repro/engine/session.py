@@ -105,6 +105,11 @@ class SimulationSession:
         Optional ``(kind, kwargs)`` pair forcing a specific
         :mod:`repro.engine.transport` layer regardless of the scheme's
         declarations — the hook the legacy runtime shims use.
+    path_cache_dir:
+        Optional directory for persistent path-discovery artifacts: the
+        network's :class:`~repro.engine.pathservice.PathService` loads
+        known pair path sets from it before the scheme prepares and
+        writes newly discovered ones back when the run finishes.
     """
 
     def __init__(
@@ -116,6 +121,7 @@ class SimulationSession:
         collector: Optional[MetricsCollector] = None,
         quantum: float = DEFAULT_QUANTUM,
         transport_spec: Optional[Tuple[str, Dict[str, object]]] = None,
+        path_cache_dir: Optional[str] = None,
     ):
         self.network = network
         self.records = sorted(records, key=lambda r: r.arrival_time)
@@ -132,6 +138,7 @@ class SimulationSession:
         self._delegate = None  # set when a legacy runtime runs the trace
         self.transport = None  # set when the scheme declares a native transport
         self._transport_spec = transport_spec
+        self._path_cache_dir = path_cache_dir
         self._finished = False
         self._confirm_ticks = self.sim.clock.to_ticks(self.config.confirmation_delay)
         #: tick -> units resolving at that tick (coalesced store writes).
@@ -154,6 +161,7 @@ class SimulationSession:
         config: "ExperimentConfig",
         collector: Optional[MetricsCollector] = None,
         quantum: float = DEFAULT_QUANTUM,
+        path_cache_dir: Optional[str] = None,
     ) -> "SimulationSession":
         """Build the session one :class:`ExperimentConfig` fully describes.
 
@@ -169,6 +177,7 @@ class SimulationSession:
             config.build_runtime_config(),
             collector=collector,
             quantum=quantum,
+            path_cache_dir=path_cache_dir,
         )
 
     # ------------------------------------------------------------------
@@ -185,6 +194,15 @@ class SimulationSession:
     def end_time(self) -> float:
         """When this run stops."""
         return self._end_time
+
+    @property
+    def path_service(self):
+        """The session's shared path-discovery service (one per network).
+
+        Schemes resolve their pair path sets through it in ``prepare``;
+        see :mod:`repro.engine.pathservice`.
+        """
+        return self.network.path_service
 
     @property
     def events_processed(self) -> int:
@@ -212,13 +230,20 @@ class SimulationSession:
             return self.collector.finalize(
                 scheme=self.scheme.name, network=self.network, duration=0.0
             )
+        if self._path_cache_dir is not None:
+            # Load known path artifacts before the scheme prepares; newly
+            # discovered pair sets are written back at the end of the run.
+            self.network.path_service.persist_to(self._path_cache_dir)
         if self._transport_spec is None and _needs_legacy_runtime(self.scheme):
             from repro.experiments.runner import build_runtime
 
             self._delegate = build_runtime(
                 self.network, self.records, self.scheme, self.config, self.collector
             )
-            return self._delegate.run()
+            metrics = self._delegate.run()
+            if self._path_cache_dir is not None:
+                self.network.path_service.flush()
+            return metrics
 
         engine = self.sim
         clock = engine.clock
@@ -249,6 +274,8 @@ class SimulationSession:
         self._poll_timer = engine.every(self.config.poll_interval, self._poll)
         engine.run(until=self._end_time)
         self._finish()
+        if self._path_cache_dir is not None:
+            self.network.path_service.flush()
         control = self.network.peek_control_plane()
         if control is not None:
             # Congestion columns read straight off the control-plane

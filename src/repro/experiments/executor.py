@@ -34,7 +34,43 @@ from repro.experiments.config import ExperimentConfig
 from repro.metrics.collectors import ExperimentMetrics
 from repro.simulator.rng import derive_seed
 
-__all__ = ["SweepCell", "SweepExecutor", "derive_cell_seed"]
+__all__ = [
+    "SweepCell",
+    "SweepExecutor",
+    "derive_cell_seed",
+    "precompute_trace_paths",
+]
+
+
+def precompute_trace_paths(
+    config: ExperimentConfig,
+    cache_dir: str,
+    budgets: Sequence[int] = (4,),
+):
+    """Discover a config's trace pair path sets once and persist them.
+
+    Builds the config's topology, network and workload exactly as
+    :meth:`ExperimentConfig.build_simulation_inputs` does (same node
+    ordering, so the trace pairs match what a real run will ask for),
+    then batch-discovers each ``k`` in ``budgets`` through the network's
+    :class:`~repro.engine.pathservice.PathService` and writes the
+    artifacts to ``cache_dir``.  Shared by
+    :meth:`SweepExecutor.run_cells`'s parent-side precompute and the
+    ``spider-repro paths precompute`` CLI.  Returns ``(pairs, service)``.
+    """
+    topology = config.build_topology()
+    network = topology.build_network(
+        default_capacity=config.capacity,
+        base_fee=config.base_fee,
+        fee_rate=config.fee_rate,
+    )
+    records = config.build_workload(list(topology.nodes))
+    pairs = sorted({(record.source, record.dest) for record in records})
+    service = network.path_service
+    service.persist_to(cache_dir)
+    for k in sorted({int(k) for k in budgets}):
+        service.prepare(pairs, k=k)
+    return pairs, service
 
 
 def derive_cell_seed(base_seed: int, field: str, value: object) -> int:
@@ -74,12 +110,14 @@ def _config_fingerprint(config: ExperimentConfig, engine: str) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def _run_cell(payload: Tuple[int, ExperimentConfig, str]) -> Tuple[int, Dict[str, object]]:
+def _run_cell(
+    payload: Tuple[int, ExperimentConfig, str, Optional[str]]
+) -> Tuple[int, Dict[str, object]]:
     """Worker entry point: run one cell, return ``(index, metrics dict)``."""
-    index, config, engine = payload
+    index, config, engine, path_cache_dir = payload
     from repro.experiments.runner import run_experiment
 
-    metrics = run_experiment(config, engine=engine)
+    metrics = run_experiment(config, engine=engine, path_cache_dir=path_cache_dir)
     return index, metrics.to_dict()
 
 
@@ -104,6 +142,13 @@ class SweepExecutor:
         seed via :func:`derive_cell_seed`.  When false, every cell keeps
         the base config's seed, matching the serial
         :func:`repro.experiments.sweeps.parameter_sweep` exactly.
+    path_cache_dir:
+        Directory for persistent path-discovery artifacts (see
+        :class:`~repro.engine.pathservice.PersistentCache`).  Defaults to
+        ``<cache_dir>/paths`` when ``cache_dir`` is set.  Before cells are
+        dispatched the executor batch-discovers each distinct topology's
+        trace pair sets once in the parent process, so workers load
+        discovery from disk instead of recomputing it per cell.
     """
 
     def __init__(
@@ -113,6 +158,7 @@ class SweepExecutor:
         cache_dir: Optional[str] = None,
         engine: str = "session",
         reseed_cells: bool = True,
+        path_cache_dir: Optional[str] = None,
     ):
         if engine not in ("session", "legacy"):
             raise ConfigError(f"unknown engine {engine!r}; use 'session' or 'legacy'")
@@ -121,6 +167,9 @@ class SweepExecutor:
         self.cache_dir = cache_dir
         self.engine = engine
         self.reseed_cells = reseed_cells
+        if path_cache_dir is None and cache_dir is not None:
+            path_cache_dir = os.path.join(cache_dir, "paths")
+        self.path_cache_dir = path_cache_dir
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -157,7 +206,7 @@ class SweepExecutor:
         over the worker pool (completion order never affects results).
         """
         results: Dict[int, ExperimentMetrics] = {}
-        todo: List[Tuple[int, ExperimentConfig, str]] = []
+        todo: List[Tuple[int, ExperimentConfig, str, Optional[str]]] = []
         keys: Dict[int, str] = {}
         for cell in cells:
             key = _config_fingerprint(cell.config, self.engine)
@@ -168,8 +217,12 @@ class SweepExecutor:
                 results[cell.index] = cached
             else:
                 self.cache_misses += 1
-                todo.append((cell.index, cell.config, self.engine))
+                todo.append(
+                    (cell.index, cell.config, self.engine, self.path_cache_dir)
+                )
 
+        if todo and self.path_cache_dir is not None:
+            self._precompute_paths([config for _, config, _, _ in todo])
         if todo:
             if self.processes <= 1 or len(todo) == 1:
                 finished = [_run_cell(payload) for payload in todo]
@@ -204,6 +257,47 @@ class SweepExecutor:
     ) -> Dict[Tuple[str, float], ExperimentMetrics]:
         """Parallel Fig. 7: success metrics as per-channel capacity varies."""
         return self.parameter_sweep("capacity", list(capacities), schemes)
+
+    # ------------------------------------------------------------------
+    # Path-discovery precompute
+    # ------------------------------------------------------------------
+    def _precompute_paths(self, configs: Sequence[ExperimentConfig]) -> None:
+        """Discover each distinct topology's trace pair sets once.
+
+        Cells sharing topology and workload parameters (a capacity sweep,
+        multiple schemes on one trace) resolve to one batched discovery
+        pass whose artifact every worker then loads from
+        ``path_cache_dir``.  Only schemes with a ``num_paths`` budget
+        (the k edge-disjoint family) are precomputable; other schemes
+        discover lazily in the worker as before.
+        """
+        from repro.routing.registry import make_scheme
+
+        groups: Dict[Tuple, List[ExperimentConfig]] = {}
+        for config in configs:
+            key = (
+                config.topology,
+                config.seed,
+                config.num_transactions,
+                config.arrival_rate,
+                config.sizes,
+                config.sender_exponential_scale,
+                config.rotation_interval,
+                config.deadline,
+            )
+            groups.setdefault(key, []).append(config)
+        for members in groups.values():
+            budgets = set()
+            for config in members:
+                scheme = make_scheme(config.scheme, **config.scheme_params)
+                num_paths = getattr(scheme, "num_paths", None)
+                if num_paths is not None:
+                    budgets.add(int(num_paths))
+            if not budgets:
+                continue
+            precompute_trace_paths(
+                members[0], self.path_cache_dir, budgets=budgets
+            )
 
     # ------------------------------------------------------------------
     # Cache plumbing

@@ -65,7 +65,11 @@ def build_session(
     return SimulationSession.from_config(config, collector=collector)
 
 
-def run_experiment(config: ExperimentConfig, engine: str = "session") -> ExperimentMetrics:
+def run_experiment(
+    config: ExperimentConfig,
+    engine: str = "session",
+    path_cache_dir: Optional[str] = None,
+) -> ExperimentMetrics:
     """Run one scheme on one topology/workload; returns the run metrics.
 
     The workload and topology depend only on the config's seed and
@@ -80,14 +84,26 @@ def run_experiment(config: ExperimentConfig, engine: str = "session") -> Experim
     behind the session facade.  ``engine="legacy"`` forces the deprecated
     float-time path for every scheme (the determinism parity tests compare
     both).
+
+    ``path_cache_dir`` points the run's
+    :class:`~repro.engine.pathservice.PathService` at a persistent
+    path-artifact directory: pair path sets computed by earlier runs over
+    the same topology are loaded instead of recomputed.
     """
     if engine == "session":
-        return SimulationSession.from_config(config).run()
+        return SimulationSession.from_config(
+            config, path_cache_dir=path_cache_dir
+        ).run()
     if engine != "legacy":
         raise ConfigError(f"unknown engine {engine!r}; use 'session' or 'legacy'")
     network, records, scheme = config.build_simulation_inputs()
+    if path_cache_dir is not None:
+        network.path_service.persist_to(path_cache_dir)
     runtime = build_runtime(network, records, scheme, config.build_runtime_config())
-    return runtime.run()
+    metrics = runtime.run()
+    if path_cache_dir is not None:
+        network.path_service.flush()
+    return metrics
 
 
 def compare_schemes(
@@ -95,10 +111,15 @@ def compare_schemes(
     schemes: Sequence[str],
     scheme_params: Optional[Dict[str, Dict[str, object]]] = None,
     engine: str = "session",
+    path_cache_dir: Optional[str] = None,
 ) -> List[ExperimentMetrics]:
     """Run several schemes against the identical trace (Fig. 6 layout).
 
     ``scheme_params`` optionally maps scheme name → constructor kwargs.
+    Within one process the schemes already share discovered pair sets
+    (the PathService memoises process-wide per topology);
+    ``path_cache_dir`` additionally shares them across processes and
+    invocations.
     """
     scheme_params = scheme_params or {}
     results = []
@@ -106,5 +127,7 @@ def compare_schemes(
         config = base_config.with_overrides(
             scheme=scheme, scheme_params=scheme_params.get(scheme, {})
         )
-        results.append(run_experiment(config, engine=engine))
+        results.append(
+            run_experiment(config, engine=engine, path_cache_dir=path_cache_dir)
+        )
     return results

@@ -226,17 +226,34 @@ def build_path_set(
     ------
     NoPathError
         If some requested pair is disconnected.
+
+    Notes
+    -----
+    ``edge-disjoint`` and ``yen`` sets are discovered through a
+    :class:`~repro.engine.pathservice.PathService` over ``adj`` — the CSR
+    array-frontier BFS plus the process-wide pair memoisation — so fluid
+    LP / primal-dual path-set construction shares artifacts with the
+    routing schemes.  ``all`` enumerates in place (exact LPs on small
+    graphs only).
     """
+    pair_list = list(pairs)
     path_set: Dict[Tuple[NodeId, NodeId], List[Path]] = {}
-    for source, target in pairs:
-        if method == "edge-disjoint":
-            paths = k_edge_disjoint_paths(adj, source, target, k)
-        elif method == "yen":
-            paths = k_shortest_paths(adj, source, target, k)
-        elif method == "all":
-            paths = all_simple_paths(adj, source, target, cutoff=cutoff)
-        else:
-            raise ValueError(f"unknown path method {method!r}")
+    if method in ("edge-disjoint", "yen"):
+        # Imported here: pathservice depends on this module.
+        from repro.engine.pathservice import PathService
+
+        service = PathService.from_adjacency(adj)
+        for (source, target), paths in zip(
+            pair_list, service.paths_many(pair_list, k=k, method=method)
+        ):
+            if not paths:
+                raise NoPathError(f"no path from {source!r} to {target!r}")
+            path_set[(source, target)] = paths
+        return path_set
+    if method != "all":
+        raise ValueError(f"unknown path method {method!r}")
+    for source, target in pair_list:
+        paths = all_simple_paths(adj, source, target, cutoff=cutoff)
         if not paths:
             raise NoPathError(f"no path from {source!r} to {target!r}")
         path_set[(source, target)] = paths

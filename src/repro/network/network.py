@@ -80,6 +80,7 @@ class PaymentNetwork:
         self._directions: Dict[Tuple[NodeId, NodeId], Tuple[PaymentChannel, int, int]] = {}
         self._path_table: Optional[PathTable] = None
         self._control_plane: Optional[ControlPlane] = None
+        self._path_service = None
         self.use_path_table = type(self).vectorized_path_ops
 
     # ------------------------------------------------------------------
@@ -232,6 +233,24 @@ class PaymentNetwork:
         if self._path_table is None:
             self._path_table = PathTable(self)
         return self._path_table
+
+    @property
+    def path_service(self):
+        """The network's path-discovery service (created lazily).
+
+        One :class:`~repro.engine.pathservice.PathService` per network —
+        the only way the system discovers paths: every routing scheme,
+        the fluid path-set builders and the CLI resolve pair path sets
+        through it, so the sorted adjacency and the pair sets are built
+        once and shared instead of once per scheme.
+        """
+        if self._path_service is None:
+            # Imported lazily: pathservice pulls in the fluid package,
+            # which this module must not depend on at import time.
+            from repro.engine.pathservice import PathService
+
+            self._path_service = PathService.from_network(self)
+        return self._path_service
 
     @property
     def control_plane(self) -> ControlPlane:

@@ -10,8 +10,15 @@ The runtime calls :meth:`RoutingScheme.attempt`:
 * at arrival and at every poll for **non-atomic** schemes, while the
   payment has remaining value and has not expired.
 
-:class:`PathCache` provides the shared "k edge-disjoint shortest paths per
-pair" path sets (§6.1) with lazy computation and memoisation.
+Path discovery goes through the network's shared
+:class:`~repro.engine.pathservice.PathService`: the default
+:meth:`RoutingScheme.prepare` hands schemes a
+:class:`~repro.engine.pathservice.PairPathView` as ``self.path_cache`` —
+the same ``paths`` / ``shortest`` / ``k`` surface :class:`PathCache`
+exposed, but served from one per-network service (CSR array BFS,
+process-wide memoisation, optional disk artifacts) instead of a private
+per-scheme cache.  :class:`PathCache` itself remains as the standalone
+scalar reference implementation.
 """
 
 from __future__ import annotations
@@ -102,13 +109,15 @@ class RoutingScheme(abc.ABC):
     def prepare(self, runtime: "Runtime") -> None:
         """One-time setup before the trace starts (path/LP precomputation).
 
-        The default implementation builds a :class:`PathCache` as
+        The default implementation binds the network's shared
+        :class:`~repro.engine.pathservice.PathService` view as
         ``self.path_cache`` if the subclass declared a ``num_paths``
-        attribute.
+        attribute — repeated runs and multi-scheme comparisons over the
+        same topology share one set of pair computations.
         """
         num_paths = getattr(self, "num_paths", None)
         if num_paths is not None:
-            self.path_cache = PathCache.from_network(runtime.network, k=num_paths)
+            self.path_cache = runtime.network.path_service.view(k=num_paths)
 
     @abc.abstractmethod
     def attempt(self, payment: "Payment", runtime: "Runtime") -> None:

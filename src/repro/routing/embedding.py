@@ -99,8 +99,9 @@ class SpeedyMurmursScheme(RoutingScheme):
         self._adjacency: Dict[int, List[int]] = {}
 
     def prepare(self, runtime: "Runtime") -> None:
-        network = runtime.network
-        self._adjacency = {n: sorted(network.neighbors(n)) for n in network.nodes()}
+        # Shared sorted adjacency from the network's PathService (one
+        # construction per network; treated as read-only here).
+        self._adjacency = runtime.network.path_service.sorted_adjacency()
         rng = make_rng(self.seed)
         by_degree = sorted(
             self._adjacency, key=lambda n: (-len(self._adjacency[n]), n)

@@ -16,13 +16,20 @@ Faithful simplifications (documented in DESIGN.md):
   machinery is out of scope;
 * paths are concatenations shortest(s→l) ⧺ shortest(l→d) with any loops
   contracted, matching the landmark-tree construction on a static topology.
+
+Discovery runs through the network's shared
+:class:`~repro.engine.pathservice.PathService`: a
+:class:`~repro.engine.pathservice.LandmarkProvider` assembles both legs
+from memoised BFS trees (one per landmark plus one per distinct source)
+instead of two fresh per-pair searches, with identical tie-breaks —
+a BFS parent chain is the same whether or not the search stopped early.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from repro.fluid.paths import bfs_shortest_path
+from repro.engine.pathservice import LandmarkProvider, contract_loops
 from repro.routing.base import RoutingScheme
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,27 +40,6 @@ __all__ = ["LandmarkScheme", "contract_loops"]
 
 Path = Tuple[int, ...]
 _EPS = 1e-9
-
-
-def contract_loops(path: Sequence[int]) -> Path:
-    """Remove loops from a node sequence, keeping first occurrences.
-
-    ``(s, a, b, a, d)`` contracts to ``(s, a, d)``: when a node re-appears,
-    everything since its first visit is dropped.  The result is a simple
-    path usable for HTLC locking.
-    """
-    out: List[int] = []
-    seen: Dict[int, int] = {}
-    for node in path:
-        if node in seen:
-            del out[seen[node] + 1 :]
-            for removed in list(seen):
-                if seen[removed] > seen[node]:
-                    del seen[removed]
-            continue
-        seen[node] = len(out)
-        out.append(node)
-    return tuple(out)
 
 
 class LandmarkScheme(RoutingScheme):
@@ -67,38 +53,18 @@ class LandmarkScheme(RoutingScheme):
             raise ValueError(f"num_landmarks must be positive, got {num_landmarks}")
         self.num_landmarks = num_landmarks
         self._landmarks: List[int] = []
-        self._adjacency: Dict[int, List[int]] = {}
-        self._path_cache: Dict[Tuple[int, int], List[Path]] = {}
+        self._provider: Optional[LandmarkProvider] = None
 
     def prepare(self, runtime: "Runtime") -> None:
-        network = runtime.network
-        self._adjacency = {n: sorted(network.neighbors(n)) for n in network.nodes()}
-        by_degree = sorted(
-            self._adjacency, key=lambda n: (-len(self._adjacency[n]), n)
+        provider = runtime.network.path_service.landmark_provider(
+            self.num_landmarks
         )
-        self._landmarks = by_degree[: self.num_landmarks]
-        self._path_cache = {}
+        self._provider = provider
+        self._landmarks = provider.landmarks
 
     def landmark_paths(self, source: int, dest: int) -> List[Path]:
-        """One loop-free path per landmark (deduplicated)."""
-        key = (source, dest)
-        if key in self._path_cache:
-            return self._path_cache[key]
-        paths: List[Path] = []
-        seen = set()
-        for landmark in self._landmarks:
-            first = bfs_shortest_path(self._adjacency, source, landmark)
-            second = bfs_shortest_path(self._adjacency, landmark, dest)
-            if first is None or second is None:
-                continue
-            merged = contract_loops(tuple(first) + tuple(second[1:]))
-            if len(merged) < 2 or merged[0] != source or merged[-1] != dest:
-                continue
-            if merged not in seen:
-                seen.add(merged)
-                paths.append(merged)
-        self._path_cache[key] = paths
-        return paths
+        """One loop-free path per landmark (deduplicated, memoised)."""
+        return self._provider.paths(source, dest)
 
     def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
         paths = self.landmark_paths(payment.source, payment.dest)

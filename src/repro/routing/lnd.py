@@ -84,11 +84,14 @@ class LndScheme(RoutingScheme):
 
     # ------------------------------------------------------------------
     def prepare(self, runtime: "Runtime") -> None:
-        """Snapshot the gossip view: adjacency with per-channel capacity."""
-        network = runtime.network
-        self._adjacency: Dict[int, List[int]] = {
-            node: sorted(network.neighbors(node)) for node in network.nodes()
-        }
+        """Snapshot the gossip view: adjacency with per-channel capacity.
+
+        The sorted adjacency comes from the network's shared
+        :class:`~repro.engine.pathservice.PathService` — one construction
+        per network instead of one per scheme (read-only)."""
+        self._adjacency: Dict[int, List[int]] = (
+            runtime.network.path_service.sorted_adjacency()
+        )
 
     def attempt(self, payment: "Payment", runtime: "Runtime") -> None:
         pruned: set = set()

@@ -1,0 +1,447 @@
+"""PathService: provider parity, persistence, and discovery determinism.
+
+The CSR array-frontier BFS must reproduce the scalar per-pair loops *byte
+for byte* — path discovery feeds every routing decision, so a single
+tie-break divergence would silently change every downstream metric.  These
+tests pin:
+
+* :class:`CsrDisjointProvider` against :class:`ScalarDisjointProvider` on
+  random topologies (disconnected pairs, ``src == dst``, ``k`` larger than
+  the graph supports);
+* the landmark tree provider across vectorised/scalar modes and against
+  the legacy two-BFS-per-pair assembly;
+* persistent-cache round trips (disk artifacts serve the exact path sets)
+  and cold-vs-warm byte-identical metrics JSON;
+* byte-identical metrics with ``PathService.vectorized_discovery`` on and
+  off for the schemes that consume discovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine.pathservice import (
+    CsrDisjointProvider,
+    CsrGraph,
+    PathService,
+    PersistentCache,
+    ScalarDisjointProvider,
+    contract_loops,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.executor import SweepExecutor
+from repro.experiments.runner import run_experiment
+from repro.fluid.paths import bfs_shortest_path, build_path_set
+from repro.metrics.report import metrics_to_json
+from repro.simulator.rng import make_rng
+from repro.topology import isp_topology, ripple_topology
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_cache():
+    """Each test sees a cold process-wide pair store."""
+    PersistentCache.clear_shared()
+    yield
+    PersistentCache.clear_shared()
+
+
+def random_adjacency(seed: int, n: int, p: float) -> dict:
+    """A seeded undirected G(n, p) adjacency with sorted rows."""
+    rng = make_rng(seed)
+    adjacency = {i: set() for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.uniform() < p:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return {i: sorted(v) for i, v in adjacency.items()}
+
+
+class TestCsrParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_k_disjoint_matches_scalar_on_random_graphs(self, seed):
+        """Exhaustive all-pairs parity, including disconnected pairs,
+        isolated nodes, src == dst, and k beyond the available paths."""
+        n = 6 + 2 * seed
+        adjacency = random_adjacency(seed, n, p=0.08 + 0.03 * (seed % 5))
+        graph = CsrGraph.from_adjacency(adjacency)
+        for k in (1, 2, 4, 9):
+            csr = CsrDisjointProvider(graph, k)
+            scalar = ScalarDisjointProvider(adjacency, k)
+            for source in range(n):
+                for dest in range(n):
+                    assert csr.paths(source, dest) == scalar.paths(
+                        source, dest
+                    ), (seed, k, source, dest)
+
+    def test_first_path_matches_bfs_shortest_path(self):
+        """The k=1 CSR path is exactly the scalar BFS tie-break."""
+        adjacency = random_adjacency(3, 24, p=0.15)
+        graph = CsrGraph.from_adjacency(adjacency)
+        csr = CsrDisjointProvider(graph, 1)
+        for source in range(24):
+            for dest in range(24):
+                if source == dest:
+                    continue
+                expected = bfs_shortest_path(adjacency, source, dest)
+                got = csr.paths(source, dest)
+                assert got == ([expected] if expected else [])
+
+    def test_unknown_endpoints_and_self_pairs(self):
+        adjacency = {0: [1], 1: [0]}
+        csr = CsrDisjointProvider(CsrGraph.from_adjacency(adjacency), 3)
+        scalar = ScalarDisjointProvider(adjacency, 3)
+        for pair in [(0, 7), (7, 0), (0, 0), (7, 7)]:
+            assert csr.paths(*pair) == scalar.paths(*pair)
+
+    def test_duplicate_neighbour_entries_stay_edge_disjoint(self):
+        """Parallel entries in the input adjacency must not leave the
+        k-disjoint edge mask covering only one CSR slot (regression)."""
+        adjacency = {0: [1, 1], 1: [0, 0, 2, 3], 2: [1, 3], 3: [1, 2]}
+        csr = CsrDisjointProvider(CsrGraph.from_adjacency(adjacency), 3)
+        scalar = ScalarDisjointProvider(adjacency, 3)
+        for source in adjacency:
+            for dest in adjacency:
+                assert csr.paths(source, dest) == scalar.paths(source, dest)
+
+    def test_paths_many_order(self):
+        adjacency = random_adjacency(5, 12, p=0.3)
+        graph = CsrGraph.from_adjacency(adjacency)
+        csr = CsrDisjointProvider(graph, 4)
+        pairs = [(0, 5), (5, 0), (1, 1), (2, 9)]
+        assert csr.paths_many(pairs) == [csr.paths(*p) for p in pairs]
+
+    def test_sorted_csr_rows(self):
+        """The tie-break ordering is explicit in the layout: every CSR row
+        is sorted ascending."""
+        adjacency = random_adjacency(7, 30, p=0.2)
+        graph = CsrGraph.from_adjacency(adjacency)
+        for i in range(30):
+            row = graph.indices[graph.indptr[i] : graph.indptr[i + 1]]
+            assert list(row) == sorted(row)
+
+    def test_service_modes_byte_identical_on_ripple(self):
+        """Service-level parity on a real topology, both modes."""
+        network = ripple_topology("small", seed=0).build_network(
+            default_capacity=100.0
+        )
+        rng = make_rng(11)
+        nodes = sorted(network.nodes())
+        pairs = [
+            (nodes[int(a)], nodes[int(b)])
+            for a, b in (
+                rng.choice(len(nodes), size=2, replace=False) for _ in range(25)
+            )
+        ]
+        vector = PathService.from_network(network).paths_many(pairs, k=4)
+        PersistentCache.clear_shared()
+        PathService.vectorized_discovery = False
+        try:
+            scalar = PathService.from_network(network).paths_many(pairs, k=4)
+        finally:
+            PathService.vectorized_discovery = True
+        assert vector == scalar
+
+
+class TestLandmarkProvider:
+    def _legacy_landmark_paths(self, adjacency, landmarks, source, dest):
+        """The pre-service construction: two BFS per (pair, landmark)."""
+        paths, seen = [], set()
+        for landmark in landmarks:
+            first = bfs_shortest_path(adjacency, source, landmark)
+            second = bfs_shortest_path(adjacency, landmark, dest)
+            if first is None or second is None:
+                continue
+            merged = contract_loops(tuple(first) + tuple(second[1:]))
+            if len(merged) < 2 or merged[0] != source or merged[-1] != dest:
+                continue
+            if merged not in seen:
+                seen.add(merged)
+                paths.append(merged)
+        return paths
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree_assembly_matches_per_pair_bfs(self, seed):
+        """Tree-based leg assembly is byte-identical to the legacy two
+        fresh BFS runs per (pair, landmark)."""
+        adjacency = random_adjacency(seed + 20, 18, p=0.18)
+        service = PathService.from_adjacency(adjacency)
+        provider = service.landmark_provider(3)
+        for source in range(18):
+            for dest in range(18):
+                assert provider.paths(source, dest) == (
+                    self._legacy_landmark_paths(
+                        adjacency, provider.landmarks, source, dest
+                    )
+                ), (seed, source, dest)
+
+    def test_modes_agree(self):
+        adjacency = random_adjacency(42, 20, p=0.2)
+        vector = PathService.from_adjacency(adjacency).landmark_provider(3)
+        PathService.vectorized_discovery = False
+        try:
+            scalar = PathService.from_adjacency(adjacency).landmark_provider(3)
+        finally:
+            PathService.vectorized_discovery = True
+        assert vector.landmarks == scalar.landmarks
+        for source in range(20):
+            for dest in range(20):
+                assert vector.paths(source, dest) == scalar.paths(source, dest)
+
+    def test_landmarks_are_highest_degree(self):
+        network = isp_topology().build_network(default_capacity=100.0)
+        provider = network.path_service.landmark_provider(3)
+        # ISP core nodes (0-7) have the highest degree.
+        assert all(landmark < 8 for landmark in provider.landmarks)
+
+
+class TestPairPathView:
+    def test_view_surface(self):
+        network = isp_topology().build_network(default_capacity=100.0)
+        view = network.path_service.view(k=3)
+        assert view.k == 3
+        paths = view.paths(8, 20)
+        assert paths and view.shortest(8, 20) == paths[0]
+        assert view.shortest(8, 8) == (8,)  # scalar-parity degenerate pair
+        assert view.paths_many([(8, 20)]) == [paths]
+
+    def test_view_validation(self):
+        network = isp_topology().build_network(default_capacity=100.0)
+        with pytest.raises(ValueError):
+            network.path_service.view(k=0)
+        with pytest.raises(ValueError):
+            network.path_service.view(k=2, method="bogus")
+
+    def test_yen_method_matches_scalar_reference(self):
+        network = isp_topology().build_network(default_capacity=100.0)
+        from repro.fluid.paths import k_shortest_paths
+
+        view = network.path_service.view(k=3, method="yen")
+        adjacency = network.path_service.sorted_adjacency()
+        assert view.paths(8, 20) == k_shortest_paths(adjacency, 8, 20, 3)
+
+    def test_shared_across_schemes_per_network(self):
+        """Two views with the same budget serve the same pair store."""
+        network = isp_topology().build_network(default_capacity=100.0)
+        service = network.path_service
+        first = service.view(k=4).paths(8, 20)
+        assert service.view(k=4).paths(8, 20) is first  # memoised list
+
+
+class TestBuildPathSetThroughService:
+    def test_matches_direct_providers(self):
+        adjacency = random_adjacency(9, 16, p=0.3)
+        pairs = [(0, 5), (3, 12)]
+        path_set = build_path_set(adjacency, pairs, k=4)
+        scalar = ScalarDisjointProvider(adjacency, 4)
+        assert path_set == {pair: scalar.paths(*pair) for pair in pairs}
+
+    def test_no_path_error(self):
+        from repro.errors import NoPathError
+
+        with pytest.raises(NoPathError):
+            build_path_set({0: [1], 1: [0], 2: []}, [(0, 2)], k=2)
+
+
+class TestPersistentCache:
+    def test_disk_round_trip_serves_identical_paths(self, tmp_path):
+        network = ripple_topology("small", seed=0).build_network(
+            default_capacity=100.0
+        )
+        rng = make_rng(5)
+        nodes = sorted(network.nodes())
+        pairs = sorted(
+            (nodes[int(a)], nodes[int(b)])
+            for a, b in (
+                rng.choice(len(nodes), size=2, replace=False) for _ in range(20)
+            )
+        )
+        service = PathService.from_network(network, cache_dir=str(tmp_path))
+        service.prepare(pairs, k=4)
+        expected = service.paths_many(pairs, k=4)
+        artifacts = [f for f in os.listdir(tmp_path) if f.startswith("paths-")]
+        assert len(artifacts) == 1
+
+        # A fresh process-level store must serve the artifact without ever
+        # touching the provider.
+        PersistentCache.clear_shared()
+
+        class _Boom:
+            def paths(self, *args):
+                raise AssertionError("artifact miss: provider was invoked")
+
+            def paths_many(self, *args):
+                raise AssertionError("artifact miss: provider was invoked")
+
+        warm = PathService.from_network(network, cache_dir=str(tmp_path))
+        warm.provider(4).provider = _Boom()
+        assert warm.paths_many(pairs, k=4) == expected
+
+    def test_artifact_bytes_deterministic(self, tmp_path):
+        network = isp_topology().build_network(default_capacity=100.0)
+        pairs = [(8, 20), (9, 21), (10, 31)]
+
+        def artifact_bytes(subdir):
+            PersistentCache.clear_shared()
+            service = PathService.from_network(
+                network, cache_dir=str(tmp_path / subdir)
+            )
+            service.prepare(pairs, k=4)
+            (name,) = os.listdir(tmp_path / subdir)
+            return (tmp_path / subdir / name).read_bytes()
+
+        assert artifact_bytes("a") == artifact_bytes("b")
+
+    def test_flush_covers_pairs_discovered_before_attach(self, tmp_path):
+        """Pairs computed before a cache dir is attached (possibly by an
+        earlier service instance) must still reach the artifact
+        (regression: per-instance dirty flag vs. process-wide store)."""
+        network = isp_topology().build_network(default_capacity=100.0)
+        PathService.from_network(network).prepare([(8, 20)], k=4)  # no dir
+        late = PathService.from_network(network)
+        late.persist_to(str(tmp_path))
+        late.prepare([(8, 20)], k=4)  # nothing missing — must still write
+        assert any(f.startswith("paths-") for f in os.listdir(tmp_path))
+        PersistentCache.clear_shared()
+        warm = PathService.from_network(network, cache_dir=str(tmp_path))
+
+        class _Boom:
+            def paths(self, *args):
+                raise AssertionError("artifact miss")
+
+            def paths_many(self, *args):
+                raise AssertionError("artifact miss")
+
+        warm.provider(4).provider = _Boom()
+        assert warm.paths(8, 20, k=4)
+
+    def test_unreadable_artifact_recomputed(self, tmp_path):
+        network = isp_topology().build_network(default_capacity=100.0)
+        service = PathService.from_network(network, cache_dir=str(tmp_path))
+        service.prepare([(8, 20)], k=4)
+        (name,) = os.listdir(tmp_path)
+        (tmp_path / name).write_text("not json")
+        PersistentCache.clear_shared()
+        fresh = PathService.from_network(network, cache_dir=str(tmp_path))
+        assert fresh.paths(8, 20, k=4)  # silently recomputed
+
+    def test_cold_vs_warm_metrics_byte_identical(self, tmp_path):
+        """A run that loads every pair set from disk reproduces the cold
+        run's metrics JSON byte for byte."""
+        config = ExperimentConfig(
+            scheme="spider-waterfilling",
+            topology="ripple-tiny",
+            capacity=200.0,
+            num_transactions=120,
+            arrival_rate=50.0,
+            seed=13,
+        )
+        cold = metrics_to_json(
+            run_experiment(config, path_cache_dir=str(tmp_path))
+        )
+        assert any(f.startswith("paths-") for f in os.listdir(tmp_path))
+        PersistentCache.clear_shared()
+        warm = metrics_to_json(
+            run_experiment(config, path_cache_dir=str(tmp_path))
+        )
+        assert cold.encode() == warm.encode()
+        # And both equal the uncached run.
+        PersistentCache.clear_shared()
+        assert metrics_to_json(run_experiment(config)).encode() == cold.encode()
+
+
+class TestSweepPrecompute:
+    def test_executor_precomputes_and_reuses_artifacts(self, tmp_path):
+        base = ExperimentConfig(
+            scheme="spider-waterfilling",
+            topology="ripple-tiny",
+            capacity=200.0,
+            num_transactions=80,
+            arrival_rate=50.0,
+            seed=7,
+        )
+        executor = SweepExecutor(
+            base, processes=1, cache_dir=str(tmp_path), reseed_cells=False
+        )
+        assert executor.path_cache_dir == os.path.join(str(tmp_path), "paths")
+        results = executor.capacity_sweep(
+            [150.0, 250.0], ["spider-waterfilling"]
+        )
+        assert len(results) == 2
+        paths_dir = tmp_path / "paths"
+        assert any(f.startswith("paths-") for f in os.listdir(paths_dir))
+
+        # A fresh executor over the same grid: cells come from the JSON
+        # cache, and a widened grid's new cell loads paths from disk.
+        PersistentCache.clear_shared()
+        second = SweepExecutor(
+            base, processes=1, cache_dir=str(tmp_path), reseed_cells=False
+        )
+        widened = second.capacity_sweep(
+            [150.0, 250.0, 350.0], ["spider-waterfilling"]
+        )
+        assert second.cache_hits == 2 and second.cache_misses == 1
+        for key, metrics in results.items():
+            assert metrics_to_json(widened[key]) == metrics_to_json(metrics)
+
+
+class TestDiscoveryModeDeterminism:
+    @pytest.mark.parametrize(
+        "scheme",
+        ["spider-waterfilling", "spider-lp", "silentwhispers", "spider-queueing"],
+    )
+    def test_metrics_byte_identical_across_modes(self, scheme):
+        """Vectorised and scalar discovery produce byte-identical runs."""
+        config = ExperimentConfig(
+            scheme=scheme,
+            topology="ripple-tiny",
+            capacity=200.0,
+            num_transactions=100,
+            arrival_rate=50.0,
+            seed=29,
+        )
+        vector = metrics_to_json(run_experiment(config))
+        PersistentCache.clear_shared()
+        PathService.vectorized_discovery = False
+        try:
+            scalar = metrics_to_json(run_experiment(config))
+        finally:
+            PathService.vectorized_discovery = True
+        assert vector.encode() == scalar.encode()
+
+
+class TestRepeatRunSharing:
+    def test_second_run_reuses_pair_sets(self):
+        """Identical topology ⇒ the second run never re-discovers (the
+        fix for per-run duplicated path work)."""
+        config = ExperimentConfig(
+            scheme="spider-waterfilling",
+            topology="ripple-tiny",
+            capacity=200.0,
+            num_transactions=60,
+            arrival_rate=50.0,
+            seed=3,
+        )
+        first = metrics_to_json(run_experiment(config))
+        store_sizes = {
+            key: len(pairs) for key, pairs in PersistentCache._shared.items()
+        }
+        assert store_sizes  # discovery went through the shared store
+
+        calls = {"n": 0}
+        original = CsrDisjointProvider.paths
+
+        def counting(self, source, dest):
+            calls["n"] += 1
+            return original(self, source, dest)
+
+        CsrDisjointProvider.paths = counting
+        try:
+            second = metrics_to_json(run_experiment(config))
+        finally:
+            CsrDisjointProvider.paths = original
+        assert calls["n"] == 0  # every pair served from the shared store
+        assert first.encode() == second.encode()

@@ -85,7 +85,11 @@ class TestCaching:
         first = SweepExecutor(_base(), processes=1, cache_dir=cache)
         results = first.parameter_sweep("capacity", CAPACITIES[:2], SCHEMES)
         assert first.cache_misses == 4 and first.cache_hits == 0
-        assert len(os.listdir(cache)) == 4
+        # One JSON per cell, plus the path-artifact subdirectory the
+        # executor now maintains alongside the cell cache.
+        cell_entries = [f for f in os.listdir(cache) if f.endswith(".json")]
+        assert len(cell_entries) == 4
+        assert os.path.isdir(os.path.join(cache, "paths"))
 
         second = SweepExecutor(_base(), processes=1, cache_dir=cache)
         cached = second.parameter_sweep("capacity", CAPACITIES[:2], SCHEMES)
@@ -97,7 +101,7 @@ class TestCaching:
         cache = str(tmp_path / "cells")
         executor = SweepExecutor(_base(), processes=1, cache_dir=cache)
         executor.parameter_sweep("capacity", CAPACITIES[:1], SCHEMES[:1])
-        (entry,) = os.listdir(cache)
+        (entry,) = [f for f in os.listdir(cache) if f.endswith(".json")]
         with open(os.path.join(cache, entry), "w", encoding="utf-8") as handle:
             handle.write("{not json")
         again = SweepExecutor(_base(), processes=1, cache_dir=cache)

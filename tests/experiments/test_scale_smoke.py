@@ -27,6 +27,9 @@ def _check_report(report, nodes: int):
     assert 0.0 <= report["success_ratio"] <= 1.0
     assert report["sweep"]["cells"] == 2
     assert report["sweep"]["wall_seconds"] > 0
+    # The sweep runs with the persistent path cache active: the parent's
+    # precompute pass must have written at least one discovery artifact.
+    assert report["sweep"]["path_artifacts"] >= 1
 
 
 def test_scale_smoke_miniature():
