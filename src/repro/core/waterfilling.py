@@ -11,6 +11,14 @@ of each of its paths, then repeatedly sends the next MTU-bounded unit on
 the path with the highest *remaining* estimated availability, decrementing
 the local estimate as it commits units.  Leftover value waits in the global
 queue for the next poll, making the scheme non-atomic.
+
+The scheme declares ``cohort_rule = "waterfilling"``: its decision loop is
+pure array arithmetic over the probe estimates, so the session's
+:class:`~repro.engine.dispatch.DispatchPlan` replays it over whole
+same-tick cohorts — one grouped probe refresh, per-payment argmax/min
+decisions, one scatter-add lock — falling back to :meth:`attempt` exactly
+(flush-first) whenever a payment's path set shares channels with staged
+sends or carries fees.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ class WaterfillingScheme(RoutingScheme):
 
     name = "spider-waterfilling"
     atomic = False
+    cohort_rule = "waterfilling"
 
     def __init__(self, num_paths: int = 4):
         if num_paths <= 0:

@@ -1,0 +1,418 @@
+"""Macro-tick batched dispatch: cohort kernels over the poll loop.
+
+After the substrate PRs, the per-*operation* kernels are fast — one
+``np.minimum.reduceat`` probes a whole path set, one scatter-add settles a
+whole tick's units — but the poll loop still walks pending payments one at
+a time: every payment re-enters Python glue for its own probe, its own
+decision loop and its own per-unit lock.  At 10k-node scale that glue is
+the hot path.
+
+:class:`DispatchPlan` restructures the loop around **macro-ticks**.  The
+session's ``_poll`` (and same-tick arrival bursts) hand the whole cohort of
+attempt-eligible payments here at once; the plan then
+
+1. **probes** every payment's candidate path set with one grouped gather —
+   :meth:`PathTable.refresh_probes <repro.engine.pathtable.PathTable.refresh_probes>`
+   concatenates the cohort's stale probe caches and runs a single
+   ``availability`` gather + ``minimum.reduceat`` over all of them;
+2. **decides** per payment with the scheme's waterfilling rule over the
+   cached estimates (no store reads inside the loop), staging accepted
+   sends into struct-of-arrays buffers (payment refs, compiled paths,
+   float64 amounts);
+3. **executes** the staged cohort through
+   :meth:`ChannelStateStore.lock_many
+   <repro.engine.store.ChannelStateStore.lock_many>` — one grouped
+   scatter-add over the concatenated hop indices, applied in decision
+   order — then materialises the :class:`~repro.engine.pathtable.PathLock`
+   units and registers them with the session's tick-coalesced resolution
+   batches (one reschedule per cohort, not per unit).
+
+Byte-identity with the scalar loop (``SimulationSession.vectorized_dispatch
+= False``) is a proved invariant, not a hope:
+
+* staged sends are restricted to **fee-free, channel-disjoint** path sets.
+  On such a set the decremented estimate equals the live bottleneck
+  *exactly*: after locking ``a`` on the minimum hop ``m``,
+  ``fl(b_h − a) ≥ fl(b_m − a)`` for every hop (IEEE-754 subtraction is
+  monotone), so ``min`` stays on ``m`` and equals the scalar estimate
+  decrement bit for bit.  Every staged amount is therefore ≤ each hop's
+  balance at flush time — no clamping, no rollback, and the deferred
+  scatter reproduces the eager per-send locks float for float;
+* any payment whose candidate channels were touched since the cohort probe
+  — by a staged send earlier in the cohort or by a scalar fallback — takes
+  the **sequential fallback**: staged sends flush first, then the scheme's
+  scalar ``attempt`` runs against live state, exactly as the scalar loop
+  would have at that payment's turn;
+* fee-bearing or non-disjoint path sets, schemes without a declared
+  ``cohort_rule``, and atomic schemes always run their scalar ``attempt``
+  inside the cohort driver, in cohort order.
+
+An optional numba-compiled decision kernel sits behind the
+``REPRO_COMPILED_DISPATCH`` environment variable; it mirrors the Python
+decision loop operation for operation and silently stays off when numba is
+not installed.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.payments import Payment, TransactionUnit
+from repro.engine.pathtable import PathLock
+from repro.network.htlc import HashLock
+from repro.simulator.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import SimulationSession
+
+__all__ = ["DispatchPlan", "compiled_kernel_enabled"]
+
+#: Initial capacity of the compiled kernel's per-payment output buffers.
+_KERNEL_SLOTS = 64
+
+
+def _load_compiled_kernel():
+    """The numba-jitted waterfilling decision kernel, or ``None``.
+
+    Enabled only when ``REPRO_COMPILED_DISPATCH`` is truthy *and* numba is
+    importable; the container image does not ship numba, so the import is
+    gated and failure means the pure-NumPy/Python path (which the parity
+    tests pin) runs instead.
+    """
+    flag = os.environ.get("REPRO_COMPILED_DISPATCH", "").strip().lower()
+    if flag not in {"1", "true", "yes", "on"}:
+        return None
+    try:  # pragma: no cover - numba absent in the CI image
+        from numba import njit
+    except ImportError:
+        return None
+
+    @njit(cache=True)  # pragma: no cover - exercised only when numba exists
+    def decide(est, amount_total, delivered, inflight, mtu, min_unit, out_idx, out_amt):
+        # Mirrors DispatchPlan._decide_python operation for operation so
+        # the floats (and therefore the metrics) are identical.
+        n = 0
+        cap = out_idx.shape[0]
+        remaining = (amount_total - delivered) - inflight
+        if remaining < 0.0:
+            remaining = 0.0
+        while remaining >= min_unit:
+            best = 0
+            headroom = est[0]
+            for i in range(1, est.shape[0]):
+                if est[i] > headroom:
+                    headroom = est[i]
+                    best = i
+            if headroom < min_unit:
+                break
+            amount = headroom
+            if remaining < amount:
+                amount = remaining
+            if mtu < amount:
+                amount = mtu
+            if amount < min_unit:
+                # The scalar send_unit vetoes the dust send; the re-probe
+                # sees an unchanged bottleneck and retires the path.
+                est[best] = 0.0
+                continue
+            if n == cap:
+                return -1  # buffers full: caller reruns the Python loop
+            out_idx[n] = best
+            out_amt[n] = amount
+            n += 1
+            inflight = inflight + amount
+            remaining = (amount_total - delivered) - inflight
+            if remaining < 0.0:
+                remaining = 0.0
+            est[best] = est[best] - amount
+        return n
+
+    return decide
+
+
+_COMPILED_KERNEL = _load_compiled_kernel()
+
+
+def compiled_kernel_enabled() -> bool:
+    """Whether the numba cohort kernel is active in this process."""
+    return _COMPILED_KERNEL is not None
+
+
+class _PairProfile:
+    """Static dispatch facts about one (source, dest) pair's path set.
+
+    ``batchable`` requires every path fee-free and the whole set
+    channel-disjoint — the preconditions of the exact-estimate proof in
+    the module docstring.  Everything else (empty sets, fees, overlapping
+    paths, degenerate single-node paths) routes to the scalar fallback.
+    """
+
+    __slots__ = ("batchable", "probe", "cpaths", "cid_set")
+
+    def __init__(self):
+        self.batchable = False
+        self.probe = None
+        self.cpaths: List = []
+        self.cid_set: frozenset = frozenset()
+
+
+class DispatchPlan:
+    """Cohort staging buffers + batched kernels for one session."""
+
+    def __init__(self, session: "SimulationSession"):
+        self.session = session
+        self.store = session.network.state_store
+        self.table = session.network.path_table
+        self._profiles: Dict[Tuple[int, int], _PairProfile] = {}
+        # Struct-of-arrays staging: parallel lists appended in decision
+        # order, flushed through one grouped scatter-add.
+        self._staged_payments: List[Payment] = []
+        self._staged_cpaths: List = []
+        self._staged_amounts: List[float] = []
+        #: Channel ids touched by sends staged since the last flush.
+        self._staged_dirty: Set[int] = set()
+        if _COMPILED_KERNEL is not None:  # pragma: no cover - numba only
+            self._kernel_idx = np.empty(_KERNEL_SLOTS, dtype=np.int64)
+            self._kernel_amt = np.empty(_KERNEL_SLOTS, dtype=np.float64)
+        # Observability (reported by the dispatch microbenchmark).
+        self.cohorts = 0
+        self.batched_units = 0
+        self.scalar_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Cohort driver
+    # ------------------------------------------------------------------
+    def attempt_cohort(self, payments: Sequence[Payment]) -> None:
+        """Run the scheme's attempt for every payment, batching where safe.
+
+        Payments are processed in cohort order; the observable effects are
+        byte-identical to calling ``scheme.attempt`` per payment in that
+        same order (the scalar dispatch baseline).
+        """
+        if not payments:
+            return
+        session = self.session
+        scheme = session.scheme
+        if (
+            getattr(scheme, "cohort_rule", None) != "waterfilling"
+            or not session.network.vectorized_path_ops
+        ):
+            # No batched decision rule declared — or the network is pinned
+            # to its scalar per-hop path ops (HTLC objects), whose
+            # accounting the PathLock fast path does not reproduce: the
+            # macro-tick driver still owns triage/reschedule batching, but
+            # decisions run through the scheme's own attempt, sequentially.
+            for payment in payments:
+                scheme.attempt(payment, session)
+            return
+        self.cohorts += 1
+        store = self.store
+        version0 = store.version
+        stamp = store.stamp
+        profiles = [
+            self._profile(payment.source, payment.dest) for payment in payments
+        ]
+        self.table.refresh_probes(
+            [prof.probe for prof in profiles if prof.batchable]
+        )
+        dirty = self._staged_dirty
+        for payment, prof in zip(payments, profiles):
+            if (
+                not prof.batchable
+                or (dirty and not dirty.isdisjoint(prof.cid_set))
+                or (
+                    store.version != version0
+                    and bool((stamp[prof.probe.cids] > version0).any())
+                )
+            ):
+                # Sequential fallback: land staged sends first so this
+                # attempt observes exactly the state the scalar loop
+                # would have seen at its turn.
+                self._flush()
+                self.scalar_fallbacks += 1
+                scheme.attempt(payment, session)
+                continue
+            self._attempt_batched(payment, prof)
+        self._flush()
+
+    # ------------------------------------------------------------------
+    # Batched waterfilling
+    # ------------------------------------------------------------------
+    def _attempt_batched(self, payment: Payment, prof: _PairProfile) -> None:
+        """Stage the waterfilling decision sequence for one payment.
+
+        Replicates :meth:`WaterfillingScheme.attempt
+        <repro.core.waterfilling.WaterfillingScheme.attempt>` arithmetic
+        exactly — same argmax tie-break, same ``min`` clamp, same estimate
+        decrement — against the cohort-probed estimates.
+        """
+        config = self.session.config
+        min_unit = config.min_unit_value
+        mtu = config.mtu
+        est = prof.probe.values.copy()
+        used: Optional[set] = None
+        if _COMPILED_KERNEL is not None:  # pragma: no cover - numba only
+            n = _COMPILED_KERNEL(
+                est,
+                payment.amount,
+                payment.delivered,
+                payment.inflight,
+                mtu,
+                min_unit,
+                self._kernel_idx,
+                self._kernel_amt,
+            )
+            if n >= 0:
+                for i in range(n):
+                    best = int(self._kernel_idx[i])
+                    amount = float(self._kernel_amt[i])
+                    payment.register_inflight(amount)
+                    self._staged_payments.append(payment)
+                    self._staged_cpaths.append(prof.cpaths[best])
+                    self._staged_amounts.append(amount)
+                    if used is None:
+                        used = set()
+                    used.add(best)
+                if used:
+                    for best in used:
+                        self._staged_dirty.update(prof.cpaths[best].cids.tolist())
+                return
+            est = prof.probe.values.copy()  # overflow: redo in Python
+        while payment.remaining >= min_unit:
+            best = int(np.argmax(est))
+            headroom = float(est[best])
+            if headroom < min_unit:
+                break
+            amount = min(headroom, payment.remaining, mtu)
+            if amount < min_unit:
+                # Scalar parity: send_unit refuses the dust send, the
+                # fresh probe matches the estimate, and the path is
+                # retired for this round.
+                est[best] = 0.0
+                continue
+            payment.register_inflight(amount)
+            self._staged_payments.append(payment)
+            self._staged_cpaths.append(prof.cpaths[best])
+            self._staged_amounts.append(amount)
+            if used is None:
+                used = set()
+            used.add(best)
+            est[best] -= amount
+        if used:
+            for best in used:
+                self._staged_dirty.update(prof.cpaths[best].cids.tolist())
+
+    def _flush(self) -> None:
+        """Execute every staged send through one grouped store write.
+
+        Hop updates apply in decision order (``np.ufunc.at`` semantics for
+        duplicate ``(cid, side)`` indices), so the balances match the
+        eager per-send locks bit for bit; unit materialisation, payment
+        bookkeeping side effects and resolution scheduling also run in
+        decision order.
+        """
+        staged = self._staged_payments
+        if not staged:
+            return
+        cpaths = self._staged_cpaths
+        amounts = self._staged_amounts
+        if len(staged) == 1:
+            cpath = cpaths[0]
+            hops = len(cpath.hops)
+            hop_amounts = np.full(hops, amounts[0], dtype=np.float64)
+            self.store.lock_many(cpath.cids, cpath.sides, hop_amounts)
+        else:
+            hop_counts = [len(cpath.hops) for cpath in cpaths]
+            self.store.lock_many(
+                np.concatenate([cpath.cids for cpath in cpaths]),
+                np.concatenate([cpath.sides for cpath in cpaths]),
+                np.repeat(np.asarray(amounts, dtype=np.float64), hop_counts),
+            )
+        session = self.session
+        now = session.sim.now
+        for payment, cpath, amount in zip(staged, cpaths, amounts):
+            lock = HashLock.generate(payment.payment_id, payment.units_sent)
+            unit = TransactionUnit.create(
+                payment=payment,
+                amount=amount,
+                path=cpath.nodes,
+                htlcs=PathLock(
+                    cpath, np.full(len(cpath.hops), amount, dtype=np.float64)
+                ),
+                lock=lock,
+                sent_at=now,
+                fee=0.0,
+            )
+            session._schedule_resolve(unit)
+        self.batched_units += len(staged)
+        staged.clear()
+        cpaths.clear()
+        amounts.clear()
+        self._staged_dirty.clear()
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    def prime(self, pairs: Sequence[Tuple[int, int]]) -> None:
+        """Pre-build dispatch profiles (and their probe caches) for
+        ``pairs`` — called from ``SimulationSession.prepare`` right after
+        the path prefetch, so first-attempt cohorts skip per-pair path
+        compilation entirely.  Profiles are static facts about static
+        path sets; building them early changes nothing observable."""
+        if getattr(self.session.scheme, "cohort_rule", None) != "waterfilling":
+            return
+        if not self.session.network.vectorized_path_ops:
+            return
+        for source, dest in pairs:
+            self._profile(source, dest)
+
+    def _profile(self, source: int, dest: int) -> _PairProfile:
+        key = (source, dest)
+        prof = self._profiles.get(key)
+        if prof is not None:
+            return prof
+        prof = _PairProfile()
+        paths = self.session.scheme.path_cache.paths(source, dest)
+        if paths:
+            probe = self.table.probe_handle(paths)
+            if probe is not None:
+                cids = probe.cids.tolist()
+                if len(set(cids)) == len(cids) and all(
+                    cpath.fee_free for cpath in probe.cpaths
+                ):
+                    prof.batchable = True
+                    prof.probe = probe
+                    prof.cpaths = probe.cpaths
+                    prof.cid_set = frozenset(cids)
+        self._profiles[key] = prof
+        return prof
+
+    # ------------------------------------------------------------------
+    # End-of-run invariant
+    # ------------------------------------------------------------------
+    def assert_drained(self) -> None:
+        """Fail loudly if any staged send survived its cohort.
+
+        ``attempt_cohort`` flushes before returning and cohorts never span
+        events, so staged sends found at finish mean in-flight value the
+        metrics would silently drop.  The funds are landed first (so the
+        store stays conserved for post-mortem inspection), then the run is
+        failed.
+        """
+        if self._staged_payments:
+            count = len(self._staged_payments)
+            self._flush()
+            raise SimulationError(
+                f"dispatch staging buffers held {count} unflushed send(s) at "
+                "finish(); a cohort ended without draining"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DispatchPlan(cohorts={self.cohorts}, "
+            f"batched_units={self.batched_units}, "
+            f"fallbacks={self.scalar_fallbacks})"
+        )

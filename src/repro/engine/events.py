@@ -90,6 +90,55 @@ class SlabEventQueue:
         self._live += 1
         return entry
 
+    def schedule_many(
+        self,
+        ticks: List[int],
+        callbacks,
+        args_list: List[tuple],
+        priority: int = 0,
+    ) -> List[Entry]:
+        """Schedule a batch of events in one slab append; returns records.
+
+        ``callbacks`` is either one shared callable or a per-event
+        sequence.  Pop order is provably identical to issuing the same
+        :meth:`schedule` calls one by one: keys embed the globally
+        monotonic sequence counter, so every key is unique and totally
+        ordered — a bulk ``extend`` + ``heapify`` reorganises the heap's
+        internal shape but cannot change which key is smallest at any
+        pop (pinned by the dispatch test suite).  For small batches
+        against a large heap, repeated pushes are cheaper than an O(heap)
+        heapify, so the method picks per batch/heap size; both routes
+        yield the same pop order for the same reason.
+        """
+        if not 0 <= priority <= _MAX_PRIORITY:
+            raise SimulationError(
+                f"priority must be in [0, {_MAX_PRIORITY}], got {priority!r}"
+            )
+        if callable(callbacks):
+            callbacks = [callbacks] * len(ticks)
+        seq = self._seq
+        entries: List[Entry] = [
+            [
+                (((tick << _PRIO_BITS) | priority) << _SEQ_BITS)
+                | ((seq + i) & _SEQ_MASK),
+                callback,
+                args,
+            ]
+            for i, (tick, callback, args) in enumerate(
+                zip(ticks, callbacks, args_list)
+            )
+        ]
+        self._seq = seq + len(entries)
+        heap = self.heap
+        if len(entries) * 4 >= len(heap):
+            heap.extend(entries)
+            heapify(heap)
+        else:
+            for entry in entries:
+                heappush(heap, entry)
+        self._live += len(entries)
+        return entries
+
     def cancel(self, entry: Entry) -> bool:
         """Cancel a scheduled record; returns whether it was still live.
 
@@ -257,6 +306,39 @@ class TickEngine:
         heappush(queue.heap, entry)
         queue._live += 1
         return entry
+
+    def schedule_many(
+        self,
+        ticks: List[int],
+        callbacks,
+        args_list: List[tuple],
+        priority: int = 0,
+    ) -> List[Entry]:
+        """Bulk-schedule events at absolute ``ticks`` (one slab append).
+
+        ``callbacks`` may be one shared callable or a per-event sequence;
+        firing order is identical to the equivalent sequence of
+        :meth:`schedule_at_tick` calls (see
+        :meth:`SlabEventQueue.schedule_many`).  The session uses this to
+        schedule the whole transaction trace — and the dispatch layer its
+        cohort reschedules — without one heap push per record.
+        """
+        now = self._tick
+        for tick in ticks:
+            if tick < now:
+                raise SimulationError(
+                    f"cannot schedule event in the past "
+                    f"(now_tick={now}, requested={tick})"
+                )
+        return self._queue.schedule_many(ticks, callbacks, args_list, priority)
+
+    def delay_ticks(self, delay: float) -> int:
+        """Ticks :meth:`schedule_after` adds for ``delay`` seconds.
+
+        Exposed so transports can predict (and compare) landing ticks of
+        relative schedules without duplicating the rounding rule.
+        """
+        return round(delay * self._inv_quantum)
 
     def cancel(self, entry: Entry) -> bool:
         """Cancel a raw-record event; returns whether it was still live."""

@@ -277,6 +277,71 @@ class PathTable:
             self._probes[key] = probe
         return probe
 
+    def probe_handle(
+        self, paths: Sequence[Sequence[int]]
+    ) -> Optional[_ProbeCache]:
+        """The path set's memoised probe cache (``None`` for degenerate
+        sets containing a hopless single-node path).
+
+        The dispatch layer holds these handles to batch-refresh many path
+        sets at once (:meth:`refresh_probes`) and to read the compiled
+        paths/refreshed bottleneck values without re-keying the set on
+        every cohort.
+        """
+        return self._probe_for(paths)
+
+    def refresh_probes(self, probes: Sequence[_ProbeCache]) -> None:
+        """Refresh a batch of probe caches with one concatenated gather.
+
+        The macro-tick cohort probe: instead of one ``availability``
+        gather + ``minimum.reduceat`` per path set, every stale probe's
+        hop indices concatenate into a single gather and a single reduceat
+        whose segment boundaries are each probe's offsets rebased into the
+        combined array.  Segment minima over identical hop values are
+        bit-identical to the per-set computation, so a probe refreshed
+        here returns exactly what :meth:`bottleneck_many` would have
+        computed for it (the dispatch parity tests pin this end to end).
+        Already-fresh probes (``as_of`` at the current store version) are
+        skipped; duplicate handles refresh once.
+        """
+        store = self._store
+        version = store.version
+        todo: List[_ProbeCache] = []
+        seen = set()
+        for probe in probes:
+            if probe.as_of == version:
+                continue
+            marker = id(probe)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            todo.append(probe)
+        if not todo:
+            return
+        if len(todo) == 1:
+            probe = todo[0]
+            avail = store.availability(probe.cids, probe.sides)
+            probe.values = np.minimum.reduceat(avail, probe.offsets)
+        else:
+            avail = store.availability(
+                np.concatenate([probe.cids for probe in todo]),
+                np.concatenate([probe.sides for probe in todo]),
+            )
+            offset_parts: List[np.ndarray] = []
+            base = 0
+            for probe in todo:
+                offset_parts.append(probe.offsets + base)
+                base += probe.cids.shape[0]
+            values = np.minimum.reduceat(avail, np.concatenate(offset_parts))
+            pos = 0
+            for probe in todo:
+                count = len(probe.bounds)
+                probe.values = values[pos : pos + count].copy()
+                pos += count
+        for probe in todo:
+            probe.values_list = probe.values.tolist()
+            probe.as_of = version
+
     def bottleneck_many(
         self, paths: Sequence[Sequence[int]], refresh: bool = False
     ) -> List[float]:

@@ -41,6 +41,7 @@ from repro.core.payments import Payment, PaymentState, TransactionUnit
 from repro.core.scheduling import PendingHeap, get_policy
 from repro.core.runtime import RuntimeConfig
 from repro.engine.clock import DEFAULT_QUANTUM
+from repro.engine.dispatch import DispatchPlan
 from repro.engine.events import TickEngine, TickTimer
 from repro.engine.pathtable import PathLock
 from repro.engine.transport import make_transport
@@ -48,6 +49,7 @@ from repro.errors import InsufficientFundsError
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.network.htlc import HashLock
 from repro.network.network import PaymentNetwork
+from repro.simulator.engine import SimulationError
 from repro.workload.generator import TransactionRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -110,7 +112,22 @@ class SimulationSession:
         network's :class:`~repro.engine.pathservice.PathService` loads
         known pair path sets from it before the scheme prepares and
         writes newly discovered ones back when the run finishes.
+
+    Class attributes
+    ----------------
+    vectorized_dispatch:
+        When ``True`` (the default) the session drains same-tick attempt
+        cohorts through the macro-tick
+        :class:`~repro.engine.dispatch.DispatchPlan` kernels — grouped
+        probes, staged decisions, one scatter-add lock per cohort — and
+        bulk-schedules the trace/pending structures.  ``False`` keeps the
+        one-payment-at-a-time scalar dispatch as the parity baseline;
+        metrics are byte-identical either way
+        (``tests/engine/test_dispatch.py`` pins this across schemes).
     """
+
+    #: Flip to ``False`` for the scalar-dispatch parity baseline.
+    vectorized_dispatch: bool = True
 
     def __init__(
         self,
@@ -140,6 +157,10 @@ class SimulationSession:
         self._transport_spec = transport_spec
         self._path_cache_dir = path_cache_dir
         self._finished = False
+        self._prepared = False
+        self._needs_delegate = False
+        #: Macro-tick cohort kernels (None on the scalar parity path).
+        self._dispatch: Optional[DispatchPlan] = None
         self._confirm_ticks = self.sim.clock.to_ticks(self.config.confirmation_delay)
         #: tick -> units resolving at that tick (coalesced store writes).
         self._resolve_batches: Dict[int, List[TransactionUnit]] = {}
@@ -211,40 +232,39 @@ class SimulationSession:
             return self._delegate.sim.events_processed
         return self.sim.events_processed
 
-    def run(self) -> ExperimentMetrics:
-        """Execute the full trace and return the run's metrics.
+    def prepare(self) -> None:
+        """Build transports, prepare the scheme and schedule the trace.
 
-        Source-routed schemes run natively on the tick engine; schemes
-        declaring a ``transport`` (hop-by-hop queueing, backpressure) run
-        natively too, through the matching
-        :mod:`repro.engine.transport` layer.  Only schemes pinning an
-        unknown custom runtime fall back to the legacy path.
+        Idempotent; :meth:`run` calls it automatically.  Calling it ahead
+        of :meth:`run` splits one-time setup — transport construction,
+        scheme preparation (path discovery, LP solves), trace scheduling —
+        from the event loop, so benchmarks can time dispatch separately
+        from discovery and long sweeps can front-load the shared work.
+        Nothing here advances the simulated clock.
+
+        On the vectorised-dispatch path the trace is bulk-scheduled via
+        :meth:`TickEngine.schedule_many
+        <repro.engine.events.TickEngine.schedule_many>` (same-tick arrival
+        bursts coalesce into one cohort event each) and the pair path
+        sets the trace needs are prefetched through the shared
+        :class:`~repro.engine.pathservice.PathService` in one batched
+        pass, instead of faulting in pair by pair on first attempt.
         """
-        if self._finished:
-            raise RuntimeError("a SimulationSession runs exactly once")
-        self._finished = True
+        if self._prepared:
+            return
+        self._prepared = True
         if not self.records and self.config.end_time is None:
-            # Empty trace, no horizon: nothing can ever arrive.  Skip the
-            # scheme preparation and poll timer entirely and finalize an
-            # empty run instead of arming machinery that never fires.
-            return self.collector.finalize(
-                scheme=self.scheme.name, network=self.network, duration=0.0
-            )
+            # Empty trace, no horizon: nothing can ever arrive.  run()
+            # finalizes an empty run instead of arming machinery that
+            # never fires.
+            return
         if self._path_cache_dir is not None:
             # Load known path artifacts before the scheme prepares; newly
             # discovered pair sets are written back at the end of the run.
             self.network.path_service.persist_to(self._path_cache_dir)
         if self._transport_spec is None and _needs_legacy_runtime(self.scheme):
-            from repro.experiments.runner import build_runtime
-
-            self._delegate = build_runtime(
-                self.network, self.records, self.scheme, self.config, self.collector
-            )
-            metrics = self._delegate.run()
-            if self._path_cache_dir is not None:
-                self.network.path_service.flush()
-            return metrics
-
+            self._needs_delegate = True
+            return
         engine = self.sim
         clock = engine.clock
         if self._transport_spec is not None:
@@ -265,14 +285,110 @@ class SimulationSession:
             # ordering matches the legacy runtimes tick for tick.
             self.transport.start()
         self.scheme.prepare(self)
+        if self.vectorized_dispatch:
+            self._dispatch = DispatchPlan(self)
+            self._prefetch_paths()
+            self._schedule_trace_batched()
+        else:
+            for record in self.records:
+                if record.arrival_time > self._end_time:
+                    break
+                engine.schedule_at_tick(
+                    clock.to_ticks(record.arrival_time), self._arrive, (record,)
+                )
+        self._poll_timer = engine.every(self.config.poll_interval, self._poll)
+
+    def _prefetch_paths(self) -> None:
+        """Warm every (source, dest) pair the trace will route, batched.
+
+        Pure cache warm-up through the PathService (discovery is a
+        deterministic function of the static topology, so prefetching
+        cannot change any path set, only when it is computed); only
+        schemes that declare ``num_paths`` — i.e. resolve a
+        ``path_cache`` view in ``prepare`` — participate.
+        """
+        num_paths = getattr(self.scheme, "num_paths", None)
+        if num_paths is None:
+            return
+        pairs = []
+        seen = set()
         for record in self.records:
             if record.arrival_time > self._end_time:
                 break
-            engine.schedule_at_tick(
-                clock.to_ticks(record.arrival_time), self._arrive, (record,)
+            key = (record.source, record.dest)
+            if key not in seen:
+                seen.add(key)
+                pairs.append(key)
+        if pairs:
+            self.network.path_service.view(k=num_paths).prepare(pairs)
+            if self._dispatch is not None:
+                # Also pre-build the dispatch profiles (compiled paths +
+                # probe caches) the cohort driver would otherwise fault
+                # in pair by pair during the first attempts.
+                self._dispatch.prime(pairs)
+
+    def _schedule_trace_batched(self) -> None:
+        """Schedule the trace in one slab append, coalescing same-tick
+        arrival bursts into single cohort events."""
+        clock = self.sim.clock
+        records = self.records
+        ticks: List[int] = []
+        callbacks: List[object] = []
+        args_list: List[tuple] = []
+        i = 0
+        count = len(records)
+        while i < count:
+            record = records[i]
+            if record.arrival_time > self._end_time:
+                break
+            tick = clock.to_ticks(record.arrival_time)
+            j = i + 1
+            while (
+                j < count
+                and records[j].arrival_time <= self._end_time
+                and clock.to_ticks(records[j].arrival_time) == tick
+            ):
+                j += 1
+            ticks.append(tick)
+            if j - i == 1:
+                callbacks.append(self._arrive)
+                args_list.append((record,))
+            else:
+                callbacks.append(self._arrive_cohort)
+                args_list.append((tuple(records[i:j]),))
+            i = j
+        if ticks:
+            self.sim.schedule_many(ticks, callbacks, args_list)
+
+    def run(self) -> ExperimentMetrics:
+        """Execute the full trace and return the run's metrics.
+
+        Source-routed schemes run natively on the tick engine; schemes
+        declaring a ``transport`` (hop-by-hop queueing, backpressure) run
+        natively too, through the matching
+        :mod:`repro.engine.transport` layer.  Only schemes pinning an
+        unknown custom runtime fall back to the legacy path.
+        """
+        if self._finished:
+            raise RuntimeError("a SimulationSession runs exactly once")
+        self._finished = True
+        self.prepare()
+        if not self.records and self.config.end_time is None:
+            return self.collector.finalize(
+                scheme=self.scheme.name, network=self.network, duration=0.0
             )
-        self._poll_timer = engine.every(self.config.poll_interval, self._poll)
-        engine.run(until=self._end_time)
+        if self._needs_delegate:
+            from repro.experiments.runner import build_runtime
+
+            self._delegate = build_runtime(
+                self.network, self.records, self.scheme, self.config, self.collector
+            )
+            metrics = self._delegate.run()
+            if self._path_cache_dir is not None:
+                self.network.path_service.flush()
+            return metrics
+
+        self.sim.run(until=self._end_time)
         self._finish()
         if self._path_cache_dir is not None:
             self.network.path_service.flush()
@@ -436,7 +552,8 @@ class SimulationSession:
     # ------------------------------------------------------------------
     # Internal event handlers (ported from Runtime, tick-scheduled)
     # ------------------------------------------------------------------
-    def _arrive(self, record: TransactionRecord) -> None:
+    def _new_payment(self, record: TransactionRecord) -> Payment:
+        """Materialise a trace record as a pending payment (no attempt)."""
         max_fee = (
             self.config.max_fee_fraction * record.amount
             if self.config.max_fee_fraction is not None
@@ -454,10 +571,36 @@ class SimulationSession:
         )
         self.payments[payment.payment_id] = payment
         self.collector.on_payment_arrival(payment)
+        return payment
+
+    def _arrive(self, record: TransactionRecord) -> None:
+        payment = self._new_payment(record)
         self._pending.add(payment)
         payment.attempts += 1
-        self.scheme.attempt(payment, self)
+        if self._dispatch is not None:
+            self._dispatch.attempt_cohort((payment,))
+        else:
+            self.scheme.attempt(payment, self)
         self._after_attempt(payment)
+
+    def _arrive_cohort(self, records: Tuple[TransactionRecord, ...]) -> None:
+        """Handle an arrival burst that landed on one tick as one cohort.
+
+        Bookkeeping (payment creation, arrival hooks, pending
+        registration, attempt counters) runs per record in trace order —
+        exactly the state the scalar per-record events would have built —
+        then the first attempts drain through
+        :meth:`DispatchPlan.attempt_cohort
+        <repro.engine.dispatch.DispatchPlan.attempt_cohort>` so
+        same-tick probes and locks batch.
+        """
+        payments = [self._new_payment(record) for record in records]
+        self._pending.add_many(payments)
+        for payment in payments:
+            payment.attempts += 1
+        self._dispatch.attempt_cohort(payments)
+        for payment in payments:
+            self._after_attempt(payment)
 
     def _poll(self) -> None:
         control = self.network.peek_control_plane()
@@ -468,6 +611,32 @@ class SimulationSession:
         if not self._pending:
             return
         now = self.sim.now
+        if self._dispatch is not None:
+            # Macro-tick path: triage the pending order first (each check
+            # reads only that payment's own state, so collecting before
+            # attempting is order-equivalent to the interleaved scalar
+            # loop), then push the eligible cohort through the batched
+            # probe/lock pipeline.
+            eligible: List[Payment] = []
+            for pid in self._pending.ordered():
+                payment = self.payments[pid]
+                if payment.is_terminal:
+                    self._pending.discard(payment.payment_id)
+                    continue
+                if payment.expired(now):
+                    self.fail_payment(payment)
+                    continue
+                if self.scheme.atomic:
+                    continue
+                if payment.remaining < self.config.min_unit_value:
+                    continue  # fully in flight; waiting on settlements
+                payment.attempts += 1
+                eligible.append(payment)
+            if eligible:
+                self._dispatch.attempt_cohort(eligible)
+                for payment in eligible:
+                    self._after_attempt(payment)
+            return
         for pid in self._pending.ordered():
             payment = self.payments[pid]
             if payment.is_terminal:
@@ -609,7 +778,17 @@ class SimulationSession:
             self.fail_payment(payment)
 
     def _finish(self) -> None:
-        """Mark still-pending payments failed at the end of the run."""
+        """Mark still-pending payments failed at the end of the run.
+
+        Also asserts the run actually drained: the dispatch plan's
+        staging buffers must be empty (an exception mid-cohort would
+        otherwise strand decided-but-unlocked sends) and no due event may
+        remain in the slab queue — a truncated run that silently dropped
+        in-flight units or matured-but-unflushed resolutions would skew
+        every completion metric without failing anything.
+        """
+        if self._dispatch is not None:
+            self._dispatch.assert_drained()
         if self.transport is not None:
             # Drain router queues first (refunds may complete nothing, but
             # they release in-flight value), mirroring the legacy runtimes.
@@ -623,6 +802,18 @@ class SimulationSession:
         self._pending.clear()
         if self._poll_timer is not None:
             self._poll_timer.stop()
+        due = self.sim.queue.peek_tick()
+        if due is not None and due <= self.sim.now_tick:
+            raise SimulationError(
+                f"session finished with a due event still queued at tick "
+                f"{due} (now {self.sim.now_tick}); in-flight work was dropped"
+            )
+        for tick in self._resolve_batches:
+            if tick <= self.sim.now_tick:
+                raise SimulationError(
+                    f"session finished with an unflushed resolution batch at "
+                    f"tick {tick} (now {self.sim.now_tick})"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

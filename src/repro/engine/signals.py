@@ -402,6 +402,12 @@ class ControlPlane:
         vectorised expression instead of a per-destination Python call.
         A negative distance encodes "unreachable" and zeroes the weight,
         matching the scalar early return.
+
+        ``dist_from`` / ``dist_to`` accept plain int sequences or int64
+        ndarrays — the backpressure transport hands over its cached
+        distance-row gathers directly, so the vectorised branch pays no
+        conversion and the scalar branch iterates int64 scalars whose
+        float arithmetic is value-identical to Python ints.
         """
         if self.vectorized and len(backlog_from) >= _GRADIENT_MIN:
             gradient = np.asarray(backlog_from) - np.asarray(backlog_to)

@@ -354,6 +354,29 @@ class ChannelStateStore:
             f"cannot lock {float(amounts[k]):.6g}"
         )
 
+    def lock_many(
+        self, cids: np.ndarray, sides: np.ndarray, amounts: np.ndarray
+    ) -> None:
+        """Lock a verified cohort of sends in one grouped scatter-add.
+
+        Caller contract (the dispatch layer's exact-estimate invariant):
+        every ``amounts[i]`` is at most the live spendable balance of
+        ``(cids[i], sides[i])`` at apply time and no hop is frozen, so no
+        clamping and no rollback path exist here — unlike
+        :meth:`lock_path_funds`, which must reproduce the scalar
+        lock-then-rollback on failure.  Duplicate ``(cid, side)`` pairs
+        (several units of one cohort crossing the same hop) are applied in
+        array order via ``np.ufunc.at``, matching the scalar per-send lock
+        sequence bit for bit.  One version bump covers the whole cohort:
+        probe caches only compare ``stamp > as_of``, so batch-granular
+        stamping is indistinguishable from per-send stamping.
+        """
+        np.subtract.at(self.balance, (cids, sides), amounts)
+        np.add.at(self.inflight, (cids, sides), amounts)
+        np.add.at(self.sent, (cids, sides), amounts)
+        self.version = version = self.version + 1
+        self.stamp[cids] = version
+
     def settle_path_funds(
         self, cids: np.ndarray, sides: np.ndarray, amounts: np.ndarray
     ) -> None:

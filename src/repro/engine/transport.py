@@ -136,6 +136,10 @@ class HopByHopTransport:
         #: (cid, side) -> parked units; timed-out corpses are popped lazily.
         self._queues: Dict[DirectionKey, Deque[HopUnit]] = {}
         self._draining = False  # end-of-run drain: no re-launches
+        #: Macro-tick dispatch: coalesce each service batch's advance
+        #: events into per-delay cohort events (see :meth:`advance_many`).
+        #: Pinned off alongside the session's scalar parity baseline.
+        self._batch_advances = bool(session.vectorized_dispatch)
         self.units_queued = 0
         self.units_timed_out = 0
         self.units_marked = 0
@@ -185,6 +189,59 @@ class HopByHopTransport:
         else:
             self.sim.schedule_after(self.hop_delay, self._forward, unit)
 
+    def advance_many(self, units: List[HopUnit]) -> None:
+        """Schedule a service batch's advances as per-delay cohort events.
+
+        Firing-order identical to per-unit :meth:`_schedule_advance`
+        under two conditions the caller guarantees: the units were
+        launched back to back with no interleaved schedule calls (their
+        scalar advance events would occupy a contiguous seq run, so one
+        cohort event in their place preserves order against every other
+        event), and — enforced here — forwards and settles must land on
+        *different* ticks to be split into separate cohorts.  When
+        ``hop_delay`` and ``settle_delay`` round to the same tick and both
+        kinds are present, splitting would reorder them against each
+        other, so the batch falls back to per-unit scheduling.
+        """
+        if len(units) == 1:
+            self._schedule_advance(units[0])
+            return
+        forwards: List[HopUnit] = []
+        settles: List[HopUnit] = []
+        for unit in units:
+            (settles if unit.at_destination else forwards).append(unit)
+        sim = self.sim
+        if (
+            forwards
+            and settles
+            and sim.delay_ticks(self.hop_delay) == sim.delay_ticks(self.settle_delay)
+        ):
+            for unit in units:
+                self._schedule_advance(unit)
+            return
+        if forwards:
+            if len(forwards) == 1:
+                sim.schedule_after(self.hop_delay, self._forward, forwards[0])
+            else:
+                sim.schedule_after(
+                    self.hop_delay, self._advance_cohort, tuple(forwards)
+                )
+        if settles:
+            if len(settles) == 1:
+                sim.schedule_after(self.settle_delay, self._settle_unit, settles[0])
+            else:
+                sim.schedule_after(
+                    self.settle_delay, self._settle_cohort, tuple(settles)
+                )
+
+    def _advance_cohort(self, units: Tuple[HopUnit, ...]) -> None:
+        for unit in units:
+            self._forward(unit)
+
+    def _settle_cohort(self, units: Tuple[HopUnit, ...]) -> None:
+        for unit in units:
+            self._settle_unit(unit)
+
     def _forward(self, unit: HopUnit) -> None:
         if unit.done:
             return
@@ -229,6 +286,8 @@ class HopByHopTransport:
             queue.extend(ordered)
         serviced: List[HopUnit] = []
         delays: List[float] = []
+        batch = self._batch_advances
+        launched: List[HopUnit] = []
         while queue:
             unit = queue[0]
             if unit.done:  # lazily-cancelled corpse (timed out)
@@ -250,7 +309,15 @@ class HopByHopTransport:
             delays.append(delay)
             unit.queued_at = None
             if self._try_lock_hop(unit):  # pragma: no branch - funds checked above
-                self._schedule_advance(unit)
+                if batch:
+                    launched.append(unit)
+                else:
+                    self._schedule_advance(unit)
+        if launched:
+            # The service loop scheduled nothing else, so its launches
+            # occupy a contiguous seq run — coalescing them after the loop
+            # preserves firing order exactly (see advance_many).
+            self.advance_many(launched)
         if serviced:
             # One control-plane scan marks every late unit in the batch
             # (the marks are consumed later, at each unit's end-to-end
@@ -417,6 +484,17 @@ class BackpressureTransport:
         # remove them), so snapshot it once instead of rebuilding the list
         # every service epoch.
         self._edges = list(self.network.edges())
+        #: node id -> dense row index into the per-destination distance rows.
+        self._node_index = {node: i for i, node in enumerate(self._adjacency)}
+        #: dest -> np.int64 distance row over dense node indices (-1 means
+        #: unreachable) — the array form of ``_distance(dest)``, gathered
+        #: once and reused by every gradient evaluation.
+        self._dist_rows: Dict[int, np.ndarray] = {}
+        #: (u, v, dests) -> (du, dv) int64 gathers.  Candidate destination
+        #: sets recur heavily across service epochs (queues drain slowly
+        #: relative to the epoch interval), so the per-direction gather is
+        #: worth memoising; bounded and dropped wholesale on overflow.
+        self._dir_dist_cache: Dict[tuple, Tuple[np.ndarray, np.ndarray]] = {}
         self._service_timer = None
         self.units_injected = 0
         self.units_expired = 0
@@ -470,6 +548,47 @@ class BackpressureTransport:
             self._distance_cache[dest] = bfs_distances(self._adjacency, dest)
         return self._distance_cache[dest]
 
+    def _distance_row(self, dest: int) -> np.ndarray:
+        """``_distance(dest)`` as a dense int64 row (-1 = unreachable)."""
+        row = self._dist_rows.get(dest)
+        if row is None:
+            distances = self._distance(dest)
+            row = np.full(len(self._node_index), -1, dtype=np.int64)
+            for node, dist in distances.items():
+                row[self._node_index[node]] = dist
+            self._dist_rows[dest] = row
+        return row
+
+    def _direction_distances(
+        self, u: int, v: int, dests: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(dist to each dest from ``u``, from ``v``) as int64 gathers."""
+        key = (u, v, tuple(dests))
+        cached = self._dir_dist_cache.get(key)
+        if cached is not None:
+            return cached
+        rows = [self._distance_row(dest) for dest in dests]
+        iu = self._node_index[u]
+        iv = self._node_index[v]
+        du = np.fromiter((row[iu] for row in rows), dtype=np.int64, count=len(rows))
+        dv = np.fromiter((row[iv] for row in rows), dtype=np.int64, count=len(rows))
+        if len(self._dir_dist_cache) >= 4096:
+            self._dir_dist_cache.clear()
+        self._dir_dist_cache[key] = (du, dv)
+        return du, dv
+
+    def invalidate_topology(self) -> None:
+        """Drop every distance cache (BFS dicts, rows, direction gathers).
+
+        Never needed during a paper-config run — faults *freeze* channels
+        rather than removing edges, so hop distances are static — but the
+        hook keeps the cached-array layer honest for out-of-tree topology
+        mutation.
+        """
+        self._distance_cache.clear()
+        self._dist_rows.clear()
+        self._dir_dist_cache.clear()
+
     # ------------------------------------------------------------------
     # The service epoch
     # ------------------------------------------------------------------
@@ -505,21 +624,18 @@ class BackpressureTransport:
     def _gradient_weights(self, u: int, v: int, dests: List[int]) -> List[float]:
         """Service weights of every candidate destination across ``u→v``.
 
-        The backlog/distance gathers stay dict-driven (queues are sparse);
-        the gradient arithmetic runs through the control plane's kernel —
-        one vectorised expression over the whole candidate batch instead
-        of a per-destination :meth:`_weight` call.
+        The backlog gathers stay dict-driven (queues are sparse); the hop
+        distances come from cached int64 rows
+        (:meth:`_direction_distances`) instead of per-destination dict
+        walks, and the gradient arithmetic runs through the control
+        plane's kernel — one vectorised expression over the whole
+        candidate batch instead of a per-destination :meth:`_weight` call.
         """
         if not dests:
             return []
         backlog_u = [self.backlog(u, dest) for dest in dests]
         backlog_v = [self.backlog(v, dest) for dest in dests]
-        dist_u: List[int] = []
-        dist_v: List[int] = []
-        for dest in dests:
-            distances = self._distance(dest)
-            dist_u.append(distances.get(u, -1))
-            dist_v.append(distances.get(v, -1))
+        dist_u, dist_v = self._direction_distances(u, v, dests)
         return self.control.gradient_weights(
             backlog_u, backlog_v, dist_u, dist_v, self.beta
         )

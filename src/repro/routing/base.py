@@ -105,6 +105,16 @@ class RoutingScheme(abc.ABC):
     #: subclass pinning its own ``runtime_class`` (without redeclaring
     #: ``transport``) keeps the legacy delegate it asks for.
     transport: Optional[str] = None
+    #: Name of the vectorised cohort decision rule the session's
+    #: :class:`~repro.engine.dispatch.DispatchPlan` may use in place of
+    #: per-payment :meth:`attempt` calls when draining a same-tick cohort
+    #: (currently only ``"waterfilling"``).  ``None`` means the dispatch
+    #: layer drives :meth:`attempt` sequentially — still batched at the
+    #: event level, with bit-identical results.  Declaring a rule is a
+    #: promise that the batched kernel reproduces :meth:`attempt`'s
+    #: decisions byte for byte; the parity suite in
+    #: ``tests/engine/test_dispatch.py`` enforces it.
+    cohort_rule: Optional[str] = None
 
     def prepare(self, runtime: "Runtime") -> None:
         """One-time setup before the trace starts (path/LP precomputation).
