@@ -183,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(precompute_parser)
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run repro-lint, the AST-based engine-invariant linter",
+        description=(
+            "Check the tree against the engine's correctness invariants "
+            "(determinism, ordered iteration, store-mutation discipline, "
+            "scalar/vector parity coverage, integer ticks).  Equivalent to "
+            "`python -m repro.devtools.lint`."
+        ),
+    )
+    from repro.devtools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+
     sub.add_parser("schemes", help="list available schemes")
     return parser
 
@@ -195,6 +209,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in available_schemes():
             print(name)
         return 0
+
+    if args.command == "lint":
+        from repro.devtools.lint.cli import run_from_args
+
+        return run_from_args(args)
 
     if args.command == "run":
         metrics = run_experiment(

@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repo but not with a simulation.
+
+Nothing under :mod:`repro.devtools` is imported by the engine, the routing
+schemes or the experiment layer — these are build/CI utilities (currently
+the :mod:`repro.devtools.lint` invariant linter) that operate *on* the
+source tree rather than inside a run.
+"""

@@ -1,0 +1,97 @@
+"""Finding records and output rendering for :mod:`repro.devtools.lint`.
+
+A :class:`Finding` is one rule violation pinned to a ``file:line:col``
+location.  Output is deliberately boring and stable: the text format is
+one ``path:line:col RULE message`` line per finding (sorted), the JSON
+format is a versioned document with the same findings plus per-rule
+counts, so CI diffs and dashboards can consume either without scraping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Finding", "LintReport", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is ``(path, line, col, rule_id)`` so sorted findings read in
+    file order regardless of which rule produced them.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format_text(self) -> str:
+        """The canonical one-line rendering (``path:line:col RULE msg``)."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one linter run over one parsed-module index."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by ``# repro-lint: allow[RULE]`` comments.
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 when any unsuppressed finding."""
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """``{rule_id: finding count}`` for the unsuppressed findings."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable rendering: one line per finding plus a summary."""
+    lines = [finding.format_text() for finding in sorted(report.findings)]
+    total = len(report.findings)
+    noun = "finding" if total == 1 else "findings"
+    summary = (
+        f"repro-lint: {total} {noun} "
+        f"({len(report.suppressed)} suppressed) across "
+        f"{report.files_scanned} files"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable rendering (stable key order, versioned schema)."""
+    document = {
+        "version": 1,
+        "files_scanned": report.files_scanned,
+        "rules_run": sorted(report.rules_run),
+        "counts": {
+            rule_id: count
+            for rule_id, count in sorted(report.counts_by_rule().items())
+        },
+        "suppressed": len(report.suppressed),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in sorted(report.findings)
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

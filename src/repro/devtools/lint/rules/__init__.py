@@ -1,0 +1,33 @@
+"""Built-in lint rules; importing this package registers all of them.
+
+Each module ships one rule grounded in a real engine invariant:
+
+========  ============================  =======================================
+Rule      Module                        Invariant
+========  ============================  =======================================
+RL001     :mod:`.determinism`           no wall-clock / unseeded RNG in the
+                                        simulation layers
+RL002     :mod:`.ordering`              no unordered iteration in scheduling /
+                                        cohort-building modules
+RL003     :mod:`.store_discipline`      store array writes pair with a
+                                        version/stamp bump
+RL004     :mod:`.parity`                every ``vectorized_*`` fast path keeps
+                                        a tested scalar baseline
+RL005     :mod:`.ticks`                 no float arithmetic in schedule tick
+                                        arguments
+========  ============================  =======================================
+"""
+
+from repro.devtools.lint.rules.determinism import DeterminismRule
+from repro.devtools.lint.rules.ordering import OrderedIterationRule
+from repro.devtools.lint.rules.parity import ParityPairRule
+from repro.devtools.lint.rules.store_discipline import StoreDisciplineRule
+from repro.devtools.lint.rules.ticks import IntegerTickRule
+
+__all__ = [
+    "DeterminismRule",
+    "OrderedIterationRule",
+    "ParityPairRule",
+    "StoreDisciplineRule",
+    "IntegerTickRule",
+]

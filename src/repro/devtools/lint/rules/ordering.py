@@ -1,0 +1,136 @@
+"""RL002 — ordered iteration in event-scheduling / cohort-building code.
+
+Modules that schedule events or assemble dispatch cohorts turn iteration
+order into *event order*: walking a ``dict.values()`` view or a set while
+scheduling decides which payment locks funds first, and float scatter-adds
+make even "commutative" effects order-sensitive at the bit level.  CPython
+dict order is insertion order (deterministic given a deterministic run),
+but set iteration order depends on element hashes — for strings that means
+``PYTHONHASHSEED`` — and both make the *implicit* ordering contract
+invisible at the call site.
+
+The rule flags direct iteration over ``.values()``/``.keys()`` calls, set
+literals, and ``set(...)``/``frozenset(...)`` constructors inside modules
+that touch the scheduling surface (``schedule*``/``every``/``add_many``/
+``advance_many``/``attempt_cohort`` calls, or ``*cohort*`` function
+definitions).  Iterating ``sorted(...)`` of any of these is always clean;
+provably order-independent loops keep a per-line suppression with a
+one-line proof sketch, which is exactly the documentation the next reader
+needs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.lint.index import LintIndex, ModuleInfo, dotted_name
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.report import Finding
+
+__all__ = ["OrderedIterationRule"]
+
+#: Call names (last attribute segment) that mark a module as part of the
+#: event-scheduling / cohort-building surface.
+_SCHEDULING_CALLS = {
+    "schedule",
+    "schedule_at_tick",
+    "schedule_after",
+    "schedule_many",
+    "every",
+    "add_many",
+    "advance_many",
+    "attempt_cohort",
+}
+
+#: Unordered-iteration sources (method names on arbitrary objects).
+_UNORDERED_METHODS = {"values", "keys"}
+
+#: Constructor names whose iteration order is hash-dependent.
+_UNORDERED_CONSTRUCTORS = {"set", "frozenset"}
+
+
+def _last_segment(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _module_in_scope(module: ModuleInfo) -> bool:
+    """Whether this module schedules events or builds cohorts."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            segment = _last_segment(node.func)
+            if segment in _SCHEDULING_CALLS:
+                return True
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if "cohort" in node.name:
+                return True
+    return False
+
+
+def _diagnose_iterable(node: ast.expr) -> Optional[str]:
+    """A message when ``node`` (a loop's iterable) has fragile order."""
+    if isinstance(node, ast.Call):
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _UNORDERED_METHODS
+            and not node.args
+            and not node.keywords
+        ):
+            owner = dotted_name(node.func.value) or "<expr>"
+            return (
+                f"iterating {owner}.{node.func.attr}() in an event-scheduling "
+                "module bakes container order into event order; iterate "
+                "sorted(...) or suppress with a one-line order-independence "
+                "argument"
+            )
+        constructor = dotted_name(node.func)
+        if constructor in _UNORDERED_CONSTRUCTORS:
+            return (
+                f"iterating a {constructor}(...) here is "
+                "PYTHONHASHSEED-dependent for str keys; sort it or prove "
+                "order independence in a suppression"
+            )
+    elif isinstance(node, ast.Set):
+        return (
+            "iterating a set literal here is hash-order-dependent; sort it "
+            "or prove order independence in a suppression"
+        )
+    return None
+
+
+@rule
+class OrderedIterationRule:
+    """RL002: scheduling/cohort modules must not iterate unordered views."""
+
+    id = "RL002"
+    summary = (
+        "no bare dict.values()/.keys()/set iteration in modules that "
+        "schedule events or build cohorts (sort or prove order-independent)"
+    )
+
+    def check(self, index: LintIndex) -> Iterator[Finding]:
+        for module in index.src_modules():
+            if not _module_in_scope(module):
+                continue
+            for node in ast.walk(module.tree):
+                iterables = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iterables.append(node.iter)
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    iterables.extend(gen.iter for gen in node.generators)
+                for iterable in iterables:
+                    message = _diagnose_iterable(iterable)
+                    if message is not None:
+                        yield Finding(
+                            path=module.path,
+                            line=iterable.lineno,
+                            col=iterable.col_offset,
+                            rule_id=self.id,
+                            message=message,
+                        )

@@ -1,0 +1,145 @@
+"""RL004 — every ``vectorized_*`` fast path keeps a tested scalar twin.
+
+The engine's vectorisation pattern (PR 3–6) is: ship the batched kernel
+as the default, keep the scalar implementation behind a class attribute
+``vectorized_<thing> = True``, and pin byte-identical metrics across both
+branches in the test suite.  The scalar twin is the *proof obligation* —
+once no test flips the flag to ``False``, the parity baseline is dead
+code and the next kernel change can drift unobserved.
+
+The rule finds every class-body attribute matching ``vectorized_*`` in
+the shipped tree and requires the test tree to exercise both branches:
+
+* the **scalar** branch — some test assigns the attribute ``False``;
+* the **vectorised** branch — some test assigns it ``True`` or reads it
+  (the default-on path asserted or restored).
+
+An assignment from a non-constant expression (``Cls.vectorized_x =
+flag`` inside a parametrised helper) counts for both branches, matching
+the suite's save/restore + parametrise idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from repro.devtools.lint.index import LintIndex
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.report import Finding
+
+__all__ = ["ParityPairRule"]
+
+_VECTORIZED_ATTR = re.compile(r"^vectorized_[a-z0-9_]+$")
+
+
+class _TestUsage:
+    """How the test tree touches one ``vectorized_*`` attribute name."""
+
+    __slots__ = ("assigned_true", "assigned_false", "assigned_dynamic", "loads")
+
+    def __init__(self) -> None:
+        self.assigned_true = False
+        self.assigned_false = False
+        self.assigned_dynamic = False
+        self.loads = 0
+
+    @property
+    def covers_scalar(self) -> bool:
+        return self.assigned_false or self.assigned_dynamic
+
+    @property
+    def covers_vectorized(self) -> bool:
+        return self.assigned_true or self.assigned_dynamic or self.loads > 0
+
+
+def _class_attributes(index: LintIndex) -> List[Tuple[str, str, int, str]]:
+    """Every ``vectorized_*`` class attribute: (path, class, line, name)."""
+    found = []
+    for module in index.src_modules():
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                targets: List[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and _VECTORIZED_ATTR.match(
+                        target.id
+                    ):
+                        found.append((module.path, node.name, stmt.lineno, target.id))
+    return found
+
+
+def _test_usages(index: LintIndex) -> Dict[str, _TestUsage]:
+    usages: Dict[str, _TestUsage] = {}
+
+    def usage(name: str) -> _TestUsage:
+        entry = usages.get(name)
+        if entry is None:
+            usages[name] = entry = _TestUsage()
+        return entry
+
+    for module in index.test_modules():
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and _VECTORIZED_ATTR.match(
+                        target.attr
+                    ):
+                        entry = usage(target.attr)
+                        value = node.value
+                        if isinstance(value, ast.Constant) and value.value is True:
+                            entry.assigned_true = True
+                        elif isinstance(value, ast.Constant) and value.value is False:
+                            entry.assigned_false = True
+                        else:
+                            entry.assigned_dynamic = True
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if _VECTORIZED_ATTR.match(node.attr):
+                    usage(node.attr).loads += 1
+    return usages
+
+
+@rule
+class ParityPairRule:
+    """RL004: vectorized_* flags need both branches exercised under tests/."""
+
+    id = "RL004"
+    summary = (
+        "every vectorized_* class attribute needs tests exercising both the "
+        "fast path and the scalar parity baseline (assign False somewhere "
+        "under tests/)"
+    )
+
+    def check(self, index: LintIndex) -> Iterator[Finding]:
+        usages = _test_usages(index)
+        for path, class_name, line, attr in _class_attributes(index):
+            entry = usages.get(attr)
+            missing: List[str] = []
+            if entry is None or not entry.covers_scalar:
+                missing.append(
+                    "scalar baseline (no test assigns it False or a "
+                    "parametrised value)"
+                )
+            if entry is None or not entry.covers_vectorized:
+                missing.append(
+                    "vectorised branch (no test assigns it True, restores or "
+                    "reads it)"
+                )
+            if missing:
+                yield Finding(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule_id=self.id,
+                    message=(
+                        f"{class_name}.{attr} ships a fast path without "
+                        f"pinned parity coverage under tests/: missing "
+                        f"{'; '.join(missing)}"
+                    ),
+                )

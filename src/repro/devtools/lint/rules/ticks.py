@@ -1,0 +1,115 @@
+"""RL005 — integer-tick discipline at the scheduling boundary.
+
+The tick engine's event keys embed the tick as a bit-shifted integer;
+float seconds exist only at the API boundary, converted exactly once via
+``TickClock.to_ticks``.  A float literal or true-division expression
+flowing into ``schedule``/``schedule_at_tick``/``schedule_many`` tick
+arguments reintroduces the float-drift bug class the integer-tick design
+removed (events at ``0.1 + 0.2`` vs ``0.3`` seconds landing on different
+ticks across platforms).
+
+The rule inspects the tick argument of every ``schedule``/
+``schedule_at_tick``/``schedule_many`` call in the shipped tree and flags
+any float constant or ``/`` (true division) inside it.  Subtrees under a
+``to_ticks(...)`` call are exempt — that *is* the sanctioned conversion
+point (``schedule_after``/``every`` take seconds and are out of scope).
+Floor division (``//``) and shifts stay integral and are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.devtools.lint.index import LintIndex
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.report import Finding
+
+__all__ = ["IntegerTickRule"]
+
+#: Calls whose first argument is an absolute tick (or list of ticks).
+_TICK_CALLS = {
+    "schedule": ("tick",),
+    "schedule_at_tick": ("tick",),
+    "schedule_many": ("ticks",),
+}
+
+#: Calls that convert seconds to ticks; their arguments are float-domain.
+_CONVERSIONS = {"to_ticks"}
+
+
+def _last_segment(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _float_hazards(node: ast.expr) -> List[ast.AST]:
+    """Float literals / true divisions in ``node``, pruned at to_ticks()."""
+    hazards: List[ast.AST] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Call):
+            segment = _last_segment(current.func)
+            if segment in _CONVERSIONS:
+                continue  # inside the sanctioned float->tick conversion
+        if isinstance(current, ast.Constant) and isinstance(current.value, float):
+            hazards.append(current)
+        elif isinstance(current, ast.BinOp) and isinstance(current.op, ast.Div):
+            hazards.append(current)
+        stack.extend(ast.iter_child_nodes(current))
+    return hazards
+
+
+def _tick_argument(node: ast.Call, keyword: str) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+@rule
+class IntegerTickRule:
+    """RL005: no float arithmetic flowing into schedule tick arguments."""
+
+    id = "RL005"
+    summary = (
+        "schedule/schedule_at_tick/schedule_many tick arguments must be "
+        "integral — convert seconds via clock.to_ticks(), never float "
+        "literals or '/'"
+    )
+
+    def check(self, index: LintIndex) -> Iterator[Finding]:
+        for module in index.src_modules():
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                segment = _last_segment(node.func)
+                if segment not in _TICK_CALLS:
+                    continue
+                (keyword,) = _TICK_CALLS[segment]
+                tick_arg = _tick_argument(node, keyword)
+                if tick_arg is None:
+                    continue
+                for hazard in _float_hazards(tick_arg):
+                    kind = (
+                        "float literal"
+                        if isinstance(hazard, ast.Constant)
+                        else "true division"
+                    )
+                    yield Finding(
+                        path=module.path,
+                        line=hazard.lineno,
+                        col=hazard.col_offset,
+                        rule_id=self.id,
+                        message=(
+                            f"{kind} in the tick argument of {segment}(); "
+                            "ticks are integers — convert seconds exactly "
+                            "once via clock.to_ticks(seconds)"
+                        ),
+                    )

@@ -1,0 +1,72 @@
+"""Orchestration: parse once, run every rule, apply suppressions.
+
+The runner owns the lifecycle the CLI and the selftests share:
+
+1. build one :class:`~repro.devtools.lint.index.LintIndex` over the
+   requested roots (a single ``ast.parse`` pass — the whole run is
+   sub-second on this tree, cheap enough for CI and pre-commit);
+2. run each registered rule over the shared index;
+3. drop findings silenced by ``# repro-lint: allow[RULE]`` comments into
+   the report's ``suppressed`` list (still counted, never printed as
+   failures);
+4. fold parse failures in as ``RL000`` findings — a file the linter
+   cannot read is a finding, not a silent skip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from repro.devtools.lint.index import LintIndex, ModuleInfo
+from repro.devtools.lint.registry import all_rules
+from repro.devtools.lint.report import Finding, LintReport
+
+__all__ = ["run_lint", "run_over_index"]
+
+#: Pseudo-rule id for files the index failed to parse.
+PARSE_ERROR_RULE = "RL000"
+
+
+def run_over_index(
+    index: LintIndex,
+    select: Optional[Sequence[str]] = None,
+    on_rule: Optional[Callable[[str], None]] = None,
+) -> LintReport:
+    """Run the (selected) registered rules over an existing index."""
+    report = LintReport(files_scanned=len(index))
+    for failure in index.failures:
+        report.findings.append(
+            Finding(
+                path=failure.path,
+                line=1,
+                col=0,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not parse file: {failure.message}",
+            )
+        )
+    by_path: Dict[str, ModuleInfo] = {module.path: module for module in index.modules}
+    for lint_rule in all_rules(select):
+        report.rules_run.append(lint_rule.id)
+        if on_rule is not None:
+            on_rule(lint_rule.id)
+        for finding in lint_rule.check(index):
+            module = by_path.get(finding.path)
+            if module is not None and module.is_suppressed(
+                finding.rule_id, finding.line
+            ):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort()
+    report.suppressed.sort()
+    return report
+
+
+def run_lint(
+    roots: Iterable[str],
+    select: Optional[Sequence[str]] = None,
+    base: Optional[str] = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``roots`` and return the report."""
+    index = LintIndex.from_paths(roots, base=base)
+    return run_over_index(index, select=select)

@@ -25,7 +25,7 @@ from repro.engine.signals import CongestionState, ControlPlane
 from repro.engine.store import ChannelStateStore
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # SimulationSession and the transports pull in the payments/network
     # layers, which themselves build on this package's store — import them
     # lazily so low-level modules (e.g. repro.network.channel) can import

@@ -56,7 +56,7 @@ not installed.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -66,6 +66,7 @@ from repro.network.htlc import HashLock
 from repro.simulator.engine import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.pathtable import CompiledPath, _ProbeCache
     from repro.engine.session import SimulationSession
 
 __all__ = ["DispatchPlan", "compiled_kernel_enabled"]
@@ -74,7 +75,7 @@ __all__ = ["DispatchPlan", "compiled_kernel_enabled"]
 _KERNEL_SLOTS = 64
 
 
-def _load_compiled_kernel():
+def _load_compiled_kernel() -> Optional[Callable[..., int]]:
     """The numba-jitted waterfilling decision kernel, or ``None``.
 
     Enabled only when ``REPRO_COMPILED_DISPATCH`` is truthy *and* numba is
@@ -91,7 +92,16 @@ def _load_compiled_kernel():
         return None
 
     @njit(cache=True)  # pragma: no cover - exercised only when numba exists
-    def decide(est, amount_total, delivered, inflight, mtu, min_unit, out_idx, out_amt):
+    def decide(
+        est: Any,
+        amount_total: float,
+        delivered: float,
+        inflight: float,
+        mtu: float,
+        min_unit: float,
+        out_idx: Any,
+        out_amt: Any,
+    ) -> int:
         # Mirrors DispatchPlan._decide_python operation for operation so
         # the floats (and therefore the metrics) are identical.
         n = 0
@@ -152,11 +162,11 @@ class _PairProfile:
 
     __slots__ = ("batchable", "probe", "cpaths", "cid_set")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.batchable = False
-        self.probe = None
-        self.cpaths: List = []
-        self.cid_set: frozenset = frozenset()
+        self.probe: Optional[_ProbeCache] = None
+        self.cpaths: List[CompiledPath] = []
+        self.cid_set: FrozenSet[int] = frozenset()
 
 
 class DispatchPlan:
@@ -170,7 +180,7 @@ class DispatchPlan:
         # Struct-of-arrays staging: parallel lists appended in decision
         # order, flushed through one grouped scatter-add.
         self._staged_payments: List[Payment] = []
-        self._staged_cpaths: List = []
+        self._staged_cpaths: List[CompiledPath] = []
         self._staged_amounts: List[float] = []
         #: Channel ids touched by sends staged since the last flush.
         self._staged_dirty: Set[int] = set()
@@ -402,12 +412,24 @@ class DispatchPlan:
         store stays conserved for post-mortem inspection), then the run is
         failed.
         """
-        if self._staged_payments:
-            count = len(self._staged_payments)
+        if self._staged_payments or self._staged_cpaths or self._staged_amounts:
+            counts = {
+                "staged_payments": len(self._staged_payments),
+                "staged_cpaths": len(self._staged_cpaths),
+                "staged_amounts": len(self._staged_amounts),
+            }
+            buffers = ", ".join(f"{name}={n}" for name, n in counts.items() if n)
+            payment_ids = sorted(
+                {payment.payment_id for payment in self._staged_payments}
+            )
+            shown = ", ".join(str(pid) for pid in payment_ids[:8])
+            if len(payment_ids) > 8:
+                shown += f", ... ({len(payment_ids) - 8} more)"
             self._flush()
             raise SimulationError(
-                f"dispatch staging buffers held {count} unflushed send(s) at "
-                "finish(); a cohort ended without draining"
+                f"dispatch staging buffers not drained at finish(): {buffers}"
+                + (f"; stranded sends belong to payment ids [{shown}]" if shown else "")
+                + " — a cohort ended without flushing"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

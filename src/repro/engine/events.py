@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.clock import DEFAULT_QUANTUM, TickClock
 from repro.simulator.engine import SimulationError
@@ -71,7 +71,7 @@ class SlabEventQueue:
         self,
         tick: int,
         callback: Callable[..., Any],
-        args: tuple = (),
+        args: Tuple[Any, ...] = (),
         priority: int = 0,
     ) -> Entry:
         """Schedule ``callback(*args)`` at ``tick``; returns the record."""
@@ -93,8 +93,8 @@ class SlabEventQueue:
     def schedule_many(
         self,
         ticks: List[int],
-        callbacks,
-        args_list: List[tuple],
+        callbacks: Callable[..., Any] | Sequence[Callable[..., Any]],
+        args_list: List[Tuple[Any, ...]],
         priority: int = 0,
     ) -> List[Entry]:
         """Schedule a batch of events in one slab append; returns records.
@@ -275,7 +275,7 @@ class TickEngine:
     # Scheduling — hot path (raw records)
     # ------------------------------------------------------------------
     def schedule_at_tick(
-        self, tick: int, callback: Callable[..., Any], args: tuple = (), priority: int = 0
+        self, tick: int, callback: Callable[..., Any], args: Tuple[Any, ...] = (), priority: int = 0
     ) -> Entry:
         """Schedule at an absolute ``tick``; returns the raw record."""
         if tick < self._tick:
@@ -310,8 +310,8 @@ class TickEngine:
     def schedule_many(
         self,
         ticks: List[int],
-        callbacks,
-        args_list: List[tuple],
+        callbacks: Callable[..., Any] | Sequence[Callable[..., Any]],
+        args_list: List[Tuple[Any, ...]],
         priority: int = 0,
     ) -> List[Entry]:
         """Bulk-schedule events at absolute ``ticks`` (one slab append).

@@ -44,7 +44,10 @@ import hashlib
 import json
 import os
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.network import PaymentNetwork
 
 import numpy as np
 
@@ -86,7 +89,7 @@ def contract_loops(path: Sequence[int]) -> Path:
     return tuple(out)
 
 
-def _sorted_ids(ids) -> Tuple[List, bool]:
+def _sorted_ids(ids: Iterable) -> Tuple[List, bool]:
     """``(sorted list, natural)`` — ``natural`` is False on the repr fallback."""
     try:
         return sorted(ids), True
@@ -363,7 +366,7 @@ class ScalarDisjointProvider:
         for source, dest in pairs:
             self.paths(source, dest)
 
-    def paths(self, source, dest) -> List[Path]:
+    def paths(self, source: int, dest: int) -> List[Path]:
         """The pair's path set (fewer than k when the graph runs out)."""
         if self._method == "edge-disjoint":
             return k_edge_disjoint_paths(self._adjacency, source, dest, self._k)
@@ -394,7 +397,7 @@ class CsrDisjointProvider:
         for source, dest in pairs:
             self.paths(source, dest)
 
-    def paths(self, source, dest) -> List[Path]:
+    def paths(self, source: int, dest: int) -> List[Path]:
         """The pair's path set (fewer than k when the graph runs out)."""
         if source == dest:
             # Parity: the scalar loop re-finds the single-node path k times.
@@ -425,7 +428,7 @@ class _ArrayTree:
         self._parent = parent
         self._root = root
 
-    def path_from_root(self, node) -> Optional[Path]:
+    def path_from_root(self, node: int) -> Optional[Path]:
         """Root → node path with root-side BFS tie-breaks, or ``None``."""
         idx = self._graph.index.get(node)
         if idx is None or self._parent[idx] == -1:
@@ -440,11 +443,11 @@ class _DictTree:
 
     __slots__ = ("_parent", "_root")
 
-    def __init__(self, parent: Dict, root):
+    def __init__(self, parent: Dict, root: int):
         self._parent = parent
         self._root = root
 
-    def path_from_root(self, node) -> Optional[Path]:
+    def path_from_root(self, node: int) -> Optional[Path]:
         """Root → node path with root-side BFS tie-breaks, or ``None``."""
         if node not in self._parent:
             return None
@@ -454,7 +457,11 @@ class _DictTree:
         return tuple(reversed(chain))
 
 
-def _dict_bfs_tree(adjacency: Dict, root) -> Dict:
+#: Both BFS parent-tree backings share the ``path_from_root`` surface.
+BfsTree = Union["_ArrayTree", "_DictTree"]
+
+
+def _dict_bfs_tree(adjacency: Dict, root: int) -> Dict:
     """Full FIFO BFS parent map (adjacency rows must be pre-sorted)."""
     parent = {root: root}
     queue = deque([root])
@@ -491,18 +498,18 @@ class LandmarkProvider:
     def __init__(self, service: "PathService", landmarks: Sequence):
         self._service = service
         self.landmarks = list(landmarks)
-        self._trees: Dict[object, object] = {}
-        self._source_trees: Dict[object, object] = {}
+        self._trees: Dict[int, BfsTree] = {}
+        self._source_trees: Dict[int, BfsTree] = {}
         self._pairs: Dict[Pair, List[Path]] = {}
 
-    def _tree(self, root):
+    def _tree(self, root: int) -> BfsTree:
         tree = self._trees.get(root)
         if tree is None:
             tree = self._service.bfs_tree(root)
             self._trees[root] = tree
         return tree
 
-    def _source_tree(self, source):
+    def _source_tree(self, source: int) -> BfsTree:
         if source in self._trees:  # a landmark sending: reuse its tree
             return self._trees[source]
         tree = self._source_trees.get(source)
@@ -518,7 +525,7 @@ class LandmarkProvider:
         for source, dest in pairs:
             self.paths(source, dest)
 
-    def paths(self, source, dest) -> List[Path]:
+    def paths(self, source: int, dest: int) -> List[Path]:
         """One loop-free path per landmark (deduplicated), memoised."""
         key = (source, dest)
         cached = self._pairs.get(key)
@@ -546,6 +553,11 @@ class LandmarkProvider:
         return [self.paths(source, dest) for source, dest in pairs]
 
 
+#: The three provider implementations share the ``paths`` / ``paths_many``
+#: / ``prepare`` discovery surface the cache wraps.
+PathProvider = Union[ScalarDisjointProvider, CsrDisjointProvider, LandmarkProvider]
+
+
 # ----------------------------------------------------------------------
 # Persistence
 # ----------------------------------------------------------------------
@@ -567,7 +579,7 @@ class PersistentCache:
     #: Process-wide pair stores, keyed by the full cache key.
     _shared: Dict[str, Dict[Pair, List[Path]]] = {}
 
-    def __init__(self, provider, key: str, cache_dir: Optional[str] = None):
+    def __init__(self, provider: PathProvider, key: str, cache_dir: Optional[str] = None):
         self.provider = provider
         self.key = key
         self._pairs = self._shared.setdefault(key, {})
@@ -582,7 +594,7 @@ class PersistentCache:
         cls._shared.clear()
 
     # -- discovery ------------------------------------------------------
-    def paths(self, source, dest) -> List[Path]:
+    def paths(self, source: int, dest: int) -> List[Path]:
         """The pair's path set, computed at most once per process."""
         key = (source, dest)
         if key not in self._pairs:
@@ -697,12 +709,12 @@ class PairPathView:
         """Paths requested per pair."""
         return self._k
 
-    def paths(self, source, dest) -> List[Path]:
+    def paths(self, source: int, dest: int) -> List[Path]:
         """The pair's path set (possibly fewer than k; empty if
         disconnected)."""
         return self._cache.paths(source, dest)
 
-    def shortest(self, source, dest) -> Optional[Path]:
+    def shortest(self, source: int, dest: int) -> Optional[Path]:
         """The pair's shortest path, or ``None`` if disconnected."""
         paths = self._cache.paths(source, dest)
         return paths[0] if paths else None
@@ -747,7 +759,7 @@ class PathService:
         self._landmark_providers: Dict[int, LandmarkProvider] = {}
 
     @classmethod
-    def from_network(cls, network, cache_dir: Optional[str] = None) -> "PathService":
+    def from_network(cls, network: "PaymentNetwork", cache_dir: Optional[str] = None) -> "PathService":
         """Build the service over a
         :class:`~repro.network.network.PaymentNetwork`'s channel graph."""
         return cls(
@@ -836,7 +848,7 @@ class PathService:
             self._landmark_providers[num_landmarks] = provider
         return provider
 
-    def bfs_tree(self, root):
+    def bfs_tree(self, root: int) -> BfsTree:
         """A full BFS parent tree rooted at ``root`` (mode-matched).
 
         Array-backed in vectorised mode, dict-backed in scalar parity
@@ -851,7 +863,7 @@ class PathService:
         return _DictTree(_dict_bfs_tree(self._adjacency, root), root)
 
     # -- convenience discovery -----------------------------------------
-    def paths(self, source, dest, k: int = 4, method: str = "edge-disjoint") -> List[Path]:
+    def paths(self, source: int, dest: int, k: int = 4, method: str = "edge-disjoint") -> List[Path]:
         """One pair's path set through the (k, method) provider."""
         return self.provider(k, method).paths(source, dest)
 

@@ -34,7 +34,7 @@ partial-lock rollback side effects on a mid-path
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -134,7 +134,7 @@ class PathLock:
     def __getitem__(self, index: int) -> HopLock:
         return HopLock(float(self.amounts[index]))
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[HopLock]:
         return (HopLock(a) for a in self.amounts.tolist())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

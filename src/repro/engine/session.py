@@ -39,12 +39,12 @@ import numpy as np
 
 from repro.core.payments import Payment, PaymentState, TransactionUnit
 from repro.core.scheduling import PendingHeap, get_policy
-from repro.core.runtime import RuntimeConfig
+from repro.core.runtime import Runtime, RuntimeConfig
 from repro.engine.clock import DEFAULT_QUANTUM
 from repro.engine.dispatch import DispatchPlan
 from repro.engine.events import TickEngine, TickTimer
 from repro.engine.pathtable import PathLock
-from repro.engine.transport import make_transport
+from repro.engine.transport import Transport, make_transport
 from repro.errors import InsufficientFundsError
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.network.htlc import HashLock
@@ -53,6 +53,7 @@ from repro.simulator.engine import SimulationError
 from repro.workload.generator import TransactionRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.pathservice import PathService
     from repro.experiments.config import ExperimentConfig
     from repro.routing.base import RoutingScheme
 
@@ -152,8 +153,8 @@ class SimulationSession:
         #: (replaces the per-poll full sort; see PendingHeap).
         self._pending = PendingHeap(self._policy)
         self._poll_timer: Optional[TickTimer] = None
-        self._delegate = None  # set when a legacy runtime runs the trace
-        self.transport = None  # set when the scheme declares a native transport
+        self._delegate: Optional[Runtime] = None  # set when a legacy runtime runs the trace
+        self.transport: Optional[Transport] = None  # set when the scheme declares a native transport
         self._transport_spec = transport_spec
         self._path_cache_dir = path_cache_dir
         self._finished = False
@@ -217,7 +218,7 @@ class SimulationSession:
         return self._end_time
 
     @property
-    def path_service(self):
+    def path_service(self) -> "PathService":
         """The session's shared path-discovery service (one per network).
 
         Schemes resolve their pair path sets through it in ``prepare``;
@@ -403,7 +404,7 @@ class SimulationSession:
             scheme=self.scheme.name, network=self.network, duration=self._end_time
         )
 
-    def _ensure_transport(self):
+    def _ensure_transport(self) -> Optional[Transport]:
         """Instantiate the forced transport once (shims may need it before
         :meth:`run`, e.g. to inject units directly in tests)."""
         if self.transport is None and self._transport_spec is not None:

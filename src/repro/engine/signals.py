@@ -42,7 +42,7 @@ vectorised kernels are pinned against them float for float by
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence
 
 import numpy as np
 
@@ -206,13 +206,13 @@ class ControlPlane:
         for cid, side in cpath.hops:
             state.window[cid, side] += amount
 
-    def observe_hop(self, u, v, amount: float) -> None:
+    def observe_hop(self, u: Hashable, v: Hashable, amount: float) -> None:
         """Record ``amount`` locked in the ``u → v`` direction."""
         cid, side = self._network.channel_id(u, v)
         state = self._sync()
         state.window[cid, side] += amount
 
-    def hop_price(self, u, v) -> float:
+    def hop_price(self, u: Hashable, v: Hashable) -> float:
         """Directed price ``z_(u,v) = λ + µ_(u,v) − µ_(v,u)``."""
         cid, side = self._network.channel_id(u, v)
         state = self._sync()

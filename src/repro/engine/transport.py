@@ -38,7 +38,7 @@ determinism parity tests pin this).
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -53,7 +53,7 @@ from repro.routing.backpressure import BackpressureUnit
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.session import SimulationSession
 
-__all__ = ["BackpressureTransport", "HopByHopTransport", "make_transport"]
+__all__ = ["BackpressureTransport", "HopByHopTransport", "Transport", "make_transport"]
 
 Path = Tuple[int, ...]
 DirectionKey = Tuple[int, int]  # (store row, sender's store column)
@@ -259,6 +259,7 @@ class HopByHopTransport:
         self.units_queued += 1
         cid, side = key
         depth = int(self.store.queue_depth[cid, side]) + 1
+        # repro-lint: allow[RL003] queue_depth is router telemetry, not availability; probe caches never gather it
         self.store.queue_depth[cid, side] = depth
         self.collector.on_unit_queued(depth)
         self.sim.schedule_after(
@@ -301,6 +302,7 @@ class HopByHopTransport:
             if available + _EPS < unit.amount:
                 break
             queue.popleft()
+            # repro-lint: allow[RL003] queue_depth is router telemetry, not availability; probe caches never gather it
             store.queue_depth[cid, side] -= 1
             now = self.sim.now
             delay = now - (unit.queued_at or now)
@@ -333,6 +335,7 @@ class HopByHopTransport:
         if unit.done or unit.queued_at is None or unit.queue_seq != queue_seq:
             return
         cid, side = unit.cpath.hops[unit.hop_index]
+        # repro-lint: allow[RL003] queue_depth is router telemetry, not availability; probe caches never gather it
         self.store.queue_depth[cid, side] -= 1
         unit.queued_at = None
         self.units_timed_out += 1
@@ -416,6 +419,7 @@ class HopByHopTransport:
                 unit = queue.popleft()
                 if unit.done:
                     continue
+                # repro-lint: allow[RL003] queue_depth is router telemetry, not availability; probe caches never gather it
                 self.store.queue_depth[cid, side] -= 1
                 unit.queued_at = None
                 self._abort_unit(unit)
@@ -772,7 +776,9 @@ class BackpressureTransport:
     # ------------------------------------------------------------------
     def finish(self) -> None:
         """Refund every still-parked unit and stop the epoch timer."""
+        # repro-lint: allow[RL002] int-node-keyed dict filled in deterministic event order; drain order is replay-stable
         for node_queues in self._queues.values():
+            # repro-lint: allow[RL002] same argument: per-node neighbour dict, insertion follows deterministic event order
             for queue in node_queues.values():
                 while queue:
                     self._expire_unit(queue.popleft())
@@ -781,13 +787,17 @@ class BackpressureTransport:
             self._service_timer.stop()
 
 
+#: The duck-typed transport contract (``start``/``finish`` plus unit
+#: ingestion) has exactly these implementations.
+Transport = Union[HopByHopTransport, BackpressureTransport]
+
 _TRANSPORTS = {
     HopByHopTransport.kind: HopByHopTransport,
     BackpressureTransport.kind: BackpressureTransport,
 }
 
 
-def make_transport(kind: str, session: "SimulationSession", **kwargs):
+def make_transport(kind: str, session: "SimulationSession", **kwargs: Any) -> Transport:
     """Instantiate the transport a scheme's ``transport`` attribute names."""
     try:
         transport_class = _TRANSPORTS[kind]

@@ -1,0 +1,462 @@
+"""Selftest for :mod:`repro.devtools.lint` — the invariant linter.
+
+Per rule: one fixture snippet that MUST fire (true positive) and one
+near-miss that MUST NOT (false-positive guard), so rule regressions in
+either direction are caught.  On top of the fixtures, the suite runs the
+linter over the real ``src/ + tests/`` tree and asserts the shipped
+state: zero unsuppressed findings, sub-5s wall time, and stable text/JSON
+output shapes.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import LintIndex, run_lint, run_over_index
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.report import render_json, render_text
+from repro.devtools.lint.runner import PARSE_ERROR_RULE
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Fixture paths live where the rules' scope predicates expect them.
+ENGINE = "src/repro/engine/fixture_mod.py"
+ROUTING = "src/repro/routing/fixture_mod.py"
+TESTS = "tests/engine/test_fixture_mod.py"
+
+
+def lint_sources(sources, select=None):
+    """Lint in-memory ``{path: source}`` snippets; returns the report."""
+    index = LintIndex.from_sources(sources)
+    return run_over_index(index, select=select)
+
+
+def rule_hits(report, rule_id):
+    return [finding for finding in report.findings if finding.rule_id == rule_id]
+
+
+# ---------------------------------------------------------------------------
+# RL001 — determinism
+# ---------------------------------------------------------------------------
+class TestRL001Determinism:
+    def test_true_positive_wall_clock_and_unseeded_rng(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import time\n"
+                    "import numpy as np\n"
+                    "def stamp():\n"
+                    "    started = time.time()\n"
+                    "    rng = np.random.default_rng()\n"
+                    "    return started, rng\n"
+                )
+            },
+            select=["RL001"],
+        )
+        hits = rule_hits(report, "RL001")
+        assert len(hits) == 2
+        assert hits[0].line == 4 and "time.time" in hits[0].message
+        assert hits[1].line == 5 and "seed" in hits[1].message
+        # Findings carry the precise file:line rule-id message shape.
+        assert hits[0].format_text().startswith(f"{ENGINE}:4:")
+
+    def test_near_miss_seeded_rng_benchmark_timing_and_lookalikes(self):
+        report = lint_sources(
+            {
+                # Seeded RNG in scope + lookalike attribute chains: clean.
+                ENGINE: (
+                    "import numpy as np\n"
+                    "def draw(seed, clock):\n"
+                    "    rng = np.random.default_rng(seed)\n"
+                    "    now = clock.time()\n"  # not the time module
+                    "    return rng.random() + now\n"  # bound generator, fine
+                ),
+                # Wall clock outside the simulation layers: out of scope.
+                "benchmarks/fixture_bench.py": (
+                    "import time\n"
+                    "def measure():\n"
+                    "    return time.perf_counter()\n"
+                ),
+            },
+            select=["RL001"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL002 — ordered iteration in scheduling/cohort modules
+# ---------------------------------------------------------------------------
+class TestRL002OrderedIteration:
+    def test_true_positive_dict_values_in_scheduling_module(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def drain(engine, queues, cb):\n"
+                    "    engine.schedule_at_tick(0, cb)\n"  # scheduling scope
+                    "    for queue in queues.values():\n"
+                    "        queue.clear()\n"
+                    "    return {unit for queue in {1, 2} for unit in (queue,)}\n"
+                )
+            },
+            select=["RL002"],
+        )
+        hits = rule_hits(report, "RL002")
+        assert [hit.line for hit in hits] == [3, 5]
+        assert "values()" in hits[0].message
+        assert "set literal" in hits[1].message
+
+    def test_near_miss_sorted_iteration_and_out_of_scope_module(self):
+        report = lint_sources(
+            {
+                # Same iteration, wrapped in sorted(): clean.
+                ENGINE: (
+                    "def drain(engine, queues, cb):\n"
+                    "    engine.schedule_at_tick(0, cb)\n"
+                    "    for queue in sorted(queues.values()):\n"
+                    "        queue.clear()\n"
+                ),
+                # Bare .values() in a module that never schedules: out of
+                # scope for RL002 (iteration order can't become event order).
+                ROUTING: (
+                    "def tally(counters):\n"
+                    "    return sum(counters.values())\n"
+                    "def walk(counters):\n"
+                    "    for count in counters.values():\n"
+                    "        yield count\n"
+                ),
+            },
+            select=["RL002"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — store-mutation discipline
+# ---------------------------------------------------------------------------
+class TestRL003StoreDiscipline:
+    def test_true_positive_unstamped_array_write(self):
+        report = lint_sources(
+            {
+                ROUTING: (
+                    "import numpy as np\n"
+                    "def leak(store, cid, side, amount):\n"
+                    "    store.balance[cid, side] -= amount\n"
+                    "    np.add.at(store.inflight, (cid, side), amount)\n"
+                )
+            },
+            select=["RL003"],
+        )
+        hits = rule_hits(report, "RL003")
+        assert [hit.line for hit in hits] == [3, 4]
+        assert ".balance[...]" in hits[0].message
+        assert ".inflight[...]" in hits[1].message
+
+    def test_near_miss_stamped_write_exempt_module_and_lookalike(self):
+        report = lint_sources(
+            {
+                # Same write paired with touch(): the documented discipline.
+                ROUTING: (
+                    "def lock(store, cid, side, amount):\n"
+                    "    store.balance[cid, side] -= amount\n"
+                    "    store.inflight[cid, side] += amount\n"
+                    "    store.touch(cid)\n"
+                ),
+                # store.py owns stamp maintenance: exempt wholesale.
+                "src/repro/engine/store.py": (
+                    "def apply(store, cid, side, amount):\n"
+                    "    store.balance[cid, side] -= amount\n"
+                ),
+                # A non-store attribute of the same *shape* is not flagged.
+                "src/repro/metrics/fixture_mod.py": (
+                    "def note(table, cid):\n"
+                    "    table.rows[cid] = 1\n"
+                ),
+            },
+            select=["RL003"],
+        )
+        assert report.findings == []
+
+    def test_direct_stamp_write_counts_as_bump(self):
+        report = lint_sources(
+            {
+                ROUTING: (
+                    "def lock(store, cid, side, amount):\n"
+                    "    store.balance[cid, side] -= amount\n"
+                    "    store.version = version = store.version + 1\n"
+                    "    store.stamp[cid] = version\n"
+                )
+            },
+            select=["RL003"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — scalar/vector parity coverage
+# ---------------------------------------------------------------------------
+class TestRL004ParityCoverage:
+    SRC = (
+        "class FastThing:\n"
+        "    vectorized_frobnication = True\n"
+        "    def frob(self):\n"
+        "        return 1\n"
+    )
+
+    def test_true_positive_fast_path_without_scalar_coverage(self):
+        report = lint_sources(
+            {
+                ENGINE: self.SRC,
+                # Tests only ever read the flag — the scalar branch is dead.
+                TESTS: (
+                    "from repro.engine.fixture_mod import FastThing\n"
+                    "def test_default():\n"
+                    "    assert FastThing.vectorized_frobnication\n"
+                ),
+            },
+            select=["RL004"],
+        )
+        hits = rule_hits(report, "RL004")
+        assert len(hits) == 1
+        assert hits[0].path == ENGINE and hits[0].line == 2
+        assert "vectorized_frobnication" in hits[0].message
+        assert "scalar baseline" in hits[0].message
+
+    def test_near_miss_both_branches_pinned(self):
+        report = lint_sources(
+            {
+                ENGINE: self.SRC,
+                TESTS: (
+                    "from repro.engine.fixture_mod import FastThing\n"
+                    "def test_parity():\n"
+                    "    assert FastThing.vectorized_frobnication\n"
+                    "    FastThing.vectorized_frobnication = False\n"
+                    "    try:\n"
+                    "        pass\n"
+                    "    finally:\n"
+                    "        FastThing.vectorized_frobnication = True\n"
+                ),
+            },
+            select=["RL004"],
+        )
+        assert report.findings == []
+
+    def test_parametrised_assignment_covers_both_branches(self):
+        report = lint_sources(
+            {
+                ENGINE: self.SRC,
+                TESTS: (
+                    "from repro.engine.fixture_mod import FastThing\n"
+                    "def run_with(flag):\n"
+                    "    FastThing.vectorized_frobnication = flag\n"
+                ),
+            },
+            select=["RL004"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — integer-tick discipline
+# ---------------------------------------------------------------------------
+class TestRL005IntegerTicks:
+    def test_true_positive_float_literal_and_division(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def arm(engine, cb, horizon):\n"
+                    "    engine.schedule_at_tick(1.5, cb)\n"
+                    "    engine.schedule(horizon / 2, cb)\n"
+                )
+            },
+            select=["RL005"],
+        )
+        hits = rule_hits(report, "RL005")
+        assert [hit.line for hit in hits] == [2, 3]
+        assert "float literal" in hits[0].message
+        assert "true division" in hits[1].message
+
+    def test_near_miss_to_ticks_conversion_and_seconds_apis(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def arm(engine, clock, cb, horizon):\n"
+                    # Floats inside the sanctioned conversion are fine,
+                    # even a float literal: to_ticks owns the rounding.
+                    "    engine.schedule_at_tick(clock.to_ticks(1.5), cb)\n"
+                    # Seconds-domain APIs are out of scope.
+                    "    engine.schedule_after(horizon / 2, cb)\n"
+                    "    engine.every(0.1, cb)\n"
+                    # Floor division stays integral.
+                    "    engine.schedule(horizon // 2, cb)\n"
+                )
+            },
+            select=["RL005"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions, parse failures, output formats, CLI
+# ---------------------------------------------------------------------------
+class TestSuppressionsAndReporting:
+    def test_suppression_silences_only_the_listed_rule(self):
+        source = (
+            "import time\n"
+            "def stamp():\n"
+            "    # repro-lint: allow[RL003] wrong rule id on purpose\n"
+            "    return time.time()\n"
+        )
+        report = lint_sources({ENGINE: source}, select=["RL001"])
+        assert len(rule_hits(report, "RL001")) == 1  # RL003 allow is inert
+
+        fixed = source.replace("allow[RL003]", "allow[RL001]")
+        report = lint_sources({ENGINE: fixed}, select=["RL001"])
+        assert report.findings == []
+        assert len(report.suppressed) == 1  # still counted, not lost
+
+    def test_trailing_comment_suppression_and_comma_list(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()  "
+                    "# repro-lint: allow[RL001,RL005] fixture justification\n"
+                )
+            },
+            select=["RL001"],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_suppression_marker_inside_string_is_inert(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import time\n"
+                    "MSG = 'repro-lint: allow[RL001] not a comment'\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                )
+            },
+            select=["RL001"],
+        )
+        assert len(report.findings) == 1  # the string literal suppresses nothing
+
+    def test_unparseable_file_is_a_finding_not_a_skip(self):
+        report = lint_sources({ENGINE: "def broken(:\n"})
+        assert len(report.findings) == 1
+        assert report.findings[0].rule_id == PARSE_ERROR_RULE
+
+    def test_json_output_shape(self):
+        report = lint_sources(
+            {ENGINE: "import time\ndef f():\n    return time.time()\n"},
+            select=["RL001"],
+        )
+        document = json.loads(render_json(report))
+        assert document["version"] == 1
+        assert document["counts"] == {"RL001": 1}
+        (finding,) = document["findings"]
+        assert finding["path"] == ENGINE
+        assert finding["rule"] == "RL001"
+        assert finding["line"] == 3
+        assert "message" in finding
+
+    def test_text_output_is_file_line_col_rule_message(self):
+        report = lint_sources(
+            {ENGINE: "import time\ndef f():\n    return time.time()\n"},
+            select=["RL001"],
+        )
+        first_line = render_text(report).splitlines()[0]
+        assert first_line.startswith(f"{ENGINE}:3:")
+        assert " RL001 " in first_line
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_main([str(clean)]) == 0
+        capsys.readouterr()
+        assert lint_main(["--select", "RL999", str(clean)]) == 2
+        err = capsys.readouterr().err
+        assert "RL999" in err
+        assert lint_main([str(tmp_path / "missing_dir")]) == 1  # RL000 finding
+
+
+# ---------------------------------------------------------------------------
+# The shipped tree
+# ---------------------------------------------------------------------------
+class TestShippedTree:
+    def test_real_tree_lints_clean_and_fast(self):
+        """The acceptance gate: zero unsuppressed findings, < 5 s."""
+        started = time.perf_counter()
+        report = run_lint(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")], base=str(REPO_ROOT)
+        )
+        elapsed = time.perf_counter() - started
+        assert report.findings == [], "\n".join(
+            finding.format_text() for finding in report.findings
+        )
+        assert report.files_scanned > 100  # really scanned the tree
+        assert elapsed < 5.0, f"lint run took {elapsed:.2f}s"
+        # Every suppression in the shipped tree is justified: the comment
+        # carries prose beyond the bare allow[...] marker.
+        for finding in report.suppressed:
+            module = next(
+                m
+                for m in LintIndex.from_paths(
+                    [str(REPO_ROOT / finding.path)], base=str(REPO_ROOT)
+                ).modules
+            )
+            lines = module.source.splitlines()
+            comment = next(
+                line
+                for line in (lines[finding.line - 2], lines[finding.line - 1])
+                if "repro-lint" in line
+            )
+            justification = comment.split("]", 1)[1].strip()
+            assert len(justification) >= 10, (
+                f"suppression at {finding.path}:{finding.line} has no "
+                f"justification: {comment.strip()!r}"
+            )
+
+    def test_module_entrypoint_runs_clean_on_shipped_tree(self):
+        """``python -m repro.devtools.lint src tests`` exits 0 (JSON mode)."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", "src", "tests", "--format=json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        document = json.loads(result.stdout)
+        assert document["findings"] == []
+
+    def test_module_entrypoint_fails_on_violation(self, tmp_path):
+        """A true positive drives a non-zero exit with a precise finding."""
+        bad_root = tmp_path / "src" / "repro" / "engine"
+        bad_root.mkdir(parents=True)
+        bad = bad_root / "clocky.py"
+        bad.write_text("import time\ndef f():\n    return time.time()\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", "src"],
+            cwd=tmp_path,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=60,
+        )
+        assert result.returncode == 1
+        assert "src/repro/engine/clocky.py:3:11 RL001" in result.stdout
+
+    def test_rule_registry_is_complete(self):
+        from repro.devtools.lint import rule_ids
+
+        assert rule_ids() == ["RL001", "RL002", "RL003", "RL004", "RL005"]

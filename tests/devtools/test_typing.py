@@ -1,0 +1,35 @@
+"""Static-typing gate for the engine package.
+
+``pyproject.toml`` pins ``mypy`` in strict mode over ``src/repro/engine``
+(the typed core); CI's ``lint`` job runs it unconditionally.  The local
+container intentionally ships without mypy, so this mirror of the CI
+check skips rather than fails when the tool is absent — the suite stays
+runnable offline while any environment that *does* have mypy enforces
+the same zero-error bar as CI.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_engine_package_is_strict_clean() -> None:
+    result = subprocess.run(
+        ["mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        "mypy strict check over src/repro/engine failed:\n"
+        + result.stdout
+        + result.stderr
+    )

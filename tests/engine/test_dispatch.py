@@ -253,8 +253,15 @@ def test_finish_asserts_dispatch_buffers_drained():
     plan._staged_payments.append(payment)
     plan._staged_cpaths.append(cpath)
     plan._staged_amounts.append(1.0)
-    with pytest.raises(SimulationError, match="unflushed"):
+    with pytest.raises(SimulationError) as excinfo:
         plan.assert_drained()
+    # The failure is attributable: it names each non-empty staging buffer
+    # with its count and the payment ids of the stranded sends.
+    message = str(excinfo.value)
+    assert "staged_payments=1" in message
+    assert "staged_cpaths=1" in message
+    assert "staged_amounts=1" in message
+    assert f"payment ids [{payment.payment_id}]" in message
     assert not plan._staged_payments  # funds were landed, buffers cleared
 
 
