@@ -16,9 +16,11 @@ The scheme declares ``cohort_rule = "waterfilling"``: its decision loop is
 pure array arithmetic over the probe estimates, so the session's
 :class:`~repro.engine.dispatch.DispatchPlan` replays it over whole
 same-tick cohorts — one grouped probe refresh, per-payment argmax/min
-decisions, one scatter-add lock — falling back to :meth:`attempt` exactly
-(flush-first) whenever a payment's path set shares channels with staged
-sends or carries fees.
+decisions with fee-aware per-hop staging, one scatter-add lock.  Path sets
+that share channels (with each other or with earlier staged sends) replay
+against the plan's residual-capacity overlay; only a *failing* lock —
+whose rollback side effects the replay must not fake — falls back to
+:meth:`attempt` exactly (flush-first).
 """
 
 from __future__ import annotations

@@ -104,6 +104,9 @@ class WindowedSpiderScheme(RoutingScheme):
     atomic = False
     runtime_class = QueueingRuntime  # engine="legacy" pairing
     transport = "hop"  # native tick-engine transport
+    #: The launch loop (window-headroom sort, first-hop clamp, clean-fail
+    #: try_lock) is replayed batched by the session's DispatchPlan.
+    cohort_rule = "spider-window"
 
     def __init__(
         self,

@@ -15,10 +15,10 @@ attempt-eligible payments here at once; the plan then
    :meth:`PathTable.refresh_probes <repro.engine.pathtable.PathTable.refresh_probes>`
    concatenates the cohort's stale probe caches and runs a single
    ``availability`` gather + ``minimum.reduceat`` over all of them;
-2. **decides** per payment with the scheme's waterfilling rule over the
-   cached estimates (no store reads inside the loop), staging accepted
+2. **replays** each scheme's decision rule per payment against the cached
+   estimates plus a **residual-state overlay** (below), staging accepted
    sends into struct-of-arrays buffers (payment refs, compiled paths,
-   float64 amounts);
+   per-hop fee-inclusive float64 amounts, pre-generated hash locks);
 3. **executes** the staged cohort through
    :meth:`ChannelStateStore.lock_many
    <repro.engine.store.ChannelStateStore.lock_many>` — one grouped
@@ -28,39 +28,95 @@ attempt-eligible payments here at once; the plan then
    batches (one reschedule per cohort, not per unit).
 
 Byte-identity with the scalar loop (``SimulationSession.vectorized_dispatch
-= False``) is a proved invariant, not a hope:
+= False``) is a proved invariant, not a hope.  The proof rests on four
+pillars:
 
-* staged sends are restricted to **fee-free, channel-disjoint** path sets.
-  On such a set the decremented estimate equals the live bottleneck
-  *exactly*: after locking ``a`` on the minimum hop ``m``,
-  ``fl(b_h − a) ≥ fl(b_m − a)`` for every hop (IEEE-754 subtraction is
-  monotone), so ``min`` stays on ``m`` and equals the scalar estimate
-  decrement bit for bit.  Every staged amount is therefore ≤ each hop's
-  balance at flush time — no clamping, no rollback, and the deferred
-  scatter reproduces the eager per-send locks float for float;
-* any payment whose candidate channels were touched since the cohort probe
-  — by a staged send earlier in the cohort or by a scalar fallback — takes
-  the **sequential fallback**: staged sends flush first, then the scheme's
-  scalar ``attempt`` runs against live state, exactly as the scalar loop
-  would have at that payment's turn;
-* fee-bearing or non-disjoint path sets, schemes without a declared
-  ``cohort_rule``, and atomic schemes always run their scalar ``attempt``
-  inside the cohort driver, in cohort order.
+* **Residual replay.**  The plan keeps a per-``(cid, side)`` overlay of
+  *residual* channel state — raw balance, inflight and sent — equal to
+  the live store values with every staged operation applied in decision
+  order, using the same float64 arithmetic the store would use
+  (IEEE-754 ops are deterministic functions of their operand bits, so
+  replaying the identical op sequence yields identical bits).  A probe,
+  availability read or lock-feasibility check against the overlay
+  therefore returns exactly what the scalar loop — which commits each
+  operation eagerly — would have read from the live store at that
+  payment's turn.  Estimates for paths whose channels carry staged
+  traffic are re-derived from the overlay before a payment's replay
+  starts; all other paths' probe values are live by construction.
+* **Fee-aware staging.**  Per-hop lock amounts come from
+  :meth:`CompiledPath.hop_amounts
+  <repro.engine.pathtable.CompiledPath.hop_amounts>` — the *same* reverse
+  fee recurrence the scalar ``send_unit``/``send_atomic`` path calls — and
+  the scalar lock's semantics are replicated comparison for comparison:
+  feasibility is ``amount <= balance + 1e-9`` on an unfrozen hop, the
+  booked actual is ``min(amount, balance)`` (``np.minimum`` bit for bit),
+  and the staged per-hop actuals flow unchanged into one ``lock_many``
+  scatter whose ``np.ufunc.at`` ordering matches the eager per-send locks.
+  Scalar vetoes with *no* store side effects (dust clamps, fee-budget
+  rejections) are replayed inline — including waterfilling's
+  fresh-bottleneck re-probe — because an overlay read *is* the fresh
+  probe.
+* **Failed locks replay too.**  A fee-loaded first hop routinely makes
+  the scalar lock *fail* mid-attempt — and
+  :meth:`ChannelStateStore.lock_path_funds
+  <repro.engine.store.ChannelStateStore.lock_path_funds>`'s failure is
+  not traceless: hops before the failing one round-trip their balance
+  through ``(b - a) + a`` and their inflight through ``(i + a) - a``
+  (bit-changing in general), grow ``sent`` and tick ``num_refunded``.
+  Those effects are pure float/int arithmetic on values the overlay
+  already tracks, so the replay applies them to the overlay and keeps
+  going exactly as the scheme's retry logic would.  A flush containing
+  failed locks cannot be a plain scatter-add; it writes the tracked final
+  values back verbatim — bit-identical to the scalar op sequence *by
+  construction* — and applies the ``sent``/``num_refunded`` deltas with
+  them.
+* **Exact fallback.**  Whatever cannot be replayed falls back: staged
+  sends flush first, then the scheme's scalar ``attempt`` runs against
+  live state, exactly as the scalar loop would have at that payment's
+  turn.  After the failed-lock replay this is reduced to degenerate path
+  sets (no probe), non-finite lock amounts (where the scalar path raises
+  ``ChannelError``) and — as a backstop — an out-of-band store mutation
+  detected by the version stamp while sends are staged.  Schemes without
+  a declared ``cohort_rule`` run their scalar ``attempt`` inside the
+  cohort driver, in cohort order.
 
-An optional numba-compiled decision kernel sits behind the
-``REPRO_COMPILED_DISPATCH`` environment variable; it mirrors the Python
-decision loop operation for operation and silently stays off when numba is
-not installed.
+Decision rules covered (``RoutingScheme.cohort_rule``): ``"waterfilling"``
+(argmax/min replay, the original envelope), ``"shortest-path"``
+(``send_on_path`` replay over the pair's single path), ``"lnd"``
+(backwards-Dijkstra probe with residual-aware source availability,
+mission-control deltas applied at commit), and ``"spider-window"``
+(AIMD-window launch replay; first-hop ``try_lock`` fails clean, so this
+rule never stages failures — launches flush through ``lock_many`` and a
+cohort ``advance_many``).
+
+An optional numba-compiled decision kernel pair sits behind the
+``REPRO_COMPILED_DISPATCH`` environment variable — one kernel for the
+fee-free channel-disjoint fast path, one for the fee-aware residual
+replay; both mirror the Python loops operation for operation and silently
+stay off when numba is not installed.
 """
 
 from __future__ import annotations
 
+import math
 import os
-from typing import TYPE_CHECKING, Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
 
 import numpy as np
 
 from repro.core.payments import Payment, TransactionUnit
+from repro.core.queueing import HopUnit
 from repro.engine.pathtable import PathLock
 from repro.network.htlc import HashLock
 from repro.simulator.engine import SimulationError
@@ -74,9 +130,22 @@ __all__ = ["DispatchPlan", "compiled_kernel_enabled"]
 #: Initial capacity of the compiled kernel's per-payment output buffers.
 _KERNEL_SLOTS = 64
 
+#: Decision rules the batched driver can replay byte-identically.
+_BATCH_RULES = frozenset(
+    {"waterfilling", "shortest-path", "lnd", "spider-window"}
+)
+#: Rules whose replay works off a per-pair path-set profile (everything
+#: except LND, which searches paths per attempt instead of caching them).
+_PROFILE_RULES = frozenset({"waterfilling", "shortest-path", "spider-window"})
 
-def _load_compiled_kernel() -> Optional[Callable[..., int]]:
-    """The numba-jitted waterfilling decision kernel, or ``None``.
+_DirKey = Tuple[int, int]
+
+#: Residual-state field indices (per touched ``(cid, side)`` direction).
+_BAL, _INFL, _SENT = 0, 1, 2
+
+
+def _load_compiled_kernels() -> Optional[Tuple[Any, Any]]:
+    """The numba-jitted decision kernels ``(fast, fee)``, or ``None``.
 
     Enabled only when ``REPRO_COMPILED_DISPATCH`` is truthy *and* numba is
     importable; the container image does not ship numba, so the import is
@@ -102,8 +171,9 @@ def _load_compiled_kernel() -> Optional[Callable[..., int]]:
         out_idx: Any,
         out_amt: Any,
     ) -> int:
-        # Mirrors DispatchPlan._decide_python operation for operation so
-        # the floats (and therefore the metrics) are identical.
+        # Mirrors DispatchPlan's fee-free fast loop operation for
+        # operation so the floats (and therefore the metrics) are
+        # identical.
         n = 0
         cap = out_idx.shape[0]
         remaining = (amount_total - delivered) - inflight
@@ -140,33 +210,167 @@ def _load_compiled_kernel() -> Optional[Callable[..., int]]:
             est[best] = est[best] - amount
         return n
 
-    return decide
+    @njit(cache=True)  # pragma: no cover - exercised only when numba exists
+    def decide_fee(
+        est: Any,
+        hop_slot: Any,
+        offsets: Any,
+        counts: Any,
+        base_fees: Any,
+        fee_rates: Any,
+        frozen: Any,
+        resid: Any,
+        amount_total: float,
+        delivered: float,
+        inflight: float,
+        mtu: float,
+        min_unit: float,
+        fees_paid: float,
+        max_fee: float,
+        scratch: Any,
+        out_idx: Any,
+        out_amt: Any,
+        out_fee: Any,
+        out_act: Any,
+    ) -> int:
+        # Mirrors DispatchPlan._replay_waterfilling operation for
+        # operation for the success-only prefix of a decision sequence:
+        # fee recurrence, veto re-probes, lock feasibility and residual
+        # updates replicate the Python replay's float sequence.  ``resid``
+        # is the caller's *copy* of the residual balance vector.  Returns
+        # the staged-send count, -1 on buffer overflow or -2 on the first
+        # infeasible lock — both mean "rerun the Python replay", which
+        # additionally replays the scalar lock-failure side effects the
+        # kernel does not model.
+        n = 0
+        act_pos = 0
+        cap = out_idx.shape[0]
+        remaining = (amount_total - delivered) - inflight
+        if remaining < 0.0:
+            remaining = 0.0
+        while remaining >= min_unit:
+            best = 0
+            headroom = est[0]
+            for i in range(1, est.shape[0]):
+                if est[i] > headroom:
+                    headroom = est[i]
+                    best = i
+            if headroom < min_unit:
+                break
+            amount = headroom
+            if remaining < amount:
+                amount = remaining
+            if mtu < amount:
+                amount = mtu
+            start = offsets[best]
+            hops = counts[best]
+            if amount < min_unit:
+                fresh = np.inf
+                for k in range(hops):
+                    s = hop_slot[start + k]
+                    v = 0.0 if frozen[s] == 1 else resid[s]
+                    if v < fresh:
+                        fresh = v
+                if fresh >= amount - 1e-12 or fresh < min_unit:
+                    est[best] = 0.0
+                else:
+                    est[best] = fresh
+                continue
+            scratch[hops - 1] = amount
+            for k in range(hops - 2, -1, -1):
+                downstream = scratch[k + 1]
+                if downstream > 0.0:
+                    fee_step = (
+                        base_fees[start + k + 1]
+                        + fee_rates[start + k + 1] * downstream
+                    )
+                else:
+                    fee_step = 0.0
+                scratch[k] = downstream + fee_step
+            fee = scratch[0] - amount
+            if fee > 0.0 and not (fees_paid + fee <= max_fee + 1e-9):
+                fresh = np.inf
+                for k in range(hops):
+                    s = hop_slot[start + k]
+                    v = 0.0 if frozen[s] == 1 else resid[s]
+                    if v < fresh:
+                        fresh = v
+                if fresh >= amount - 1e-12 or fresh < min_unit:
+                    est[best] = 0.0
+                else:
+                    est[best] = fresh
+                continue
+            for k in range(hops):
+                r = scratch[k]
+                if not (r > 0.0) or r == np.inf or r != r:
+                    return -2  # scalar raises ChannelError: Python decides
+            for k in range(hops):
+                s = hop_slot[start + k]
+                if frozen[s] == 1 or not (scratch[k] <= resid[s] + 1e-9):
+                    return -2  # lock failure: Python replays its effects
+            if n == cap or act_pos + hops > out_act.shape[0]:
+                return -1
+            out_idx[n] = best
+            out_amt[n] = amount
+            out_fee[n] = fee
+            for k in range(hops):
+                s = hop_slot[start + k]
+                r = scratch[k]
+                bal = resid[s]
+                a = r if r <= bal else bal
+                out_act[act_pos + k] = a
+                resid[s] = bal - a
+            act_pos += hops
+            n += 1
+            inflight = inflight + amount
+            remaining = (amount_total - delivered) - inflight
+            if remaining < 0.0:
+                remaining = 0.0
+            est[best] = est[best] - amount
+        return n
+
+    return decide, decide_fee
 
 
-_COMPILED_KERNEL = _load_compiled_kernel()
+_COMPILED = _load_compiled_kernels()
+_COMPILED_KERNEL = _COMPILED[0] if _COMPILED is not None else None
+_COMPILED_FEE_KERNEL = _COMPILED[1] if _COMPILED is not None else None
 
 
 def compiled_kernel_enabled() -> bool:
-    """Whether the numba cohort kernel is active in this process."""
-    return _COMPILED_KERNEL is not None
+    """Whether the numba cohort kernels are active in this process."""
+    return _COMPILED is not None
 
 
 class _PairProfile:
     """Static dispatch facts about one (source, dest) pair's path set.
 
-    ``batchable`` requires every path fee-free and the whole set
-    channel-disjoint — the preconditions of the exact-estimate proof in
-    the module docstring.  Everything else (empty sets, fees, overlapping
-    paths, degenerate single-node paths) routes to the scalar fallback.
+    ``batchable`` only requires a real probe (every path has at least one
+    hop); fee-bearing and channel-overlapping sets are replayed against
+    the residual overlay.  ``fast_exact`` marks the fee-free,
+    channel-disjoint subset where the decremented estimate is provably the
+    live bottleneck and the replay collapses to the original argmax loop.
     """
 
-    __slots__ = ("batchable", "probe", "cpaths", "cid_set")
+    __slots__ = (
+        "batchable",
+        "probe",
+        "cpaths",
+        "cid_set",
+        "path_cid_sets",
+        "fast_exact",
+        "kernel",
+    )
 
     def __init__(self) -> None:
         self.batchable = False
         self.probe: Optional[_ProbeCache] = None
         self.cpaths: List[CompiledPath] = []
         self.cid_set: FrozenSet[int] = frozenset()
+        self.path_cid_sets: List[FrozenSet[int]] = []
+        self.fast_exact = False
+        #: Lazily-built arrays for the fee-aware numba kernel.
+        self.kernel: Optional[Tuple[Any, ...]] = None
 
 
 class DispatchPlan:
@@ -178,17 +382,46 @@ class DispatchPlan:
         self.table = session.network.path_table
         self._profiles: Dict[Tuple[int, int], _PairProfile] = {}
         # Struct-of-arrays staging: parallel lists appended in decision
-        # order, flushed through one grouped scatter-add.
+        # order, flushed through one grouped scatter-add.  A ``None`` hop
+        # array means "broadcast the delivered amount" (fee-free send).
         self._staged_payments: List[Payment] = []
         self._staged_cpaths: List[CompiledPath] = []
         self._staged_amounts: List[float] = []
-        #: Channel ids touched by sends staged since the last flush.
-        self._staged_dirty: Set[int] = set()
-        if _COMPILED_KERNEL is not None:  # pragma: no cover - numba only
+        self._staged_fees: List[float] = []
+        self._staged_hop_amounts: List[Optional[np.ndarray]] = []
+        self._staged_locks: List[HashLock] = []
+        #: Hop-by-hop unit launches staged by the spider-window replay:
+        #: (payment, compiled path, delivered amount, first-hop actual).
+        self._staged_launches: List[
+            Tuple[Payment, "CompiledPath", float, float]
+        ] = []
+        #: Residual channel state: ``[balance, inflight, sent]`` per
+        #: touched ``(cid, side)``, tracking the live store values with
+        #: every staged operation applied in decision order.
+        self._residual: Dict[_DirKey, List[float]] = {}
+        #: Per-channel ``num_refunded`` increments from replayed failed
+        #: locks (applied at flush).
+        self._refund_deltas: Dict[int, int] = {}
+        #: Whether a replayed failed lock perturbed the overlay since the
+        #: last flush — forces the exact write-back flush path.
+        self._has_failed_locks = False
+        #: Channel ids whose state the overlay has perturbed since the
+        #: last flush.
+        self._touched_cids: Set[int] = set()
+        #: Staged source-routed sends already folded into ``_residual``
+        #: (the fee-free fast path defers its per-hop dict writes until a
+        #: later payment actually needs the overlay).
+        self._residual_synced = 0
+        if _COMPILED is not None:  # pragma: no cover - numba only
             self._kernel_idx = np.empty(_KERNEL_SLOTS, dtype=np.int64)
             self._kernel_amt = np.empty(_KERNEL_SLOTS, dtype=np.float64)
-        # Observability (reported by the dispatch microbenchmark).
+            self._kernel_fee = np.empty(_KERNEL_SLOTS, dtype=np.float64)
+            self._kernel_act = np.empty(0, dtype=np.float64)
+            self._kernel_scratch = np.empty(0, dtype=np.float64)
+        # Observability (surfaced via SimulationSession.dispatch_stats and
+        # the dispatch microbenchmark).
         self.cohorts = 0
+        self.cohort_payments = 0
         self.batched_units = 0
         self.scalar_fallbacks = 0
 
@@ -206,10 +439,8 @@ class DispatchPlan:
             return
         session = self.session
         scheme = session.scheme
-        if (
-            getattr(scheme, "cohort_rule", None) != "waterfilling"
-            or not session.network.vectorized_path_ops
-        ):
+        rule = getattr(scheme, "cohort_rule", None)
+        if rule not in _BATCH_RULES or not session.network.vectorized_path_ops:
             # No batched decision rule declared — or the network is pinned
             # to its scalar per-hop path ops (HTLC objects), whose
             # accounting the PathLock fast path does not reproduce: the
@@ -219,51 +450,334 @@ class DispatchPlan:
                 scheme.attempt(payment, session)
             return
         self.cohorts += 1
+        self.cohort_payments += len(payments)
+        if rule == "lnd":
+            for payment in payments:
+                self._attempt_lnd(payment)
+            self._flush()
+            return
+        if rule == "spider-window" and not hasattr(
+            getattr(session, "transport", None), "send_unit_hop_by_hop"
+        ):
+            # No hop transport attached: the scalar attempt raises the
+            # scheme's own TypeError — reproduce it via the fallback.
+            for payment in payments:
+                self._fallback(payment)
+            self._flush()
+            return
         store = self.store
-        version0 = store.version
-        stamp = store.stamp
         profiles = [
             self._profile(payment.source, payment.dest) for payment in payments
         ]
         self.table.refresh_probes(
-            [prof.probe for prof in profiles if prof.batchable]
+            [prof.probe for prof in profiles if prof.probe is not None]
         )
-        dirty = self._staged_dirty
         for payment, prof in zip(payments, profiles):
-            if (
-                not prof.batchable
-                or (dirty and not dirty.isdisjoint(prof.cid_set))
-                or (
-                    store.version != version0
-                    and bool((stamp[prof.probe.cids] > version0).any())
-                )
-            ):
-                # Sequential fallback: land staged sends first so this
-                # attempt observes exactly the state the scalar loop
-                # would have seen at its turn.
-                self._flush()
-                self.scalar_fallbacks += 1
-                scheme.attempt(payment, session)
+            probe = prof.probe
+            if not prof.batchable or probe is None:
+                self._fallback(payment)
                 continue
-            self._attempt_batched(payment, prof)
+            if probe.as_of != store.version:
+                if self._residual or self._staged_payments:
+                    # Version-stamp backstop: the store moved while sends
+                    # were staged, and not by one of our own flushes (those
+                    # clear the overlay).  Land the staged sends, then
+                    # re-probe live state.
+                    self._flush()
+                self.table.refresh_probes((probe,))
+            if rule == "waterfilling":
+                ok = self._replay_waterfilling(payment, prof)
+            elif rule == "shortest-path":
+                ok = self._replay_shortest(payment, prof)
+            else:  # spider-window
+                ok = self._replay_window(payment, prof)
+            if not ok:
+                self._fallback(payment)
         self._flush()
 
-    # ------------------------------------------------------------------
-    # Batched waterfilling
-    # ------------------------------------------------------------------
-    def _attempt_batched(self, payment: Payment, prof: _PairProfile) -> None:
-        """Stage the waterfilling decision sequence for one payment.
+    def _fallback(self, payment: Payment) -> None:
+        """Sequential fallback: land staged sends first so this attempt
+        observes exactly the state the scalar loop would have seen at its
+        turn, then run the scheme's scalar ``attempt`` against live
+        state."""
+        self._flush()
+        self.scalar_fallbacks += 1
+        self.session.scheme.attempt(payment, self.session)
 
-        Replicates :meth:`WaterfillingScheme.attempt
+    # ------------------------------------------------------------------
+    # Residual overlay
+    # ------------------------------------------------------------------
+    def _state(self, cid: int, side: int) -> List[float]:
+        """The overlay record of one direction (created from live state)."""
+        key = (cid, side)
+        state = self._residual.get(key)
+        if state is None:
+            store = self.store
+            state = self._residual[key] = [
+                float(store.balance[cid, side]),
+                float(store.inflight[cid, side]),
+                float(store.sent[cid, side]),
+            ]
+        return state
+
+    def _sync_residuals(self) -> None:
+        """Fold deferred staged-send deltas into the residual overlay.
+
+        The fee-free fast path appends to the staging buffers without
+        touching ``_residual`` (the common disjoint cohort never reads
+        it); the first replay that *does* need the overlay applies the
+        pending per-hop operations here, in staging order — the same
+        float64 arithmetic ``lock_many`` performs at flush.
+        """
+        i = self._residual_synced
+        staged = self._staged_payments
+        if i >= len(staged):
+            return
+        cpaths = self._staged_cpaths
+        amounts = self._staged_amounts
+        hop_arrays = self._staged_hop_amounts
+        while i < len(staged):
+            cpath = cpaths[i]
+            hop_array = hop_arrays[i]
+            if hop_array is None:
+                hop_values: Sequence[float] = [amounts[i]] * len(cpath.hops)
+            else:
+                hop_values = hop_array.tolist()
+            for (cid, side), hop_amount in zip(cpath.hops, hop_values):
+                state = self._state(cid, side)
+                state[_BAL] = state[_BAL] - hop_amount
+                state[_INFL] = state[_INFL] + hop_amount
+                state[_SENT] = state[_SENT] + hop_amount
+            i += 1
+        self._residual_synced = i
+
+    def _raw_balance(self, cid: int, side: int) -> float:
+        """Raw (not frozen-masked) residual balance of one direction."""
+        state = self._residual.get((cid, side))
+        if state is not None:
+            return state[_BAL]
+        return float(self.store.balance[cid, side])
+
+    def _availability(self, cid: int, side: int) -> float:
+        """Residual spendable funds (0 where frozen) — what
+        ``store.availability`` would report after a flush."""
+        store = self.store
+        if store.frozen_count and store.frozen[cid]:
+            return 0.0
+        return self._raw_balance(cid, side)
+
+    def _cpath_bottleneck(self, cpath: "CompiledPath") -> float:
+        """Residual bottleneck of one path — ``network.bottleneck`` as the
+        scalar loop would observe it after a flush (min is comparison-only,
+        so the Python loop matches the vectorised ``.min()`` bit for
+        bit)."""
+        best = math.inf
+        for cid, side in cpath.hops:
+            value = self._availability(cid, side)
+            if value < best:
+                best = value
+        return best
+
+    def _estimates(self, prof: _PairProfile) -> np.ndarray:
+        """The profile's probe values with the residual overlay applied.
+
+        Paths free of staged traffic keep their (fresh) probe values —
+        live by construction; paths whose channels carry staged
+        operations are re-derived from the overlay, which equals the
+        post-flush state bit for bit.
+        """
+        probe = prof.probe
+        assert probe is not None
+        values = probe.values
+        assert values is not None
+        est = values.copy()
+        touched = self._touched_cids
+        if touched and not touched.isdisjoint(prof.cid_set):
+            self._sync_residuals()
+            for i, path_cids in enumerate(prof.path_cid_sets):
+                if not touched.isdisjoint(path_cids):
+                    est[i] = self._cpath_bottleneck(prof.cpaths[i])
+        return est
+
+    # ------------------------------------------------------------------
+    # Staged lock replay
+    # ------------------------------------------------------------------
+    def _replay_lock(
+        self, cpath: "CompiledPath", required: List[float]
+    ) -> Optional[List[float]]:
+        """Replicate ``lock_path_funds`` against the overlay.
+
+        On success: applies the per-hop lock arithmetic to the overlay and
+        returns the actuals (``np.minimum(required, balance)`` bit for
+        bit).  On the first frozen/under-funded hop ``k``: applies the
+        scalar failure's lock-then-rollback side effects to hops
+        ``0..k-1`` — the ``(b - a) + a`` balance and ``(i + a) - a``
+        inflight round-trips, the ``sent`` growth and the refund tick —
+        and returns ``None``, leaving the overlay in exactly the state the
+        scalar ``InsufficientFundsError`` leaves the store.
+
+        Callers must have validated ``required`` positive and finite
+        (:meth:`_valid_lock_amounts`) and synced the overlay.
+        """
+        store = self.store
+        frozen_count = store.frozen_count
+        frozen = store.frozen
+        hops = cpath.hops
+        failing = -1
+        for i, ((cid, side), req) in enumerate(zip(hops, required)):
+            if (frozen_count and frozen[cid]) or not (
+                req <= self._raw_balance(cid, side) + 1e-9
+            ):
+                failing = i
+                break
+        if failing < 0:
+            actuals: List[float] = []
+            for (cid, side), req in zip(hops, required):
+                state = self._state(cid, side)
+                bal = state[_BAL]
+                actual = req if req <= bal else bal
+                actuals.append(actual)
+                state[_BAL] = bal - actual
+                state[_INFL] = state[_INFL] + actual
+                state[_SENT] = state[_SENT] + actual
+            self._touched_cids.update(cpath.cids.tolist())
+            return actuals
+        if failing > 0:
+            refunds = self._refund_deltas
+            for (cid, side), req in zip(hops[:failing], required[:failing]):
+                state = self._state(cid, side)
+                bal = state[_BAL]
+                actual = req if req <= bal else bal
+                state[_BAL] = (bal - actual) + actual
+                state[_INFL] = (state[_INFL] + actual) - actual
+                state[_SENT] = state[_SENT] + actual
+                refunds[cid] = refunds.get(cid, 0) + 1
+                self._touched_cids.add(cid)
+            self._has_failed_locks = True
+        return None
+
+    @staticmethod
+    def _valid_lock_amounts(required: List[float]) -> bool:
+        """Whether ``lock_path`` would accept these amounts (positive and
+        finite); a miss means the scalar path raises ``ChannelError``, so
+        the caller falls back and lets it."""
+        for req in required:
+            if not (req > 0.0) or not math.isfinite(req):
+                return False
+        return True
+
+    def _stage_send(
+        self,
+        payment: Payment,
+        cpath: "CompiledPath",
+        amount: float,
+        fee: float,
+        actuals: Optional[List[float]],
+    ) -> None:
+        """Stage one successful send (lock key, then inflight — the scalar
+        ``send_unit`` order).  ``actuals=None`` marks the fee-free
+        broadcast case, whose overlay updates stay deferred until
+        :meth:`_sync_residuals`; a non-``None`` value means
+        :meth:`_replay_lock` already applied them, so the sync cursor
+        advances past this record.
+        """
+        lock = HashLock.generate(payment.payment_id, payment.units_sent)
+        payment.register_inflight(amount)
+        self._staged_payments.append(payment)
+        self._staged_cpaths.append(cpath)
+        self._staged_amounts.append(amount)
+        self._staged_fees.append(fee)
+        self._staged_hop_amounts.append(
+            None if actuals is None else np.asarray(actuals, dtype=np.float64)
+        )
+        self._staged_locks.append(lock)
+        if actuals is not None:
+            self._residual_synced = len(self._staged_payments)
+        self._touched_cids.update(cpath.cids.tolist())
+
+    # ------------------------------------------------------------------
+    # Waterfilling replay
+    # ------------------------------------------------------------------
+    def _replay_waterfilling(
+        self, payment: Payment, prof: _PairProfile
+    ) -> bool:
+        """Replay :meth:`WaterfillingScheme.attempt
         <repro.core.waterfilling.WaterfillingScheme.attempt>` arithmetic
         exactly — same argmax tie-break, same ``min`` clamp, same estimate
-        decrement — against the cohort-probed estimates.
-        """
+        decrement, same fresh-bottleneck re-probe after every veto *or
+        failed lock* — against the overlaid cohort estimates.  Returns
+        ``False`` only when the scalar path would raise (non-finite lock
+        amounts)."""
         config = self.session.config
         min_unit = config.min_unit_value
         mtu = config.mtu
-        est = prof.probe.values.copy()
-        used: Optional[set] = None
+        est = self._estimates(prof)
+        if prof.fast_exact and self._touched_cids.isdisjoint(prof.cid_set):
+            # Fee-free, channel-disjoint, no staged traffic on its
+            # channels: the decremented estimate IS the live bottleneck
+            # (monotone IEEE-754 subtraction keeps the min on the locked
+            # hop), so no veto and no lock failure can occur.
+            self._fast_waterfilling(payment, prof, est)
+            return True
+        if _COMPILED_FEE_KERNEL is not None:  # pragma: no cover - numba only
+            result = self._kernel_waterfilling(payment, prof, est)
+            if result is not None:
+                return result
+            est = self._estimates(prof)  # kernel bailed: redo in Python
+        self._sync_residuals()
+        cpaths = prof.cpaths
+        while payment.remaining >= min_unit:
+            best = int(np.argmax(est))
+            headroom = float(est[best])
+            if headroom < min_unit:
+                break
+            amount = min(headroom, payment.remaining, mtu)
+            cpath = cpaths[best]
+            if amount < min_unit:
+                # send_unit's dust veto: no store effects; the scalar
+                # re-probe is the residual bottleneck.
+                fresh = self._cpath_bottleneck(cpath)
+                if fresh >= amount - 1e-12 or fresh < min_unit:
+                    est[best] = 0.0
+                else:
+                    est[best] = fresh
+                continue
+            required = cpath.hop_amounts(amount)
+            fee = required[0] - amount
+            if fee > 0 and not payment.fee_budget_allows(fee):
+                # Fee-budget veto: send_unit returns False before any
+                # store write; scalar re-probe as above.
+                fresh = self._cpath_bottleneck(cpath)
+                if fresh >= amount - 1e-12 or fresh < min_unit:
+                    est[best] = 0.0
+                else:
+                    est[best] = fresh
+                continue
+            if not self._valid_lock_amounts(required):
+                return False  # scalar lock_path raises ChannelError
+            actuals = self._replay_lock(cpath, required)
+            if actuals is None:
+                # Failed lock, side effects replayed; the scheme re-probes
+                # fresh state and retires or downgrades the path.
+                fresh = self._cpath_bottleneck(cpath)
+                if fresh >= amount - 1e-12 or fresh < min_unit:
+                    est[best] = 0.0
+                else:
+                    est[best] = fresh
+                continue
+            self._stage_send(payment, cpath, amount, fee, actuals)
+            est[best] -= amount
+        return True
+
+    def _fast_waterfilling(
+        self, payment: Payment, prof: _PairProfile, est: np.ndarray
+    ) -> None:
+        """The original exact-estimate loop for fee-free disjoint sets
+        (never fails, never falls back)."""
+        config = self.session.config
+        min_unit = config.min_unit_value
+        mtu = config.mtu
+        cpaths = prof.cpaths
         if _COMPILED_KERNEL is not None:  # pragma: no cover - numba only
             n = _COMPILED_KERNEL(
                 est,
@@ -279,18 +793,9 @@ class DispatchPlan:
                 for i in range(n):
                     best = int(self._kernel_idx[i])
                     amount = float(self._kernel_amt[i])
-                    payment.register_inflight(amount)
-                    self._staged_payments.append(payment)
-                    self._staged_cpaths.append(prof.cpaths[best])
-                    self._staged_amounts.append(amount)
-                    if used is None:
-                        used = set()
-                    used.add(best)
-                if used:
-                    for best in used:
-                        self._staged_dirty.update(prof.cpaths[best].cids.tolist())
+                    self._stage_send(payment, cpaths[best], amount, 0.0, None)
                 return
-            est = prof.probe.values.copy()  # overflow: redo in Python
+            est = self._estimates(prof)  # overflow: redo in Python
         while payment.remaining >= min_unit:
             best = int(np.argmax(est))
             headroom = float(est[best])
@@ -303,65 +808,428 @@ class DispatchPlan:
                 # retired for this round.
                 est[best] = 0.0
                 continue
-            payment.register_inflight(amount)
-            self._staged_payments.append(payment)
-            self._staged_cpaths.append(prof.cpaths[best])
-            self._staged_amounts.append(amount)
-            if used is None:
-                used = set()
-            used.add(best)
+            self._stage_send(payment, cpaths[best], amount, 0.0, None)
             est[best] -= amount
-        if used:
-            for best in used:
-                self._staged_dirty.update(prof.cpaths[best].cids.tolist())
 
+    def _kernel_waterfilling(  # pragma: no cover - numba only
+        self, payment: Payment, prof: _PairProfile, est: np.ndarray
+    ) -> Optional[bool]:
+        """Drive the fee-aware numba kernel; ``None`` means the kernel
+        bailed (buffer overflow or a lock failure the Python replay must
+        handle) and nothing was committed."""
+        self._sync_residuals()
+        data = prof.kernel
+        probe = prof.probe
+        assert probe is not None
+        if data is None:
+            key = probe.cids * 2 + probe.sides
+            uniq, inverse = np.unique(key, return_inverse=True)
+            counts = np.asarray(
+                [len(cpath.hops) for cpath in prof.cpaths], dtype=np.intp
+            )
+            base_fees = np.concatenate(
+                [
+                    np.asarray(cpath.base_fees, dtype=np.float64)
+                    for cpath in prof.cpaths
+                ]
+            )
+            fee_rates = np.concatenate(
+                [
+                    np.asarray(cpath.fee_rates, dtype=np.float64)
+                    for cpath in prof.cpaths
+                ]
+            )
+            data = prof.kernel = (
+                inverse.astype(np.intp),
+                probe.offsets.astype(np.intp),
+                counts,
+                base_fees,
+                fee_rates,
+                (uniq // 2).astype(np.intp),
+                (uniq % 2).astype(np.intp),
+                int(counts.max()),
+            )
+        (
+            hop_slot,
+            offsets,
+            counts,
+            base_fees,
+            fee_rates,
+            slot_cids,
+            slot_sides,
+            max_hops,
+        ) = data
+        store = self.store
+        nslots = slot_cids.shape[0]
+        resid = np.empty(nslots, dtype=np.float64)
+        frozen = np.zeros(nslots, dtype=np.uint8)
+        for j in range(nslots):
+            cid = int(slot_cids[j])
+            side = int(slot_sides[j])
+            resid[j] = self._raw_balance(cid, side)
+            if store.frozen_count and store.frozen[cid]:
+                frozen[j] = 1
+        if self._kernel_scratch.shape[0] < max_hops:
+            self._kernel_scratch = np.empty(max_hops, dtype=np.float64)
+        act_cap = _KERNEL_SLOTS * max_hops
+        if self._kernel_act.shape[0] < act_cap:
+            self._kernel_act = np.empty(act_cap, dtype=np.float64)
+        max_fee = payment.max_fee if payment.max_fee is not None else math.inf
+        n = _COMPILED_FEE_KERNEL(
+            est,
+            hop_slot,
+            offsets,
+            counts,
+            base_fees,
+            fee_rates,
+            frozen,
+            resid,
+            payment.amount,
+            payment.delivered,
+            payment.inflight,
+            self.session.config.mtu,
+            self.session.config.min_unit_value,
+            payment.fees_paid,
+            max_fee,
+            self._kernel_scratch,
+            self._kernel_idx,
+            self._kernel_amt,
+            self._kernel_fee,
+            self._kernel_act,
+        )
+        if n < 0:
+            return None  # overflow or lock failure: redo in Python
+        act_pos = 0
+        for i in range(n):
+            best = int(self._kernel_idx[i])
+            cpath = prof.cpaths[best]
+            hops = int(counts[best])
+            amount = float(self._kernel_amt[i])
+            actuals = self._kernel_act[act_pos : act_pos + hops].tolist()
+            for (cid, side), actual in zip(cpath.hops, actuals):
+                state = self._state(cid, side)
+                state[_BAL] = state[_BAL] - actual
+                state[_INFL] = state[_INFL] + actual
+                state[_SENT] = state[_SENT] + actual
+            self._stage_send(
+                payment, cpath, amount, float(self._kernel_fee[i]), actuals
+            )
+            act_pos += hops
+        return True
+
+    # ------------------------------------------------------------------
+    # Shortest-path replay
+    # ------------------------------------------------------------------
+    def _replay_shortest(self, payment: Payment, prof: _PairProfile) -> bool:
+        """Replay :meth:`ShortestPathScheme.attempt
+        <repro.routing.shortest_path.ShortestPathScheme.attempt>` —
+        ``send_on_path`` over the pair's single path, re-probing the
+        residual bottleneck before every unit exactly as the scalar loop
+        re-probes the live store.  A failed lock replays its side effects
+        and stops the loop, as the scalar ``send_unit`` → ``False`` →
+        ``break`` sequence does."""
+        config = self.session.config
+        min_unit = config.min_unit_value
+        mtu = config.mtu
+        cpath = prof.cpaths[0]
+        self._sync_residuals()
+        while payment.remaining >= min_unit:
+            available = self._cpath_bottleneck(cpath)
+            amount = min(available, payment.remaining, mtu)
+            if amount < min_unit:
+                break
+            required = cpath.hop_amounts(amount)
+            fee = required[0] - amount
+            if fee > 0 and not payment.fee_budget_allows(fee):
+                break  # send_unit returns False → send_on_path stops
+            if not self._valid_lock_amounts(required):
+                return False  # scalar lock_path raises ChannelError
+            actuals = self._replay_lock(cpath, required)
+            if actuals is None:
+                break  # failed lock (effects replayed) → scalar break
+            self._stage_send(payment, cpath, amount, fee, actuals)
+        return True
+
+    # ------------------------------------------------------------------
+    # LND replay
+    # ------------------------------------------------------------------
+    def _attempt_lnd(self, payment: Payment) -> None:
+        """Replay :meth:`LndScheme.attempt
+        <repro.routing.lnd.LndScheme.attempt>` in probe mode.
+
+        The backwards Dijkstra runs with a residual-aware source
+        availability callable; retry-loop side effects (attempt counters,
+        mission-control failure stamps) accumulate locally and apply once
+        the payment reaches its committed outcome — ``pruned`` is
+        payment-local in the scalar code, so the deferral is invisible
+        within the payment, and the deltas land before the next payment's
+        replay starts.
+        """
+        session = self.session
+        scheme = cast(Any, session.scheme)
+        network = session.network
+        self._sync_residuals()
+        now = session.now
+        pruned: Set[Tuple[int, int]] = set()
+        attempts_delta = 0
+        failures_delta = 0
+        mission_updates: List[Tuple[int, int]] = []
+        failed = False
+        for _ in range(scheme.max_attempts):
+            attempts_delta += 1
+            path = scheme._find_path(
+                network,
+                payment.source,
+                payment.dest,
+                payment.amount,
+                pruned,
+                now,
+                avail=self._available_between,
+            )
+            if path is None:
+                failed = True
+                break
+            cpath = self.table.compile(path)
+            amount = payment.amount
+            required = cpath.hop_amounts(amount)
+            failing_index: Optional[int] = None
+            for i, ((cid, side), req) in enumerate(zip(cpath.hops, required)):
+                if self._availability(cid, side) + 1e-9 < req:
+                    failing_index = i
+                    break
+            if failing_index is None:
+                # send_atomic([(path, amount)]) replica.
+                if amount <= 1e-9:
+                    break  # zero units locked: send_atomic returns True
+                fee = required[0] - amount
+                if fee > 0 and not payment.fee_budget_allows(fee):
+                    failed = True  # fee veto → no lock → fail_payment
+                    break
+                if not self._valid_lock_amounts(required):
+                    # scalar lock_path raises ChannelError — let it.
+                    scheme.attempts_used += attempts_delta - 1
+                    self._fallback(payment)
+                    return
+                actuals = self._replay_lock(cpath, required)
+                if actuals is None:
+                    # The unfunded-hop scan and the lock disagree only in
+                    # the frozen/epsilon corner; the failure's side
+                    # effects are replayed and send_atomic returns False
+                    # → fail_payment.
+                    failed = True
+                    break
+                lock = HashLock.generate(payment.payment_id, 0)  # base_lock
+                payment.register_inflight(amount)
+                self._staged_payments.append(payment)
+                self._staged_cpaths.append(cpath)
+                self._staged_amounts.append(amount)
+                self._staged_fees.append(fee)
+                self._staged_hop_amounts.append(
+                    np.asarray(actuals, dtype=np.float64)
+                )
+                self._staged_locks.append(lock)
+                self._residual_synced = len(self._staged_payments)
+                self._touched_cids.update(cpath.cids.tolist())
+                break
+            failures_delta += 1
+            hop = (path[failing_index], path[failing_index + 1])
+            pruned.add(hop)
+            if scheme.forget_time > 0:
+                mission_updates.append(hop)
+        else:
+            failed = True  # retry budget exhausted
+        scheme.attempts_used += attempts_delta
+        scheme.failures_reported += failures_delta
+        for hop in mission_updates:
+            scheme._mission_control[hop] = now
+        if failed:
+            session.fail_payment(payment)
+
+    def _available_between(self, u: int, v: int) -> float:
+        """Residual ``network.available(u, v)`` for the LND source check."""
+        cid, side = self.session.network.channel_id(u, v)
+        return self._availability(cid, side)
+
+    # ------------------------------------------------------------------
+    # Spider-window replay
+    # ------------------------------------------------------------------
+    def _replay_window(self, payment: Payment, prof: _PairProfile) -> bool:
+        """Replay :meth:`WindowedSpiderScheme.attempt
+        <repro.core.window_control.WindowedSpiderScheme.attempt>`.
+
+        The launch constraint is the sender's first hop, locked via
+        ``try_lock`` — which *fails clean* (no store effects), so this
+        replay never stages failures: every decision either stages a
+        launch or replicates a side-effect-free break.  Window state
+        (AIMD inflight) mutates eagerly, exactly as the scalar loop does.
+        """
+        session = self.session
+        scheme = cast(Any, session.scheme)
+        config = session.config
+        min_unit = config.min_unit_value
+        mtu = config.mtu
+        self._sync_residuals()
+        store = self.store
+        states = sorted(
+            ((scheme.window(cpath.nodes), cpath) for cpath in prof.cpaths),
+            key=lambda item: item[0].headroom,
+            reverse=True,
+        )
+        for state, cpath in states:
+            while (
+                payment.remaining >= min_unit and state.headroom >= min_unit
+            ):
+                cid, side = cpath.hops[0]
+                first_hop = self._availability(cid, side)
+                amount = min(
+                    payment.remaining, state.headroom, mtu, first_hop
+                )
+                if amount < min_unit:
+                    break
+                # try_lock replica (clean failure; unreachable after the
+                # first-hop availability clamp, kept for exactness).
+                if store.frozen_count and store.frozen[cid]:
+                    break
+                hop_state = self._state(cid, side)
+                bal = hop_state[_BAL]
+                if amount > bal + 1e-9:
+                    break
+                actual = amount if amount <= bal else bal
+                hop_state[_BAL] = bal - actual
+                hop_state[_INFL] = hop_state[_INFL] + actual
+                hop_state[_SENT] = hop_state[_SENT] + actual
+                self._touched_cids.add(cid)
+                self._staged_launches.append((payment, cpath, amount, actual))
+                payment.register_inflight(amount)
+                state.inflight += amount
+        return True
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
     def _flush(self) -> None:
-        """Execute every staged send through one grouped store write.
+        """Execute every staged operation through one grouped store write.
 
-        Hop updates apply in decision order (``np.ufunc.at`` semantics for
-        duplicate ``(cid, side)`` indices), so the balances match the
-        eager per-send locks bit for bit; unit materialisation, payment
-        bookkeeping side effects and resolution scheduling also run in
-        decision order.
+        Without replayed lock failures the staged sends are pure per-hop
+        subtractions/additions, applied in decision order by
+        ``lock_many``'s ``np.ufunc.at`` scatter — bit-identical to the
+        eager per-send locks.  With failures staged the op sequence
+        includes bit-changing round-trips a scatter-add cannot express;
+        the overlay tracked every operation with the store's own float64
+        arithmetic, so the final values are written back verbatim (equal
+        by construction) and the ``sent``/``num_refunded`` deltas land
+        with them.  Unit materialisation, payment bookkeeping and
+        resolution scheduling always run in decision order.
         """
         staged = self._staged_payments
-        if not staged:
-            return
-        cpaths = self._staged_cpaths
-        amounts = self._staged_amounts
-        if len(staged) == 1:
-            cpath = cpaths[0]
-            hops = len(cpath.hops)
-            hop_amounts = np.full(hops, amounts[0], dtype=np.float64)
-            self.store.lock_many(cpath.cids, cpath.sides, hop_amounts)
-        else:
-            hop_counts = [len(cpath.hops) for cpath in cpaths]
-            self.store.lock_many(
-                np.concatenate([cpath.cids for cpath in cpaths]),
-                np.concatenate([cpath.sides for cpath in cpaths]),
-                np.repeat(np.asarray(amounts, dtype=np.float64), hop_counts),
-            )
         session = self.session
-        now = session.sim.now
-        for payment, cpath, amount in zip(staged, cpaths, amounts):
-            lock = HashLock.generate(payment.payment_id, payment.units_sent)
-            unit = TransactionUnit.create(
-                payment=payment,
-                amount=amount,
-                path=cpath.nodes,
-                htlcs=PathLock(
-                    cpath, np.full(len(cpath.hops), amount, dtype=np.float64)
-                ),
-                lock=lock,
-                sent_at=now,
-                fee=0.0,
-            )
-            session._schedule_resolve(unit)
-        self.batched_units += len(staged)
-        staged.clear()
-        cpaths.clear()
-        amounts.clear()
-        self._staged_dirty.clear()
+        store = self.store
+        if staged:
+            cpaths = self._staged_cpaths
+            amounts = self._staged_amounts
+            hop_arrays = self._staged_hop_amounts
+            for i, hop_array in enumerate(hop_arrays):
+                if hop_array is None:
+                    hop_arrays[i] = np.full(
+                        len(cpaths[i].hops), amounts[i], dtype=np.float64
+                    )
+            flat_arrays = cast(List[np.ndarray], hop_arrays)
+            if self._has_failed_locks:
+                self._write_back_overlay()
+            elif len(staged) == 1:
+                cpath = cpaths[0]
+                store.lock_many(cpath.cids, cpath.sides, flat_arrays[0])
+            else:
+                store.lock_many(
+                    np.concatenate([cpath.cids for cpath in cpaths]),
+                    np.concatenate([cpath.sides for cpath in cpaths]),
+                    np.concatenate(flat_arrays),
+                )
+            now = session.sim.now
+            for payment, cpath, amount, fee, lock, hop_array in zip(
+                staged,
+                cpaths,
+                amounts,
+                self._staged_fees,
+                self._staged_locks,
+                flat_arrays,
+            ):
+                unit = TransactionUnit.create(
+                    payment=payment,
+                    amount=amount,
+                    path=cpath.nodes,
+                    htlcs=PathLock(cpath, hop_array),
+                    lock=lock,
+                    sent_at=now,
+                    fee=fee,
+                )
+                session._schedule_resolve(unit)
+            self.batched_units += len(staged)
+            staged.clear()
+            cpaths.clear()
+            amounts.clear()
+            self._staged_fees.clear()
+            self._staged_hop_amounts.clear()
+            self._staged_locks.clear()
+        elif self._has_failed_locks:
+            # A replay can end in failures only (every lock attempt
+            # bounced): their side effects still have to land.
+            self._write_back_overlay()
+        launches = self._staged_launches
+        if launches:
+            count = len(launches)
+            cids = np.empty(count, dtype=np.intp)
+            sides = np.empty(count, dtype=np.intp)
+            actuals = np.empty(count, dtype=np.float64)
+            for i, (_, cpath, _, actual) in enumerate(launches):
+                cid, side = cpath.hops[0]
+                cids[i] = cid
+                sides[i] = side
+                actuals[i] = actual
+            store.lock_many(cids, sides, actuals)
+            transport = cast(Any, session.transport)
+            now = session.sim.now
+            units: List[HopUnit] = []
+            for payment, cpath, amount, actual in launches:
+                # send_unit_hop_by_hop replica, launch half: the lock key
+                # regenerates deterministically from the same units_sent
+                # counter the scalar call would have used (register ran at
+                # stage time), then the HopUnit launches with its
+                # first-hop lock booked.
+                lock = HashLock.generate(
+                    payment.payment_id, payment.units_sent
+                )
+                unit = HopUnit(payment, amount, cpath.nodes, lock, now)
+                unit.cpath = cpath
+                unit.locked.append(actual)
+                unit.hop_index += 1
+                units.append(unit)
+            transport.advance_many(units)
+            self.batched_units += count
+            launches.clear()
+        self._residual.clear()
+        self._refund_deltas.clear()
+        self._has_failed_locks = False
+        self._touched_cids.clear()
+        self._residual_synced = 0
+
+    def _write_back_overlay(self) -> None:
+        """Land the overlay verbatim (the failed-lock flush path)."""
+        self._sync_residuals()
+        store = self.store
+        balance = store.balance
+        inflight = store.inflight
+        sent = store.sent
+        for (cid, side), state in self._residual.items():
+            balance[cid, side] = state[_BAL]
+            inflight[cid, side] = state[_INFL]
+            sent[cid, side] = state[_SENT]
+        num_refunded = store.num_refunded
+        for cid, delta in self._refund_deltas.items():
+            num_refunded[cid] += delta
+        store.version = version = store.version + 1
+        if self._touched_cids:
+            store.stamp[list(self._touched_cids)] = version
 
     # ------------------------------------------------------------------
     # Profiles
@@ -372,7 +1240,10 @@ class DispatchPlan:
         the path prefetch, so first-attempt cohorts skip per-pair path
         compilation entirely.  Profiles are static facts about static
         path sets; building them early changes nothing observable."""
-        if getattr(self.session.scheme, "cohort_rule", None) != "waterfilling":
+        if (
+            getattr(self.session.scheme, "cohort_rule", None)
+            not in _PROFILE_RULES
+        ):
             return
         if not self.session.network.vectorized_path_ops:
             return
@@ -390,13 +1261,16 @@ class DispatchPlan:
             probe = self.table.probe_handle(paths)
             if probe is not None:
                 cids = probe.cids.tolist()
-                if len(set(cids)) == len(cids) and all(
+                prof.batchable = True
+                prof.probe = probe
+                prof.cpaths = probe.cpaths
+                prof.cid_set = frozenset(cids)
+                prof.path_cid_sets = [
+                    frozenset(cpath.cids.tolist()) for cpath in probe.cpaths
+                ]
+                prof.fast_exact = len(set(cids)) == len(cids) and all(
                     cpath.fee_free for cpath in probe.cpaths
-                ):
-                    prof.batchable = True
-                    prof.probe = probe
-                    prof.cpaths = probe.cpaths
-                    prof.cid_set = frozenset(cids)
+                )
         self._profiles[key] = prof
         return prof
 
@@ -412,15 +1286,24 @@ class DispatchPlan:
         store stays conserved for post-mortem inspection), then the run is
         failed.
         """
-        if self._staged_payments or self._staged_cpaths or self._staged_amounts:
+        if (
+            self._staged_payments
+            or self._staged_cpaths
+            or self._staged_amounts
+            or self._staged_launches
+        ):
             counts = {
                 "staged_payments": len(self._staged_payments),
                 "staged_cpaths": len(self._staged_cpaths),
                 "staged_amounts": len(self._staged_amounts),
+                "staged_launches": len(self._staged_launches),
             }
-            buffers = ", ".join(f"{name}={n}" for name, n in counts.items() if n)
+            buffers = ", ".join(
+                f"{name}={n}" for name, n in counts.items() if n
+            )
             payment_ids = sorted(
                 {payment.payment_id for payment in self._staged_payments}
+                | {record[0].payment_id for record in self._staged_launches}
             )
             shown = ", ".join(str(pid) for pid in payment_ids[:8])
             if len(payment_ids) > 8:
@@ -428,13 +1311,18 @@ class DispatchPlan:
             self._flush()
             raise SimulationError(
                 f"dispatch staging buffers not drained at finish(): {buffers}"
-                + (f"; stranded sends belong to payment ids [{shown}]" if shown else "")
+                + (
+                    f"; stranded sends belong to payment ids [{shown}]"
+                    if shown
+                    else ""
+                )
                 + " — a cohort ended without flushing"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DispatchPlan(cohorts={self.cohorts}, "
+            f"payments={self.cohort_payments}, "
             f"batched_units={self.batched_units}, "
             f"fallbacks={self.scalar_fallbacks})"
         )

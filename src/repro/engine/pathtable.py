@@ -95,6 +95,35 @@ class CompiledPath:
         """Number of hops."""
         return len(self.hops)
 
+    def hop_amounts(self, amount: float) -> List[float]:
+        """Per-hop lock amounts delivering ``amount``, fees included.
+
+        The reverse fee recurrence over this path's compiled schedule,
+        float-for-float identical to ``PaymentNetwork.hop_amounts`` /
+        ``PathTable.hop_amounts`` (both delegate here).  The dispatch
+        layer calls this directly to price staged sends without a path
+        re-compile.
+        """
+        hops = len(self.hops)
+        if hops == 0:
+            return []
+        if self.fee_free:
+            return [amount] * hops
+        amounts = [0.0] * hops
+        amounts[-1] = amount
+        base_fees = self.base_fees
+        fee_rates = self.fee_rates
+        for i in range(hops - 2, -1, -1):
+            downstream = amounts[i + 1]
+            # forwarding_fee() of the downstream channel, inlined.
+            fee = (
+                base_fees[i + 1] + fee_rates[i + 1] * downstream
+                if downstream > 0
+                else 0.0
+            )
+            amounts[i] = downstream + fee
+        return amounts
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledPath(nodes={self.nodes!r})"
 
@@ -416,26 +445,7 @@ class PathTable:
         paths run the identical reverse recurrence over the compiled fee
         schedule (no channel-object lookups).
         """
-        cpath = self.compile(path)
-        hops = len(cpath.hops)
-        if hops == 0:
-            return []
-        if cpath.fee_free:
-            return [amount] * hops
-        amounts = [0.0] * hops
-        amounts[-1] = amount
-        base_fees = cpath.base_fees
-        fee_rates = cpath.fee_rates
-        for i in range(hops - 2, -1, -1):
-            downstream = amounts[i + 1]
-            # forwarding_fee() of the downstream channel, inlined.
-            fee = (
-                base_fees[i + 1] + fee_rates[i + 1] * downstream
-                if downstream > 0
-                else 0.0
-            )
-            amounts[i] = downstream + fee
-        return amounts
+        return self.compile(path).hop_amounts(amount)
 
     # ------------------------------------------------------------------
     # Lock / settle / refund

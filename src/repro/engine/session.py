@@ -404,6 +404,29 @@ class SimulationSession:
             scheme=self.scheme.name, network=self.network, duration=self._end_time
         )
 
+    def dispatch_stats(self) -> Dict[str, int]:
+        """Batched-dispatch counters for observability (empty when the
+        scalar loop ran).
+
+        Keys: ``cohorts`` (attempt cohorts driven), ``cohort_payments``
+        (payments entering those cohorts), ``batched_units`` (units
+        executed through the staged scatter-add path) and
+        ``scalar_fallbacks`` (payments that dropped to the scheme's
+        sequential ``attempt``).  Deliberately *not* part of
+        :class:`~repro.metrics.collectors.ExperimentMetrics`: counters
+        differ between scalar and batched runs by construction, while the
+        metrics dict is pinned byte-identical across both.
+        """
+        dispatch = self._dispatch
+        if dispatch is None:
+            return {}
+        return {
+            "cohorts": dispatch.cohorts,
+            "cohort_payments": dispatch.cohort_payments,
+            "batched_units": dispatch.batched_units,
+            "scalar_fallbacks": dispatch.scalar_fallbacks,
+        }
+
     def _ensure_transport(self) -> Optional[Transport]:
         """Instantiate the forced transport once (shims may need it before
         :meth:`run`, e.g. to inject units directly in tests)."""

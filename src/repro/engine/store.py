@@ -359,12 +359,15 @@ class ChannelStateStore:
     ) -> None:
         """Lock a verified cohort of sends in one grouped scatter-add.
 
-        Caller contract (the dispatch layer's exact-estimate invariant):
-        every ``amounts[i]`` is at most the live spendable balance of
-        ``(cids[i], sides[i])`` at apply time and no hop is frozen, so no
-        clamping and no rollback path exist here — unlike
+        Caller contract (the dispatch layer's residual-replay invariant):
+        every ``amounts[i]`` is the *pre-clamped actual* the scalar lock
+        would have taken for that hop — at most the hop's residual balance
+        after all earlier entries in the batch, with frozen hops never
+        staged — so no clamping and no rollback path exist here, unlike
         :meth:`lock_path_funds`, which must reproduce the scalar
-        lock-then-rollback on failure.  Duplicate ``(cid, side)`` pairs
+        lock-then-rollback on failure.  Fee-bearing sends therefore pass
+        their per-hop fee-inclusive amounts (one entry per hop), not a
+        broadcast delivered amount.  Duplicate ``(cid, side)`` pairs
         (several units of one cohort crossing the same hop) are applied in
         array order via ``np.ufunc.at``, matching the scalar per-send lock
         sequence bit for bit.  One version bump covers the whole cohort:

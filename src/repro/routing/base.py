@@ -108,12 +108,13 @@ class RoutingScheme(abc.ABC):
     #: Name of the vectorised cohort decision rule the session's
     #: :class:`~repro.engine.dispatch.DispatchPlan` may use in place of
     #: per-payment :meth:`attempt` calls when draining a same-tick cohort
-    #: (currently only ``"waterfilling"``).  ``None`` means the dispatch
-    #: layer drives :meth:`attempt` sequentially — still batched at the
-    #: event level, with bit-identical results.  Declaring a rule is a
-    #: promise that the batched kernel reproduces :meth:`attempt`'s
-    #: decisions byte for byte; the parity suite in
-    #: ``tests/engine/test_dispatch.py`` enforces it.
+    #: (``"waterfilling"``, ``"shortest-path"``, ``"lnd"`` or
+    #: ``"spider-window"``).  ``None`` means the dispatch layer drives
+    #: :meth:`attempt` sequentially — still batched at the event level,
+    #: with bit-identical results.  Declaring a rule is a promise that the
+    #: batched replay reproduces :meth:`attempt`'s decisions byte for
+    #: byte — fees, shared channels, frozen hops and all; the parity
+    #: suite in ``tests/engine/test_dispatch.py`` enforces it.
     cohort_rule: Optional[str] = None
 
     def prepare(self, runtime: "Runtime") -> None:

@@ -27,7 +27,7 @@ Model
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.routing.base import RoutingScheme
 
@@ -61,6 +61,11 @@ class LndScheme(RoutingScheme):
 
     name = "lnd"
     atomic = True
+    #: The retry loop (Dijkstra probe, unfunded-hop scan, atomic send) is
+    #: replayed batched by the session's DispatchPlan, which passes its
+    #: residual-aware availability view through ``_find_path``'s ``avail``
+    #: hook and defers mission-control updates to commit time.
+    cohort_rule = "lnd"
 
     def __init__(
         self,
@@ -138,6 +143,7 @@ class LndScheme(RoutingScheme):
         amount: float,
         pruned: set,
         now: float,
+        avail: Optional[Callable[[int, int], float]] = None,
     ) -> Optional[Path]:
         """Cheapest viable path in the sender's gossip view, or ``None``.
 
@@ -147,7 +153,14 @@ class LndScheme(RoutingScheme):
         ``cost = (lock - amount) + hop_penalty × hops`` — total fees plus
         the hop penalty.  Fees are affine and non-negative, so labels are
         monotone and plain Dijkstra is exact.
+
+        ``avail`` overrides the sender's own-balance check (defaults to
+        ``network.available``); the batched dispatch replay passes its
+        residual-capacity view here so cohort staging stays byte-identical
+        to the sequential loop.
         """
+        if avail is None:
+            avail = network.available
         if source == dest or source not in self._adjacency:
             return None
         # lock[v]: value carried by the hop entering v on the best suffix.
@@ -171,7 +184,7 @@ class LndScheme(RoutingScheme):
                 if channel.capacity + _EPS < carried:
                     continue  # gossip says this channel can never carry it
                 if u == source:
-                    if network.available(u, v) + _EPS < carried:
+                    if avail(u, v) + _EPS < carried:
                         continue  # the sender knows its own balances
                     candidate_lock = carried
                     fee_step = 0.0  # the sender pays no fee on its own hop

@@ -5,10 +5,11 @@
 scatter-add locks, cohort reschedules) and the retired per-payment scalar
 loop, which stays behind the flag as the parity baseline.  Everything here
 pins the two byte-for-byte on serialised metrics — including runs that
-force the interesting regimes: mid-cohort lock conflicts (shared-channel
-pairs falling back to sequential attempts), fee-bearing and frozen
-topologies (never batched), and resolution flushes landing on the same
-tick as the poll that relocks the released funds.
+force the interesting regimes: mid-cohort conflict groups (shared-channel
+pairs replayed against the plan's residual-capacity overlay), fee-bearing
+and frozen topologies (staged with per-hop fee schedules), and resolution
+flushes landing on the same tick as the poll that relocks the released
+funds.
 
 The bulk-scheduling substrate gets its own order pins:
 :meth:`TickEngine.schedule_many` must pop identically to repeated scalar
@@ -37,6 +38,18 @@ PINNED_SCHEMES = [
     "spider-queueing-qgrad",
     "celer",
     "lnd",
+    "shortest-path",
+]
+
+#: Schemes whose decision rule the DispatchPlan replays batched (every
+#: declared ``cohort_rule``); the fee/shared-channel parity tests sweep
+#: exactly these.
+BATCHED_SCHEMES = [
+    "spider-waterfilling",
+    "shortest-path",
+    "lnd",
+    "spider-window",
+    "spider-window-imbalance",
 ]
 
 
@@ -92,13 +105,16 @@ def test_dispatch_modes_byte_identical(scheme, topology):
     assert fast == slow
 
 
-@pytest.mark.parametrize("scheme", ["spider-waterfilling", "lnd", "celer"])
+@pytest.mark.parametrize("scheme", BATCHED_SCHEMES + ["celer"])
 def test_dispatch_parity_with_random_fees_and_frozen_channels(scheme):
-    """Fee-bearing hops and frozen channels never reach the batched path.
+    """Fee-bearing hops and frozen channels batch byte-identically.
 
     A proportional fee schedule plus a seeded random set of frozen
-    channels pushes every regime the staging rules must refuse — the two
-    modes must still agree byte for byte.
+    channels pushes every regime the fee-aware staging must replay — the
+    reverse fee recurrence, frozen-hop availability masking and the
+    predicted-lock-failure fallback — and the two modes must still agree
+    byte for byte.  (``celer`` declares no cohort rule and pins the
+    sequential driver arm.)
     """
     import random
 
@@ -121,19 +137,42 @@ def test_dispatch_parity_with_random_fees_and_frozen_channels(scheme):
     assert fast == slow
 
 
-def test_mid_cohort_conflicts_fall_back_and_batched_sends_happen():
-    """The cohort driver really exercises both of its arms.
+@pytest.mark.parametrize("scheme", BATCHED_SCHEMES)
+def test_dispatch_parity_fee_bearing_shared_channels(scheme):
+    """Shared-channel path sets with fees batch byte-identically.
 
-    On ``line-5`` every payment's paths share channels, so staged sends
-    dirty later payments' candidate sets and force the flush-then-scalar
-    fallback; on ``ripple-small`` disjoint path sets actually batch.  The
-    parity tests above would pass vacuously if either arm were dead —
-    this pins the counters.
+    ``line-5`` forces every pair through the same channels, so each
+    cohort is one big conflict group: every payment's replay must read
+    the residual capacities left by the payments staged before it, with
+    per-hop fee-inclusive amounts.  This is the regime PR 6 sent
+    wholesale to the scalar fallback.
     """
-    for topology, expect_batched, expect_fallbacks in [
-        ("line-5", False, True),
-        ("ripple-small", True, True),
-    ]:
+    config = _config(
+        scheme=scheme,
+        topology="line-5",
+        num_transactions=150,
+        base_fee=0.01,
+        fee_rate=0.001,
+        max_fee_fraction=0.25,
+    )
+    fast = _run_json(config, vectorized=True)
+    slow = _run_json(config, vectorized=False)
+    assert fast == slow
+
+
+def test_mid_cohort_conflicts_batch_through_residual_replay():
+    """Shared-channel cohorts batch instead of falling back.
+
+    On ``line-5`` every payment's paths share channels — under PR 6 that
+    meant flush-then-scalar for the whole cohort; the residual replay now
+    stages those conflict groups, so batched units flow and the fallback
+    counter stays at zero (waterfilling decisions clamp to the residual
+    bottleneck, so no lock failure can be predicted).  ``ripple-small``
+    pins the disjoint fast path alongside.  The parity tests above would
+    pass vacuously if the batched arm were dead — this pins the counters,
+    and the session's ``dispatch_stats`` accessor with them.
+    """
+    for topology in ["line-5", "ripple-small"]:
         config = _config(topology=topology, num_transactions=150)
         network, records, scheme = config.build_simulation_inputs()
         session = SimulationSession(
@@ -142,10 +181,38 @@ def test_mid_cohort_conflicts_fall_back_and_batched_sends_happen():
         session.run()
         plan = session._dispatch
         assert plan is not None and plan.cohorts > 0
-        if expect_batched:
-            assert plan.batched_units > 0
-        if expect_fallbacks:
-            assert plan.scalar_fallbacks > 0
+        assert plan.batched_units > 0
+        assert plan.scalar_fallbacks == 0
+        stats = session.dispatch_stats()
+        assert stats == {
+            "cohorts": plan.cohorts,
+            "cohort_payments": plan.cohort_payments,
+            "batched_units": plan.batched_units,
+            "scalar_fallbacks": plan.scalar_fallbacks,
+        }
+        assert stats["cohort_payments"] >= stats["cohorts"]
+
+
+def test_unbatchable_pair_takes_scalar_fallback():
+    """A payment whose pair profile is not batchable drops to the
+    scheme's scalar ``attempt`` (flush-first), keeping the fallback arm
+    of the cohort driver honest."""
+    from repro.engine.dispatch import _PairProfile
+
+    config = _config(topology="ripple-small", num_transactions=10)
+    network, records, scheme = config.build_simulation_inputs()
+    session = SimulationSession(
+        network, records, scheme, config.build_runtime_config()
+    )
+    session.prepare()
+    plan = session._dispatch
+    assert plan is not None
+    payment = session._new_payment(records[0])
+    # Forge the degenerate profile (no probeable path set) for the pair.
+    plan._profiles[(payment.source, payment.dest)] = _PairProfile()
+    plan.attempt_cohort((payment,))
+    assert plan.scalar_fallbacks == 1
+    assert payment.units_sent > 0  # the scalar attempt really ran
 
 
 def test_same_tick_settle_then_lock_ordering():
@@ -246,6 +313,8 @@ def test_finish_asserts_dispatch_buffers_drained():
     assert plan is not None
 
     # Forge a staged send the cohort "forgot" to flush.
+    from repro.network.htlc import HashLock
+
     paths = scheme.path_cache.paths(records[0].source, records[0].dest)
     assert paths
     cpath = network.path_table.compile(paths[0])
@@ -253,6 +322,9 @@ def test_finish_asserts_dispatch_buffers_drained():
     plan._staged_payments.append(payment)
     plan._staged_cpaths.append(cpath)
     plan._staged_amounts.append(1.0)
+    plan._staged_fees.append(0.0)
+    plan._staged_hop_amounts.append(None)
+    plan._staged_locks.append(HashLock.generate(payment.payment_id, 0))
     with pytest.raises(SimulationError) as excinfo:
         plan.assert_drained()
     # The failure is attributable: it names each non-empty staging buffer
