@@ -116,6 +116,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_schemes(),
         help="routing scheme",
     )
+    run_parser.add_argument(
+        "--dispatch-stats",
+        action="store_true",
+        help="print the engine's dispatch counters after the run "
+        "(cohorts, batched units, scalar fallbacks; plus shard counters "
+        "with --shards)",
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="partition the network into N segments and run each "
+        "segment's traffic in its own worker process over a "
+        "shared-memory store (0 = single-process; metrics are "
+        "byte-identical either way)",
+    )
+    run_parser.add_argument(
+        "--shard-epoch",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="epoch-barrier period for --shards (default: 1.0)",
+    )
     _add_common_options(run_parser)
 
     compare_parser = sub.add_parser("compare", help="compare schemes on one trace")
@@ -216,12 +240,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_from_args(args)
 
     if args.command == "run":
-        metrics = run_experiment(
-            _config_from_args(args, scheme=args.scheme),
-            engine=args.engine,
-            path_cache_dir=args.path_cache_dir,
-        )
+        stats = None
+        if args.shards > 0:
+            from repro.engine.sharding import ShardedSession
+
+            if args.engine != "session":
+                print("error: --shards requires --engine session", file=sys.stderr)
+                return 2
+            session = ShardedSession.from_config(
+                _config_from_args(args, scheme=args.scheme),
+                num_shards=args.shards,
+                epoch=args.shard_epoch,
+            )
+            metrics = session.run()
+            stats = session.dispatch_stats()
+        elif args.dispatch_stats and args.engine == "session":
+            from repro.engine.session import SimulationSession
+
+            session = SimulationSession.from_config(
+                _config_from_args(args, scheme=args.scheme),
+                path_cache_dir=args.path_cache_dir,
+            )
+            metrics = session.run()
+            stats = session.dispatch_stats()
+        else:
+            metrics = run_experiment(
+                _config_from_args(args, scheme=args.scheme),
+                engine=args.engine,
+                path_cache_dir=args.path_cache_dir,
+            )
         print(format_metrics_table([metrics], title=f"{args.scheme} on {args.topology}"))
+        if args.dispatch_stats:
+            if stats is None:
+                print("dispatch stats unavailable on this engine", file=sys.stderr)
+            else:
+                print("dispatch stats:")
+                for key in sorted(stats):
+                    print(f"  {key:20s} {stats[key]}")
         return 0
 
     if args.command == "compare":

@@ -1,17 +1,18 @@
-"""RL004 — every ``vectorized_*`` fast path keeps a tested scalar twin.
+"""RL004 — every ``vectorized_*`` / ``sharded_*`` fast path keeps a tested twin.
 
-The engine's vectorisation pattern (PR 3–6) is: ship the batched kernel
-as the default, keep the scalar implementation behind a class attribute
-``vectorized_<thing> = True``, and pin byte-identical metrics across both
-branches in the test suite.  The scalar twin is the *proof obligation* —
-once no test flips the flag to ``False``, the parity baseline is dead
+The engine's parity pattern (PR 3–6 for vectorisation, PR 9 for spatial
+sharding) is: ship the fast path as the default, keep the baseline
+implementation behind a class attribute (``vectorized_<thing> = True``,
+``sharded_<thing> = True``), and pin byte-identical metrics across both
+branches in the test suite.  The baseline twin is the *proof obligation*
+— once no test flips the flag to ``False``, the parity baseline is dead
 code and the next kernel change can drift unobserved.
 
-The rule finds every class-body attribute matching ``vectorized_*`` in
-the shipped tree and requires the test tree to exercise both branches:
+The rule finds every class-body attribute matching either prefix in the
+shipped tree and requires the test tree to exercise both branches:
 
-* the **scalar** branch — some test assigns the attribute ``False``;
-* the **vectorised** branch — some test assigns it ``True`` or reads it
+* the **baseline** branch — some test assigns the attribute ``False``;
+* the **fast** branch — some test assigns it ``True`` or reads it
   (the default-on path asserted or restored).
 
 An assignment from a non-constant expression (``Cls.vectorized_x =
@@ -31,11 +32,11 @@ from repro.devtools.lint.report import Finding
 
 __all__ = ["ParityPairRule"]
 
-_VECTORIZED_ATTR = re.compile(r"^vectorized_[a-z0-9_]+$")
+_PARITY_ATTR = re.compile(r"^(?:vectorized|sharded)_[a-z0-9_]+$")
 
 
 class _TestUsage:
-    """How the test tree touches one ``vectorized_*`` attribute name."""
+    """How the test tree touches one parity-flag attribute name."""
 
     __slots__ = ("assigned_true", "assigned_false", "assigned_dynamic", "loads")
 
@@ -55,7 +56,7 @@ class _TestUsage:
 
 
 def _class_attributes(index: LintIndex) -> List[Tuple[str, str, int, str]]:
-    """Every ``vectorized_*`` class attribute: (path, class, line, name)."""
+    """Every parity-flag class attribute: (path, class, line, name)."""
     found = []
     for module in index.src_modules():
         for node in ast.walk(module.tree):
@@ -68,7 +69,7 @@ def _class_attributes(index: LintIndex) -> List[Tuple[str, str, int, str]]:
                 elif isinstance(stmt, ast.AnnAssign):
                     targets = [stmt.target]
                 for target in targets:
-                    if isinstance(target, ast.Name) and _VECTORIZED_ATTR.match(
+                    if isinstance(target, ast.Name) and _PARITY_ATTR.match(
                         target.id
                     ):
                         found.append((module.path, node.name, stmt.lineno, target.id))
@@ -88,7 +89,7 @@ def _test_usages(index: LintIndex) -> Dict[str, _TestUsage]:
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Assign):
                 for target in node.targets:
-                    if isinstance(target, ast.Attribute) and _VECTORIZED_ATTR.match(
+                    if isinstance(target, ast.Attribute) and _PARITY_ATTR.match(
                         target.attr
                     ):
                         entry = usage(target.attr)
@@ -100,19 +101,19 @@ def _test_usages(index: LintIndex) -> Dict[str, _TestUsage]:
                         else:
                             entry.assigned_dynamic = True
             elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
-                if _VECTORIZED_ATTR.match(node.attr):
+                if _PARITY_ATTR.match(node.attr):
                     usage(node.attr).loads += 1
     return usages
 
 
 @rule
 class ParityPairRule:
-    """RL004: vectorized_* flags need both branches exercised under tests/."""
+    """RL004: parity flags need both branches exercised under tests/."""
 
     id = "RL004"
     summary = (
-        "every vectorized_* class attribute needs tests exercising both the "
-        "fast path and the scalar parity baseline (assign False somewhere "
+        "every vectorized_*/sharded_* class attribute needs tests exercising "
+        "both the fast path and the parity baseline (assign False somewhere "
         "under tests/)"
     )
 

@@ -404,6 +404,48 @@ class SimulationSession:
             scheme=self.scheme.name, network=self.network, duration=self._end_time
         )
 
+    def run_window(self, until: float) -> None:
+        """Advance the run to ``until`` seconds, leaving future work queued.
+
+        The bulk-synchronous primitive the spatial-sharding driver
+        (:class:`~repro.engine.sharding.ShardedSession`) steps its
+        execution lanes with: every event due at or before ``until``
+        fires, then the clock lands on exactly ``until`` (quantised), and
+        in-flight resolutions or retries scheduled beyond it stay queued
+        for the next window.  The first call performs :meth:`prepare`;
+        subsequent calls resume where the previous window stopped.  Ended
+        by :meth:`finish_windowed` — a session driven through windows must
+        not also call :meth:`run`.
+        """
+        if self._finished:
+            raise SimulationError("cannot run a window on a finished session")
+        self.prepare()
+        if self._needs_delegate:
+            raise SimulationError(
+                f"scheme {self.scheme.name!r} requires a legacy runtime and "
+                "cannot be driven in windows"
+            )
+        self.sim.run(until=until)
+
+    def finish_windowed(self) -> None:
+        """Terminate a window-driven run: drain checks, fail the pending.
+
+        Performs exactly the end-of-run bookkeeping :meth:`run` performs —
+        dispatch/queue drain assertions, transport finish, failing
+        still-pending payments at the current clock, flushing the path
+        artifact — but does **not** finalize the collector: the sharding
+        driver merges lane collectors first and finalizes once.
+        Idempotent.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        if not self._prepared or (not self.records and self.config.end_time is None):
+            return
+        self._finish()
+        if self._path_cache_dir is not None:
+            self.network.path_service.flush()
+
     def dispatch_stats(self) -> Dict[str, int]:
         """Batched-dispatch counters for observability (empty when the
         scalar loop ran).

@@ -19,6 +19,7 @@ return views trimmed to the allocated channel count.
 
 from __future__ import annotations
 
+from multiprocessing import shared_memory
 from typing import Optional, Tuple
 
 import numpy as np
@@ -29,6 +30,23 @@ __all__ = ["ChannelStateStore"]
 
 _INITIAL_CAPACITY = 16
 _LOCK_EPS = 1e-9
+
+#: Arrays re-laid into the shared-memory block by :meth:`share`, in block
+#: order.  Offsets are rounded up to 8 bytes so every float64/int64 array
+#: stays aligned regardless of the bool array's length.
+_SHARED_ARRAYS = (
+    "balance",
+    "inflight",
+    "sent",
+    "settled_flow",
+    "queue_depth",
+    "capacity",
+    "total_deposited",
+    "num_settled",
+    "num_refunded",
+    "stamp",
+    "frozen",
+)
 
 
 class ChannelStateStore:
@@ -60,6 +78,7 @@ class ChannelStateStore:
         "frozen_count",
         "stamp",
         "version",
+        "_shm",
     )
 
     def __init__(self, reserve: int = _INITIAL_CAPACITY):
@@ -78,6 +97,8 @@ class ChannelStateStore:
         self.frozen_count = 0
         self.stamp = np.zeros(reserve, dtype=np.int64)
         self.version = 0
+        #: Shared-memory block backing the arrays (``None`` = private heap).
+        self._shm: Optional[shared_memory.SharedMemory] = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -88,6 +109,11 @@ class ChannelStateStore:
 
     def allocate(self, capacity: float, balance_a: float) -> int:
         """Allocate a row for a new channel; returns its channel id."""
+        if self._shm is not None:
+            raise ChannelError(
+                "cannot allocate channels on a shared-memory store: the "
+                "topology is frozen once share() re-lays the arrays"
+            )
         cid = self._n
         if cid == self.capacity.shape[0]:
             self._grow()
@@ -117,6 +143,79 @@ class ChannelStateStore:
         self.num_refunded = widen(self.num_refunded)
         self.frozen = widen(self.frozen)
         self.stamp = widen(self.stamp)
+
+    # ------------------------------------------------------------------
+    # Shared-memory backing (spatial sharding)
+    # ------------------------------------------------------------------
+    @property
+    def is_shared(self) -> bool:
+        """Whether the state arrays live in a shared-memory block."""
+        return self._shm is not None
+
+    @property
+    def shared_memory_name(self) -> Optional[str]:
+        """The backing block's name, or ``None`` on a private-heap store."""
+        return self._shm.name if self._shm is not None else None
+
+    def share(self) -> str:
+        """Re-lay every state array into one shared-memory block, in place.
+
+        The array layout (dtypes, shapes, trimmed to the allocated channel
+        count) is unchanged — every existing consumer keeps reading
+        ``store.balance[cid, side]`` etc. through attribute access, so the
+        relocation is invisible.  After sharing, a ``fork()``-ed child
+        process inherits the mapping and its writes are visible to every
+        other process attached to the block: the substrate
+        :class:`~repro.engine.sharding.ShardedSession` partitions one run
+        across worker processes over.  ``version`` and ``frozen_count``
+        stay per-process plain ints — cross-process probe freshness is
+        handled by :meth:`PathTable.invalidate_probes
+        <repro.engine.pathtable.PathTable.invalidate_probes>` at every
+        epoch barrier, not by the stamp protocol.
+
+        Growth is frozen (``allocate`` raises) because the block's layout
+        is fixed at its creation size.  Idempotent; returns the block
+        name.  The creating process owns the block: call
+        :meth:`close_shared` (or drop the store) when the run finishes.
+        """
+        if self._shm is not None:
+            return self._shm.name
+        n = self._n
+        layout: list[Tuple[str, int, np.ndarray]] = []
+        offset = 0
+        for name in _SHARED_ARRAYS:
+            arr = getattr(self, name)[:n]
+            layout.append((name, offset, arr))
+            offset += (arr.nbytes + 7) & ~7
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 8))
+        for name, start, arr in layout:
+            view: np.ndarray = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=start
+            )
+            view[...] = arr
+            setattr(self, name, view)
+        self._shm = shm
+        return shm.name
+
+    def close_shared(self, unlink: bool = True) -> None:
+        """Detach from the shared block, restoring private array copies.
+
+        ``unlink=True`` (creator side) also removes the block from the
+        system once every attached process has closed it.  No-op on a
+        private-heap store.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        for name in _SHARED_ARRAYS:
+            setattr(self, name, np.array(getattr(self, name)))
+        self._shm = None
+        shm.close()
+        if unlink:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # another owner already unlinked it
+                pass
 
     # ------------------------------------------------------------------
     # Trimmed views (always sized to the allocated channel count)

@@ -36,10 +36,33 @@ from repro.simulator.rng import derive_seed
 
 __all__ = [
     "SweepCell",
+    "SweepCellError",
     "SweepExecutor",
     "derive_cell_seed",
     "precompute_trace_paths",
 ]
+
+
+class SweepCellError(RuntimeError):
+    """A sweep cell failed; carries the owning cell's identity.
+
+    Raised by :meth:`SweepExecutor.run_cells` instead of letting the
+    worker pool surface a bare pickled traceback: the message names the
+    cell (scheme, swept field/value, seed) so a failing 200-cell sweep
+    points at the one configuration to reproduce, and the worker's
+    traceback rides along verbatim.
+    """
+
+    def __init__(self, cell: SweepCell, error: str, traceback_text: str):
+        self.cell = cell
+        self.error = error
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"sweep cell #{cell.index} failed "
+            f"(scheme={cell.scheme!r}, {cell.field}={cell.value!r}, "
+            f"seed={cell.config.seed}): {error}\n"
+            f"--- worker traceback ---\n{traceback_text}"
+        )
 
 
 def precompute_trace_paths(
@@ -113,12 +136,29 @@ def _config_fingerprint(config: ExperimentConfig, engine: str) -> str:
 def _run_cell(
     payload: Tuple[int, ExperimentConfig, str, Optional[str]]
 ) -> Tuple[int, Dict[str, object]]:
-    """Worker entry point: run one cell, return ``(index, metrics dict)``."""
-    index, config, engine, path_cache_dir = payload
-    from repro.experiments.runner import run_experiment
+    """Worker entry point: run one cell, return ``(index, metrics dict)``.
 
-    metrics = run_experiment(config, engine=engine, path_cache_dir=path_cache_dir)
-    return index, metrics.to_dict()
+    Failures are returned as an ``{"__error__": ..., "__traceback__": ...}``
+    payload rather than raised: a raise inside ``Pool.map`` surfaces as a
+    re-pickled traceback with no indication of *which* cell died, so the
+    parent converts these payloads to :class:`SweepCellError` with the
+    owning cell's identity attached.
+    """
+    index, config, engine, path_cache_dir = payload
+    try:
+        from repro.experiments.runner import run_experiment
+
+        metrics = run_experiment(
+            config, engine=engine, path_cache_dir=path_cache_dir
+        )
+        return index, metrics.to_dict()
+    except Exception as exc:
+        import traceback
+
+        return index, {
+            "__error__": f"{type(exc).__name__}: {exc}",
+            "__traceback__": traceback.format_exc(),
+        }
 
 
 class SweepExecutor:
@@ -204,7 +244,12 @@ class SweepExecutor:
 
         Cached cells are loaded without simulating; the rest are distributed
         over the worker pool (completion order never affects results).
+        A failing cell raises :class:`SweepCellError` naming the cell —
+        scheme, swept field/value, seed — with the worker's traceback
+        attached; when several cells fail, the lowest-index failure is
+        raised (deterministic regardless of completion order).
         """
+        by_index: Dict[int, SweepCell] = {cell.index: cell for cell in cells}
         results: Dict[int, ExperimentMetrics] = {}
         todo: List[Tuple[int, ExperimentConfig, str, Optional[str]]] = []
         keys: Dict[int, str] = {}
@@ -233,6 +278,18 @@ class SweepExecutor:
                 )
                 with ctx.Pool(min(self.processes, len(todo))) as pool:
                     finished = pool.map(_run_cell, todo)
+            failures = sorted(
+                (index, payload)
+                for index, payload in finished
+                if "__error__" in payload
+            )
+            if failures:
+                index, payload = failures[0]
+                raise SweepCellError(
+                    by_index[index],
+                    str(payload["__error__"]),
+                    str(payload.get("__traceback__", "")),
+                )
             for index, payload in finished:
                 metrics = ExperimentMetrics.from_dict(payload)
                 results[index] = metrics

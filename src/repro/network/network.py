@@ -234,6 +234,14 @@ class PaymentNetwork:
             self._path_table = PathTable(self)
         return self._path_table
 
+    def peek_path_table(self) -> Optional[PathTable]:
+        """The path table if one was created this run, else ``None``.
+
+        The sharding driver uses this to invalidate probe caches at epoch
+        barriers without forcing a table onto scalar-path-ops runs.
+        """
+        return self._path_table
+
     @property
     def path_service(self):
         """The network's path-discovery service (created lazily).

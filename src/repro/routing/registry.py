@@ -26,6 +26,7 @@ SCHEME_FACTORIES: Dict[str, Union[str, SchemeFactory]] = {
     "max-flow": "repro.routing.max_flow:MaxFlowScheme",
     "lnd": "repro.routing.lnd:LndScheme",
     "celer": "repro.routing.backpressure:CelerScheme",
+    "segment-routing": "repro.routing.segment:SegmentRoutingScheme",
     "silentwhispers": "repro.routing.landmark:LandmarkScheme",
     "speedymurmurs": "repro.routing.embedding:SpeedyMurmursScheme",
     "spider-waterfilling": "repro.core.waterfilling:WaterfillingScheme",

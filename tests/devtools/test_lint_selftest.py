@@ -260,6 +260,40 @@ class TestRL004ParityCoverage:
         )
         assert report.findings == []
 
+    def test_sharded_flag_held_to_same_rule(self):
+        # sharded_* parity flags (the spatial-sharding layer) carry the
+        # same proof obligation as vectorized_* ones.
+        src = (
+            "class ShardedThing:\n"
+            "    sharded_frobnication = True\n"
+        )
+        report = lint_sources(
+            {
+                ENGINE: src,
+                TESTS: (
+                    "from repro.engine.fixture_mod import ShardedThing\n"
+                    "def test_default():\n"
+                    "    assert ShardedThing.sharded_frobnication\n"
+                ),
+            },
+            select=["RL004"],
+        )
+        hits = rule_hits(report, "RL004")
+        assert len(hits) == 1
+        assert "sharded_frobnication" in hits[0].message
+        report = lint_sources(
+            {
+                ENGINE: src,
+                TESTS: (
+                    "from repro.engine.fixture_mod import ShardedThing\n"
+                    "def run_with(flag):\n"
+                    "    ShardedThing.sharded_frobnication = flag\n"
+                ),
+            },
+            select=["RL004"],
+        )
+        assert report.findings == []
+
 
 # ---------------------------------------------------------------------------
 # RL005 — integer-tick discipline

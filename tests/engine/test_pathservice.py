@@ -318,6 +318,88 @@ class TestPersistentCache:
         warm.provider(4).provider = _Boom()
         assert warm.paths(8, 20, k=4)
 
+    def test_concurrent_writers_leave_a_valid_artifact(self, tmp_path):
+        """Two processes precomputing the same topology concurrently must
+        not corrupt or double-write the JSON artifact.
+
+        Each flush writes to a pid-suffixed temp file and atomically
+        ``os.replace``s it over the artifact, so simultaneous writers can
+        only ever race whole consistent files into place.  Both workers
+        compute the same pair set here, so whichever lands last the
+        artifact is complete; the test asserts a single valid JSON file,
+        no temp-file litter, and a warm service that serves every pair
+        without touching the provider.
+        """
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        network = ripple_topology("small", seed=0).build_network(
+            default_capacity=100.0
+        )
+        rng = make_rng(9)
+        nodes = sorted(network.nodes())
+        pairs = sorted(
+            (nodes[int(a)], nodes[int(b)])
+            for a, b in (
+                rng.choice(len(nodes), size=2, replace=False) for _ in range(25)
+            )
+        )
+        expected = PathService.from_network(network).paths_many(pairs, k=4)
+
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+
+        def worker(conn):
+            try:
+                # A cold per-process store: both workers genuinely compute
+                # and both genuinely write.
+                PersistentCache.clear_shared()
+                service = PathService.from_network(
+                    network, cache_dir=str(tmp_path)
+                )
+                barrier.wait(timeout=60.0)  # maximise flush overlap
+                service.prepare(pairs, k=4)
+                conn.send("ok")
+            except BaseException as exc:  # pragma: no cover - failure path
+                conn.send(f"{type(exc).__name__}: {exc}")
+            finally:
+                conn.close()
+
+        connections = []
+        procs = []
+        for _ in range(2):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=worker, args=(child_conn,))
+            proc.start()
+            connections.append(parent_conn)
+            procs.append(proc)
+        outcomes = [conn.recv() for conn in connections]
+        for proc in procs:
+            proc.join(timeout=60.0)
+        assert outcomes == ["ok", "ok"]
+
+        names = os.listdir(tmp_path)
+        assert [n for n in names if ".tmp." in n] == []  # no litter
+        artifacts = [n for n in names if n.startswith("paths-")]
+        assert len(artifacts) == 1  # one artifact, not one per writer
+        with open(tmp_path / artifacts[0], "r", encoding="utf-8") as handle:
+            json.load(handle)  # whole consistent JSON, not interleaved
+
+        PersistentCache.clear_shared()
+
+        class _Boom:
+            def paths(self, *args):
+                raise AssertionError("artifact miss: provider was invoked")
+
+            def paths_many(self, *args):
+                raise AssertionError("artifact miss: provider was invoked")
+
+        warm = PathService.from_network(network, cache_dir=str(tmp_path))
+        warm.provider(4).provider = _Boom()
+        assert warm.paths_many(pairs, k=4) == expected
+        PersistentCache.clear_shared()
+
     def test_unreadable_artifact_recomputed(self, tmp_path):
         network = isp_topology().build_network(default_capacity=100.0)
         service = PathService.from_network(network, cache_dir=str(tmp_path))

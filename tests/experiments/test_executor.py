@@ -8,7 +8,12 @@ import os
 import pytest
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.executor import SweepExecutor, derive_cell_seed
+from repro.experiments.executor import (
+    SweepCell,
+    SweepCellError,
+    SweepExecutor,
+    derive_cell_seed,
+)
 from repro.experiments.sweeps import parameter_sweep
 from repro.metrics.collectors import ExperimentMetrics
 from repro.metrics.report import metrics_to_json
@@ -77,6 +82,46 @@ class TestParallelExecution:
         via_sweeps = parameter_sweep(_base(), "capacity", CAPACITIES[:2], SCHEMES)
         for key, metrics in via_sweeps.items():
             assert metrics_to_json(via_executor[key]) == metrics_to_json(metrics)
+
+
+class TestFailureIdentity:
+    """A dying cell must name itself, not surface a bare pool traceback."""
+
+    def _cells(self):
+        good = _base()
+        bad = _base(topology="no-such-topology")
+        return [
+            SweepCell(0, "spider-waterfilling", "capacity", 100.0, good),
+            SweepCell(1, "spider-waterfilling", "capacity", 140.0, bad),
+        ]
+
+    @pytest.mark.parametrize("processes", [1, 2])
+    def test_failure_names_the_owning_cell(self, processes):
+        executor = SweepExecutor(_base(), processes=processes)
+        with pytest.raises(SweepCellError) as excinfo:
+            executor.run_cells(self._cells())
+        err = excinfo.value
+        assert err.cell.index == 1
+        assert err.cell.scheme == "spider-waterfilling"
+        assert (err.cell.field, err.cell.value) == ("capacity", 140.0)
+        message = str(err)
+        # The identity the operator needs to reproduce the cell...
+        assert "capacity=140.0" in message
+        assert "spider-waterfilling" in message
+        assert f"seed={err.cell.config.seed}" in message
+        # ...plus the worker's traceback, verbatim.
+        assert "no-such-topology" in message
+        assert "Traceback" in err.traceback_text
+
+    def test_lowest_index_failure_wins(self):
+        cells = self._cells()
+        bad0 = SweepCell(
+            2, "shortest-path", "capacity", 180.0, _base(topology="also-bad")
+        )
+        executor = SweepExecutor(_base(), processes=1)
+        with pytest.raises(SweepCellError) as excinfo:
+            executor.run_cells([bad0, *cells])
+        assert excinfo.value.cell.index == 1  # deterministic: lowest index
 
 
 class TestCaching:

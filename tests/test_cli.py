@@ -48,6 +48,68 @@ class TestCommands:
         assert "success_ratio_%" in out
         assert "shortest-path" in out
 
+    def test_run_dispatch_stats(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scheme",
+                "spider-waterfilling",
+                "--topology",
+                "line-4",
+                "--transactions",
+                "30",
+                "--capacity",
+                "1000",
+                "--dispatch-stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dispatch stats:" in out
+        assert "cohorts" in out
+        assert "batched_units" in out
+
+    def test_run_sharded_with_stats(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scheme",
+                "shortest-path",
+                "--topology",
+                "ripple-tiny",
+                "--transactions",
+                "40",
+                "--capacity",
+                "1000",
+                "--shards",
+                "2",
+                "--dispatch-stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success_ratio_%" in out
+        assert "num_shards" in out
+        assert "boundary_crossings" in out
+        assert "epoch_barriers" in out
+
+    def test_shards_require_session_engine(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology",
+                "line-4",
+                "--transactions",
+                "10",
+                "--shards",
+                "2",
+                "--engine",
+                "legacy",
+            ]
+        )
+        assert code == 2
+        assert "--engine session" in capsys.readouterr().err
+
     def test_compare_runs_multiple_schemes(self, capsys):
         code = main(
             [
