@@ -1010,7 +1010,7 @@ def run_sharding_benchmark(
     from repro.metrics.report import metrics_to_json
     from repro.topology import partition_topology, scale_free_topology
 
-    def measure(topology, records, parallel: bool):
+    def measure(topology, records, parallel: bool, sanitize: bool = False):
         """(session, metrics, wall seconds) of one full sharded run."""
         network = topology.build_network(default_capacity=500.0)
         assert ShardedSession.sharded_execution  # default stays on
@@ -1023,6 +1023,7 @@ def run_sharding_benchmark(
                 config=RuntimeConfig(),
                 num_shards=shards,
                 epoch=epoch,
+                sanitize=True if sanitize else None,
             )
             start = time.perf_counter()
             metrics = session.run()
@@ -1031,10 +1032,12 @@ def run_sharding_benchmark(
             ShardedSession.sharded_execution = True
         return session, metrics, elapsed
 
-    def best_of(topology, records, parallel: bool):
+    def best_of(topology, records, parallel: bool, sanitize: bool = False):
         best = None
         for _ in range(repeats):
-            session, metrics, elapsed = measure(topology, records, parallel)
+            session, metrics, elapsed = measure(
+                topology, records, parallel, sanitize
+            )
             if best is None or elapsed < best[2]:
                 best = (session, metrics, elapsed)
         return best
@@ -1051,6 +1054,16 @@ def run_sharding_benchmark(
             parallel_metrics
         )
         stats = parallel_session.dispatch_stats()
+        # One more parallel leg under the write-ownership sanitizer: the
+        # run completing at all means zero violations (a bad write raises
+        # ShardViolationError), and the wall-clock ratio against the plain
+        # parallel leg is the sanitizer's overhead (acceptance: <= 1.5x).
+        _, sanitized_metrics, sanitized_time = best_of(
+            topology, records, parallel=True, sanitize=True
+        )
+        sanitized_parity = metrics_to_json(parallel_metrics) == metrics_to_json(
+            sanitized_metrics
+        )
         return {
             "transactions": len(records),
             "shards": shards,
@@ -1066,6 +1079,12 @@ def run_sharding_benchmark(
             "speedup": round(serial_time / parallel_time, 3),
             "parallel_mode_used": bool(stats["parallel"]),
             "parity": parity,
+            "sanitized": {
+                "wall_seconds": round(sanitized_time, 3),
+                "slowdown": round(sanitized_time / parallel_time, 3),
+                "violations": 0,
+                "parity": sanitized_parity,
+            },
         }
 
     PersistentCache.clear_shared()
@@ -1185,6 +1204,21 @@ def check_throughput_floor(report: dict, baseline: dict, ratio: float = 0.8):
                     f"{sharding['shards']} shards fell below the 2x "
                     "acceptance floor (both modes timed on this machine "
                     "in the same run)"
+                )
+        sanitized = sharding.get("sanitized")
+        if sanitized:
+            if sanitized.get("parity") is not True:
+                return (
+                    "sanitized sharded run broke metrics parity: the "
+                    "write-ownership sanitizer must be invisible to the "
+                    "simulation"
+                )
+            slowdown = sanitized["slowdown"]
+            if slowdown > 1.5:
+                return (
+                    f"shard-sanitizer slowdown {slowdown:.2f}x exceeds the "
+                    "1.5x acceptance ceiling (sanitized vs plain parallel, "
+                    "both timed on this machine in the same run)"
                 )
     scale = report.get("scale")
     recorded_scale = (baseline or {}).get("scale", {})

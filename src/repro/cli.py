@@ -140,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="epoch-barrier period for --shards (default: 1.0)",
     )
+    run_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the --shards execution under the write-ownership "
+        "sanitizer: every store row a shard lane writes is checked "
+        "against the partition's owner map (equivalent to setting "
+        "REPRO_SHARD_SANITIZE=1)",
+    )
     _add_common_options(run_parser)
 
     compare_parser = sub.add_parser("compare", help="compare schemes on one trace")
@@ -251,6 +259,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 _config_from_args(args, scheme=args.scheme),
                 num_shards=args.shards,
                 epoch=args.shard_epoch,
+                sanitize=True if args.sanitize else None,
             )
             metrics = session.run()
             stats = session.dispatch_stats()

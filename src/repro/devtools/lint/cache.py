@@ -1,0 +1,133 @@
+"""mtime+size-keyed on-disk cache for :class:`LintIndex` parse results.
+
+Parsing + tokenising the full ``src/ + tests/`` tree dominates a lint
+run's cost and almost never changes between runs — editors touch a file
+or two at a time.  This cache pickles each file's finished
+:class:`~repro.devtools.lint.index.ModuleInfo` keyed by the file's
+``(st_mtime_ns, st_size)`` stat signature, so a warm run re-parses only
+files whose stat changed and a full-tree invocation stays well under
+half a second.
+
+Robustness over cleverness:
+
+* the cache file carries a schema version and the interpreter's
+  ``(major, minor)`` — a mismatch on either discards the whole file
+  (AST pickles are not stable across Python versions);
+* any load error (truncated file, unpicklable payload, wrong type)
+  silently falls back to a cold parse — the cache can never make a lint
+  run fail;
+* saves are atomic (pid-suffixed tmp + ``os.replace``) and best-effort:
+  a read-only checkout just runs cold every time;
+* ``--no-cache`` on the CLI (or ``cache=None`` in the API) bypasses the
+  whole mechanism.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.devtools.lint.index import ModuleInfo
+
+__all__ = ["ParseCache", "CACHE_FILENAME"]
+
+#: Cache file name, created under the lint run's base directory.
+CACHE_FILENAME = ".repro-lint-cache.pickle"
+
+#: Bump on any change to ModuleInfo's shape or the parse pipeline.
+_SCHEMA = 1
+
+_StatKey = Tuple[int, int]  # (st_mtime_ns, st_size)
+
+
+class ParseCache:
+    """Load-once / save-once pickle cache of parsed ``ModuleInfo``s."""
+
+    def __init__(self, cache_path: Path):
+        self.cache_path = cache_path
+        self._entries: Dict[str, Tuple[_StatKey, ModuleInfo]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    @classmethod
+    def for_base(cls, base: Optional[str] = None) -> "ParseCache":
+        """The cache co-located with the lint run's base directory."""
+        base_path = Path(base) if base is not None else Path.cwd()
+        return cls(base_path / CACHE_FILENAME)
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _stat_key(stat: os.stat_result) -> _StatKey:
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def get(
+        self, resolved: Path, stat: os.stat_result
+    ) -> Optional[ModuleInfo]:
+        """The cached ``ModuleInfo`` if the stat signature still matches."""
+        entry = self._entries.get(str(resolved))
+        if entry is not None and entry[0] == self._stat_key(stat):
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def put(
+        self, resolved: Path, stat: os.stat_result, module: ModuleInfo
+    ) -> None:
+        """Record a freshly parsed module under its stat signature."""
+        self._entries[str(resolved)] = (self._stat_key(stat), module)
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.cache_path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                isinstance(payload, dict)
+                and payload.get("schema") == _SCHEMA
+                and payload.get("python") == sys.version_info[:2]
+                and isinstance(payload.get("entries"), dict)
+            ):
+                self._entries = payload["entries"]
+        except Exception:
+            # Missing, truncated, foreign-version or corrupt cache files
+            # all mean the same thing: run cold and rebuild.
+            self._entries = {}
+
+    def save(self) -> None:
+        """Atomically persist the cache (best-effort; never raises)."""
+        if not self._dirty:
+            return
+        payload = {
+            "schema": _SCHEMA,
+            "python": sys.version_info[:2],
+            "entries": self._entries,
+        }
+        tmp = f"{self.cache_path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.cache_path)
+            self._dirty = False
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParseCache(path={str(self.cache_path)!r}, "
+            f"entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,302 @@
+"""Bounded interprocedural call graph over a :class:`LintIndex`.
+
+The shard-safety rules (RL006/RL008) need to reason about what is
+*reachable* from a forked worker entry point, which a per-file AST walk
+cannot see.  This module builds a deliberately conservative call graph:
+
+* **Name calls** resolve to same-module top-level functions, or through
+  the module's import aliases to top-level functions of other indexed
+  modules (``from repro.engine.store import widen; widen()``).
+* **self./cls. calls** resolve to methods of the enclosing class.
+* **Attribute calls** (``lane.run_window()``) resolve by method name
+  across the whole index — but only while the name is defined at most
+  :data:`AMBIGUITY_BOUND` times.  Popular names (``run``, ``prepare``)
+  stay unresolved, which keeps the reachable closure honest instead of
+  exploding to "everything".
+* **Reference edges** cover callbacks: a function object passed as a
+  call argument (``engine.every(dt, self._poll)``, ``Process(target=f)``)
+  links the enclosing function to the referenced one.
+
+Unresolved calls are silently dropped — the graph under-approximates,
+so rules built on it report real reachability or nothing, never noise
+from phantom edges.  Fork roots (functions passed as ``target=`` to a
+``*.Process(...)`` constructor) are collected during the same pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.devtools.lint.index import LintIndex, ModuleInfo, dotted_name
+
+__all__ = [
+    "FunctionKey",
+    "FunctionNode",
+    "ForkRoot",
+    "CallGraph",
+    "AMBIGUITY_BOUND",
+]
+
+#: ``(repo-relative module path, dotted qualname within the module)``.
+FunctionKey = Tuple[str, str]
+
+#: An attribute call resolves by bare method name only while the name has
+#: at most this many definitions across the index.
+AMBIGUITY_BOUND = 3
+
+FunctionDefNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class FunctionNode:
+    """One function or method definition in the indexed tree."""
+
+    key: FunctionKey
+    module: ModuleInfo
+    node: FunctionDefNode
+    #: Innermost enclosing class name, ``None`` for module-level functions.
+    class_name: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass(frozen=True)
+class ForkRoot:
+    """A function handed to ``Process(target=...)`` — a fork entry point."""
+
+    target: FunctionKey
+    #: Module containing the forking call site (not necessarily the target's).
+    call_path: str
+    line: int
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """First pass: every function definition with its qualname + class."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.found: List[FunctionNode] = []
+        self._name_stack: List[str] = []
+        self._class_stack: List[str] = []
+
+    def _visit_def(self, node: FunctionDefNode) -> None:
+        self._name_stack.append(node.name)
+        qualname = ".".join(self._name_stack)
+        class_name = self._class_stack[-1] if self._class_stack else None
+        self.found.append(
+            FunctionNode(
+                key=(self.module.path, qualname),
+                module=self.module,
+                node=node,
+                class_name=class_name,
+            )
+        )
+        self.generic_visit(node)
+        self._name_stack.pop()
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._name_stack.append(node.name)
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._name_stack.pop()
+
+
+def _module_path_for(dotted: str, known_paths: Set[str]) -> Optional[str]:
+    """Map ``repro.engine.store`` to ``src/repro/engine/store.py`` if indexed."""
+    candidate = "src/" + dotted.replace(".", "/") + ".py"
+    if candidate in known_paths:
+        return candidate
+    return None
+
+
+class CallGraph:
+    """Call + callback-reference edges over the index's source modules."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[FunctionKey, FunctionNode] = {}
+        self.edges: Dict[FunctionKey, Set[FunctionKey]] = {}
+        self.fork_roots: List[ForkRoot] = []
+        #: bare method/function name -> every key defining it.
+        self._by_name: Dict[str, List[FunctionKey]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, index: LintIndex) -> "CallGraph":
+        graph = cls()
+        modules = list(index.src_modules())
+        for module in modules:
+            collector = _FunctionCollector(module)
+            collector.visit(module.tree)
+            for fn in collector.found:
+                graph.functions[fn.key] = fn
+                graph._by_name.setdefault(fn.name, []).append(fn.key)
+        known_paths = {module.path for module in modules}
+        for fn in graph.functions.values():
+            graph._collect_edges(fn, known_paths)
+        return graph
+
+    def _collect_edges(self, fn: FunctionNode, known_paths: Set[str]) -> None:
+        targets = self.edges.setdefault(fn.key, set())
+        own_children = {
+            child.name
+            for child in ast.iter_child_nodes(fn.node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        # A nested function is conservatively treated as invoked by its
+        # definer (closures are almost always called or registered there).
+        for name in own_children:
+            targets.add((fn.key[0], f"{fn.key[1]}.{name}"))
+        for node in _own_body_walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve_callee(fn, node.func, known_paths)
+            if resolved:
+                targets.update(resolved)
+            self._collect_references(fn, node, targets, known_paths)
+
+    def _collect_references(
+        self,
+        fn: FunctionNode,
+        call: ast.Call,
+        targets: Set[FunctionKey],
+        known_paths: Set[str],
+    ) -> None:
+        """Callback registration: function references in call arguments."""
+        callee = dotted_name(call.func)
+        is_fork = callee is not None and callee.split(".")[-1] == "Process"
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Call):
+                continue
+            resolved = self._resolve_callee(fn, arg, known_paths)
+            if not resolved:
+                continue
+            targets.update(resolved)
+            if is_fork:
+                for kw in call.keywords:
+                    if kw.arg == "target" and kw.value is arg:
+                        for key in resolved:
+                            self.fork_roots.append(
+                                ForkRoot(
+                                    target=key,
+                                    call_path=fn.module.path,
+                                    line=call.lineno,
+                                )
+                            )
+
+    def _resolve_callee(
+        self, fn: FunctionNode, func: ast.expr, known_paths: Set[str]
+    ) -> List[FunctionKey]:
+        module = fn.module
+        if isinstance(func, ast.Name):
+            # Sibling nested function, then same-module top-level, then import.
+            prefix = fn.key[1].rsplit(".", 1)[0] if "." in fn.key[1] else ""
+            if prefix:
+                sibling = (module.path, f"{prefix}.{func.id}")
+                if sibling in self.functions:
+                    return [sibling]
+            local = (module.path, func.id)
+            if local in self.functions:
+                return [local]
+            full = module.resolve(func.id)
+            if "." in full:
+                mod_dotted, _, name = full.rpartition(".")
+                path = _module_path_for(mod_dotted, known_paths)
+                if path is not None and (path, name) in self.functions:
+                    return [(path, name)]
+            return []
+        dotted = dotted_name(func)
+        if dotted is None:
+            return []
+        head, _, rest = dotted.partition(".")
+        if head in ("self", "cls") and fn.class_name and rest and "." not in rest:
+            own = (module.path, f"{fn.class_name}.{rest}")
+            if own in self.functions:
+                return [own]
+        full = module.resolve(dotted)
+        if "." in full:
+            mod_dotted, _, name = full.rpartition(".")
+            path = _module_path_for(mod_dotted, known_paths)
+            if path is not None and (path, name) in self.functions:
+                return [(path, name)]
+        # Bounded bare-name resolution for attribute access on unknown
+        # receivers: only while the method name is rare across the index.
+        method = dotted.rsplit(".", 1)[-1]
+        candidates = self._by_name.get(method, [])
+        if 0 < len(candidates) <= AMBIGUITY_BOUND:
+            return list(candidates)
+        return []
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def reachable_from(
+        self, roots: Sequence[FunctionKey]
+    ) -> Dict[FunctionKey, Optional[FunctionKey]]:
+        """BFS closure: ``{reached key: parent key}`` (roots map to None)."""
+        origin: Dict[FunctionKey, Optional[FunctionKey]] = {}
+        frontier: List[FunctionKey] = []
+        for root in roots:
+            if root in self.functions and root not in origin:
+                origin[root] = None
+                frontier.append(root)
+        while frontier:
+            current = frontier.pop(0)
+            for nxt in sorted(self.edges.get(current, ())):
+                if nxt in origin or nxt not in self.functions:
+                    continue
+                origin[nxt] = current
+                frontier.append(nxt)
+        return origin
+
+    def describe_chain(
+        self, origin: Dict[FunctionKey, Optional[FunctionKey]], key: FunctionKey
+    ) -> str:
+        """``root -> ... -> key`` as dotted qualnames, for rule messages."""
+        parts: List[str] = []
+        cursor: Optional[FunctionKey] = key
+        while cursor is not None:
+            parts.append(cursor[1])
+            cursor = origin.get(cursor)
+        return " -> ".join(reversed(parts))
+
+
+def _own_body_walk(fn: FunctionDefNode) -> Iterator[ast.AST]:
+    """Walk a function's body without descending into nested defs/classes.
+
+    Nested functions get their own :class:`FunctionNode` (and an implicit
+    containment edge), so their calls must not be attributed to the outer
+    scope twice.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_ANALYSIS_ATTR = "_shard_safety_analysis"
+
+
+def shared_call_graph(index: LintIndex) -> CallGraph:
+    """One graph per index instance (RL006 and RL008 share the pass)."""
+    cached = getattr(index, _ANALYSIS_ATTR, None)
+    if cached is None:
+        cached = CallGraph.from_index(index)
+        setattr(index, _ANALYSIS_ATTR, cached)
+    return cached

@@ -16,7 +16,7 @@ import sys
 from typing import List, Optional
 
 from repro.devtools.lint.registry import all_rules
-from repro.devtools.lint.report import render_json, render_text
+from repro.devtools.lint.report import render_github, render_json, render_text
 from repro.devtools.lint.runner import run_lint
 
 __all__ = ["build_parser", "main", "add_lint_arguments", "run_from_args"]
@@ -34,15 +34,26 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (default: text)",
+        help=(
+            "output format: text, json, or github (GitHub Actions "
+            "::error annotations; default: text)"
+        ),
     )
     parser.add_argument(
         "--select",
         default=None,
         metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "parse every file cold instead of reusing the mtime+size-keyed "
+            ".repro-lint-cache.pickle"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -75,11 +86,12 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.select:
         select = [rule_id.strip() for rule_id in args.select.split(",") if rule_id.strip()]
     try:
-        report = run_lint(roots, select=select)
+        report = run_lint(roots, select=select, use_cache=not args.no_cache)
     except KeyError as exc:
         print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
         return 2
-    rendered = render_json(report) if args.format == "json" else render_text(report)
+    renderers = {"text": render_text, "json": render_json, "github": render_github}
+    rendered = renderers[args.format](report)
     try:
         print(rendered)
     except BrokenPipeError:  # output piped into head/grep that exited early

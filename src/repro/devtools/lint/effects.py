@@ -1,0 +1,484 @@
+"""Per-function effect summaries for the shard-safety rules.
+
+For every function in the index's source modules, one pass computes the
+*effects* the interprocedural rules care about:
+
+``global-write``
+    Mutation of process-global state: subscript/augmented assignment or a
+    mutating method call on a module-level mutable binding (``_CACHE[k] =
+    v``, ``_SEEN.add(x)``), on a class-level mutable attribute reached via
+    ``self.``/``cls.``/``ClassName.`` (the ``PersistentCache._shared``
+    pattern), or a rebinding through a ``global`` statement.  After
+    ``fork()`` each process owns a private copy of these, so a forked
+    shard lane mutating one silently diverges from its siblings.
+``rng``
+    Draws from the process-global RNGs or seedless generator
+    construction — the same banned sets RL001 enforces, here applied
+    transitively to fork-reachable code.
+``disk-write``
+    Filesystem mutation: ``open(..., "w"/"a"/"x")``, ``json.dump`` /
+    ``pickle.dump``, ``os.replace``/``rename``/``makedirs``,
+    ``.write_text``/``.write_bytes``/``.persist_to``, and ``.flush()`` on
+    a cache/path-service receiver.  Concurrent forked writers corrupt
+    shared artifacts.
+``version-write``
+    Assignment to a ``.version``/``.frozen_count`` attribute — the store
+    scalars that deliberately do *not* replicate across forks (the stamp
+    protocol is per-process; see ``ChannelStateStore.share``).
+
+Store-array subscript writes are summarised separately
+(:attr:`EffectSummary.store_writes`) with an index-provenance verdict for
+RL008: a write indexed by plain variables (``balance[cids, sides]``) has
+*provable* row provenance — the arrays trace back to a compiled path —
+while slice/ellipsis indexing or a computed index expression
+(``balance[:, 0]``, ``balance[np.arange(n)]``) touches rows no lane
+classification vouches for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.lint.callgraph import (
+    FunctionDefNode,
+    FunctionKey,
+    _own_body_walk,
+)
+from repro.devtools.lint.index import LintIndex, ModuleInfo, dotted_name
+from repro.devtools.lint.rules.determinism import (
+    _GLOBAL_RANDOM,
+    _NUMPY_GLOBAL_RANDOM,
+    _SEEDABLE_CONSTRUCTORS,
+)
+from repro.devtools.lint.rules.store_discipline import (
+    STORE_ARRAYS,
+    _SCATTER_CALLS,
+)
+
+__all__ = ["Effect", "StoreWrite", "EffectSummary", "summarize_effects"]
+
+#: Method calls that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+    "insert",
+}
+
+#: Fully-resolved callables that mutate the filesystem.
+_DISK_CALLS = {
+    "json.dump",
+    "pickle.dump",
+    "os.replace",
+    "os.rename",
+    "os.makedirs",
+    "os.unlink",
+    "os.remove",
+    "shutil.rmtree",
+    "shutil.copy",
+    "shutil.move",
+}
+
+#: Attribute calls that write artifacts regardless of receiver.
+_DISK_METHODS = {"write_text", "write_bytes", "persist_to"}
+
+#: ``.flush()`` receivers that denote an artifact cache, not an IO handle.
+_FLUSH_RECEIVER_HINTS = ("cache", "path_service")
+
+#: Value expressions that create a mutable container.
+_MUTABLE_FACTORIES = {
+    "dict",
+    "list",
+    "set",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "collections.deque",
+}
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One process-global side effect at one source location."""
+
+    kind: str  # "global-write" | "rng" | "disk-write" | "version-write"
+    detail: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class StoreWrite:
+    """One direct store-array write (for RL008's provenance check)."""
+
+    array: str
+    line: int
+    col: int
+    #: False when the row index is a slice/ellipsis or a computed call.
+    provable: bool
+
+
+@dataclass
+class EffectSummary:
+    """Everything one function does that the shard rules care about."""
+
+    key: FunctionKey
+    effects: List[Effect] = field(default_factory=list)
+    store_writes: List[StoreWrite] = field(default_factory=list)
+
+
+def _is_mutable_value(node: Optional[ast.expr], module: ModuleInfo) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, (ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and module.resolve(name) in _MUTABLE_FACTORIES:
+            return True
+    return False
+
+
+def _module_mutables(module: ModuleInfo) -> Tuple[Set[str], Dict[str, Set[str]]]:
+    """Module-level mutable names + per-class mutable class attributes."""
+    globals_: Set[str] = set()
+    class_attrs: Dict[str, Set[str]] = {}
+    for stmt in module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            if _is_mutable_value(stmt.value, module):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        globals_.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and _is_mutable_value(
+                stmt.value, module
+            ):
+                globals_.add(stmt.target.id)
+        elif isinstance(stmt, ast.ClassDef):
+            attrs: Set[str] = set()
+            for sub in stmt.body:
+                if isinstance(sub, ast.Assign) and _is_mutable_value(
+                    sub.value, module
+                ):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            attrs.add(target.id)
+                elif (
+                    isinstance(sub, ast.AnnAssign)
+                    and isinstance(sub.target, ast.Name)
+                    and _is_mutable_value(sub.value, module)
+                ):
+                    attrs.add(sub.target.id)
+            if attrs:
+                class_attrs[stmt.name] = attrs
+    return globals_, class_attrs
+
+
+def _global_root(
+    node: ast.expr,
+    module_globals: Set[str],
+    class_attrs: Dict[str, Set[str]],
+    own_class: Optional[str],
+) -> Optional[str]:
+    """The process-global binding ``node`` reads from, if any.
+
+    Matches ``NAME`` (module-level mutable), ``ClassName.ATTR`` and, for
+    methods, ``self.ATTR``/``cls.ATTR`` where ``ATTR`` is a class-level
+    mutable attribute.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    if not rest:
+        return head if head in module_globals else None
+    attr = rest.partition(".")[0]
+    if head in ("self", "cls"):
+        if own_class is not None and attr in class_attrs.get(own_class, ()):
+            return f"{own_class}.{attr}"
+        return None
+    if attr in class_attrs.get(head, ()):
+        return f"{head}.{attr}"
+    return None
+
+
+def _open_mode_writes(node: ast.Call, resolved: str) -> bool:
+    if resolved != "open":
+        return False
+    mode: Optional[str] = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+        if isinstance(node.args[1].value, str):
+            mode = node.args[1].value
+    for kw in node.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                mode = kw.value.value
+    if mode is None:
+        return False
+    return any(flag in mode for flag in ("w", "a", "x", "+"))
+
+
+def _subscript_provable(sub: ast.Subscript) -> bool:
+    """Whether a store-array subscript's rows have provable provenance."""
+    return _index_provable(sub.slice)
+
+
+def _index_provable(node: ast.expr) -> bool:
+    if isinstance(node, ast.Slice):
+        return False
+    if isinstance(node, ast.Constant) and node.value is Ellipsis:
+        return False
+    if isinstance(node, ast.Call):
+        return False  # computed index (np.arange(...), where(...), ...)
+    if isinstance(node, ast.Tuple):
+        return all(_index_provable(element) for element in node.elts)
+    return True
+
+
+def _store_write_target(target: ast.expr) -> Optional[Tuple[str, ast.Subscript]]:
+    if isinstance(target, ast.Subscript):
+        value = target.value
+        if isinstance(value, ast.Attribute) and value.attr in STORE_ARRAYS:
+            return value.attr, target
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            hit = _store_write_target(element)
+            if hit is not None:
+                return hit
+    return None
+
+
+def _summarize_function(
+    key: FunctionKey,
+    fn_node: FunctionDefNode,
+    module: ModuleInfo,
+    own_class: Optional[str],
+    module_globals: Set[str],
+    class_attrs: Dict[str, Set[str]],
+) -> EffectSummary:
+    summary = EffectSummary(key=key)
+    declared_global: Set[str] = set()
+    for node in _own_body_walk(fn_node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in _own_body_walk(fn_node):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                _summarize_write(
+                    summary,
+                    target,
+                    node,
+                    module_globals,
+                    class_attrs,
+                    own_class,
+                    declared_global,
+                )
+        elif isinstance(node, ast.Call):
+            _summarize_call(
+                summary, node, module, module_globals, class_attrs, own_class
+            )
+    return summary
+
+
+def _summarize_write(
+    summary: EffectSummary,
+    target: ast.expr,
+    stmt: ast.AST,
+    module_globals: Set[str],
+    class_attrs: Dict[str, Set[str]],
+    own_class: Optional[str],
+    declared_global: Set[str],
+) -> None:
+    line = getattr(stmt, "lineno", 1)
+    col = getattr(stmt, "col_offset", 0)
+    if isinstance(target, ast.Name) and target.id in declared_global:
+        summary.effects.append(
+            Effect(
+                kind="global-write",
+                detail=f"rebinds module global '{target.id}'",
+                line=line,
+                col=col,
+            )
+        )
+        return
+    if isinstance(target, ast.Attribute) and target.attr in (
+        "version",
+        "frozen_count",
+    ):
+        summary.effects.append(
+            Effect(
+                kind="version-write",
+                detail=f"writes per-process store scalar '.{target.attr}'",
+                line=line,
+                col=col,
+            )
+        )
+        return
+    store_hit = _store_write_target(target)
+    if store_hit is not None:
+        array, sub = store_hit
+        summary.store_writes.append(
+            StoreWrite(
+                array=array,
+                line=sub.lineno,
+                col=sub.col_offset,
+                provable=_subscript_provable(sub),
+            )
+        )
+        return
+    if isinstance(target, ast.Subscript):
+        root = _global_root(
+            target.value, module_globals, class_attrs, own_class
+        )
+        if root is not None:
+            summary.effects.append(
+                Effect(
+                    kind="global-write",
+                    detail=f"writes into process-global mutable '{root}'",
+                    line=line,
+                    col=col,
+                )
+            )
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _summarize_write(
+                summary,
+                element,
+                stmt,
+                module_globals,
+                class_attrs,
+                own_class,
+                declared_global,
+            )
+
+
+def _summarize_call(
+    summary: EffectSummary,
+    node: ast.Call,
+    module: ModuleInfo,
+    module_globals: Set[str],
+    class_attrs: Dict[str, Set[str]],
+    own_class: Optional[str],
+) -> None:
+    line, col = node.lineno, node.col_offset
+    resolved = module.resolved_call_name(node)
+    if resolved is not None:
+        if resolved in _GLOBAL_RANDOM or resolved in _NUMPY_GLOBAL_RANDOM:
+            summary.effects.append(
+                Effect(
+                    kind="rng",
+                    detail=f"draws from process-global RNG {resolved}()",
+                    line=line,
+                    col=col,
+                )
+            )
+            return
+        if (
+            resolved in _SEEDABLE_CONSTRUCTORS
+            and not node.args
+            and not node.keywords
+        ):
+            summary.effects.append(
+                Effect(
+                    kind="rng",
+                    detail=f"constructs seedless generator {resolved}()",
+                    line=line,
+                    col=col,
+                )
+            )
+            return
+        if resolved in _DISK_CALLS or _open_mode_writes(node, resolved):
+            summary.effects.append(
+                Effect(
+                    kind="disk-write",
+                    detail=f"filesystem write via {resolved}()",
+                    line=line,
+                    col=col,
+                )
+            )
+            return
+        if resolved in _SCATTER_CALLS and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Attribute) and first.attr in STORE_ARRAYS:
+                provable = len(node.args) < 2 or _index_provable(node.args[1])
+                summary.store_writes.append(
+                    StoreWrite(
+                        array=first.attr, line=line, col=col, provable=provable
+                    )
+                )
+                return
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return
+    if func.attr in _DISK_METHODS:
+        summary.effects.append(
+            Effect(
+                kind="disk-write",
+                detail=f"artifact write via .{func.attr}()",
+                line=line,
+                col=col,
+            )
+        )
+        return
+    if func.attr == "flush":
+        receiver = dotted_name(func.value) or ""
+        if any(hint in receiver for hint in _FLUSH_RECEIVER_HINTS):
+            summary.effects.append(
+                Effect(
+                    kind="disk-write",
+                    detail=f"artifact flush via {receiver}.flush()",
+                    line=line,
+                    col=col,
+                )
+            )
+        return
+    if func.attr in _MUTATING_METHODS:
+        root = _global_root(func.value, module_globals, class_attrs, own_class)
+        if root is not None:
+            summary.effects.append(
+                Effect(
+                    kind="global-write",
+                    detail=(
+                        f"mutates process-global '{root}' via .{func.attr}()"
+                    ),
+                    line=line,
+                    col=col,
+                )
+            )
+
+
+def summarize_effects(index: LintIndex) -> Dict[FunctionKey, EffectSummary]:
+    """One :class:`EffectSummary` per function in the source modules."""
+    cached = getattr(index, "_shard_effect_summaries", None)
+    if cached is not None:
+        return cached
+    from repro.devtools.lint.callgraph import shared_call_graph
+
+    graph = shared_call_graph(index)
+    summaries: Dict[FunctionKey, EffectSummary] = {}
+    mutable_cache: Dict[str, Tuple[Set[str], Dict[str, Set[str]]]] = {}
+    for key, fn in graph.functions.items():
+        module = fn.module
+        if module.path not in mutable_cache:
+            mutable_cache[module.path] = _module_mutables(module)
+        module_globals, class_attrs = mutable_cache[module.path]
+        summaries[key] = _summarize_function(
+            key, fn.node, module, fn.class_name, module_globals, class_attrs
+        )
+    setattr(index, "_shard_effect_summaries", summaries)
+    return summaries

@@ -28,11 +28,25 @@ from __future__ import annotations
 
 import ast
 import io
+import os
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.lint.cache import ParseCache
 
 __all__ = ["ModuleInfo", "LintIndex", "ParseFailure", "dotted_name"]
 
@@ -169,11 +183,20 @@ class LintIndex:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_paths(cls, roots: Iterable[str], base: Optional[str] = None) -> "LintIndex":
+    def from_paths(
+        cls,
+        roots: Iterable[str],
+        base: Optional[str] = None,
+        cache: Optional["ParseCache"] = None,
+    ) -> "LintIndex":
         """Index every ``*.py`` under ``roots`` (files or directories).
 
         Paths in findings are reported relative to ``base`` (default: the
         current working directory) whenever possible, absolute otherwise.
+        When a :class:`~repro.devtools.lint.cache.ParseCache` is passed,
+        files whose ``(mtime_ns, size)`` stat signature matches a cached
+        entry skip the parse + tokenize pass entirely; the caller owns
+        calling ``cache.save()`` afterwards.
         """
         base_path = Path(base) if base is not None else Path.cwd()
         modules: List[ModuleInfo] = []
@@ -200,13 +223,29 @@ class LintIndex:
                 except ValueError:
                     rel = str(file_path)
                 rel = rel.replace("\\", "/")
+                stat: Optional[os.stat_result] = None
+                if cache is not None:
+                    try:
+                        stat = resolved.stat()
+                    except OSError:
+                        stat = None
+                    if stat is not None:
+                        cached = cache.get(resolved, stat)
+                        if cached is not None:
+                            if cached.path != rel:  # base moved; repoint
+                                cached = replace(cached, path=rel)
+                            modules.append(cached)
+                            continue
                 try:
                     source = file_path.read_text(encoding="utf-8")
                     tree = ast.parse(source, filename=rel)
                 except (SyntaxError, UnicodeDecodeError, OSError) as exc:
                     failures.append(ParseFailure(path=rel, message=str(exc)))
                     continue
-                modules.append(_build_module(rel, source, tree))
+                module = _build_module(rel, source, tree)
+                if cache is not None and stat is not None:
+                    cache.put(resolved, stat, module)
+                modules.append(module)
         return cls(modules, failures)
 
     @classmethod

@@ -14,7 +14,7 @@ import re
 from typing import Callable, Dict, Iterator, List, Optional, Protocol, Sequence, Type
 
 from repro.devtools.lint.index import LintIndex
-from repro.devtools.lint.report import Finding
+from repro.devtools.lint.report import Finding, LintReport
 
 __all__ = ["LintRule", "rule", "all_rules", "get_rule", "rule_ids"]
 
@@ -65,10 +65,11 @@ def rule_ids() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def get_rule(rule_id: str):
+def get_rule(rule_id: str) -> LintRule:
     """Instantiate one registered rule by id (raises ``KeyError``)."""
     _ensure_loaded()
-    return _REGISTRY[rule_id]()
+    instance: LintRule = _REGISTRY[rule_id]()
+    return instance
 
 
 def all_rules(select: Optional[Sequence[str]] = None) -> List[LintRule]:
@@ -96,7 +97,7 @@ def run_rules(
     index: LintIndex,
     select: Optional[Sequence[str]] = None,
     on_rule: Optional[Callable[[str], None]] = None,
-):
+) -> "LintReport":
     """Run the (selected) rules over ``index``; see :mod:`.runner`."""
     from repro.devtools.lint.runner import run_over_index
 

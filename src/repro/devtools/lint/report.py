@@ -13,7 +13,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["Finding", "LintReport", "render_text", "render_json"]
+__all__ = ["Finding", "LintReport", "render_text", "render_json", "render_github"]
 
 
 @dataclass(frozen=True, order=True)
@@ -69,6 +69,44 @@ def render_text(report: LintReport) -> str:
         f"{report.files_scanned} files"
     )
     lines.append(summary)
+    return "\n".join(lines)
+
+
+def _escape_annotation_data(value: str) -> str:
+    """Escape a workflow-command message (GitHub's own escaping rules)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _escape_annotation_property(value: str) -> str:
+    """Escape a workflow-command property value (adds ``:`` and ``,``)."""
+    return _escape_annotation_data(value).replace(":", "%3A").replace(",", "%2C")
+
+
+def render_github(report: LintReport) -> str:
+    """GitHub Actions workflow commands: inline PR annotations.
+
+    One ``::error file=...,line=...`` command per finding — the Actions
+    runner turns these into annotations on the changed lines of the pull
+    request — followed by the same human summary the text format prints
+    (as a plain log line, not a command).
+    """
+    lines = []
+    for finding in sorted(report.findings):
+        location = (
+            f"file={_escape_annotation_property(finding.path)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={_escape_annotation_property(finding.rule_id)}"
+        )
+        lines.append(
+            f"::error {location}::{_escape_annotation_data(finding.message)}"
+        )
+    total = len(report.findings)
+    noun = "finding" if total == 1 else "findings"
+    lines.append(
+        f"repro-lint: {total} {noun} "
+        f"({len(report.suppressed)} suppressed) across "
+        f"{report.files_scanned} files"
+    )
     return "\n".join(lines)
 
 

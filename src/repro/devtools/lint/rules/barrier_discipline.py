@@ -1,0 +1,240 @@
+"""RL007 — barrier discipline in the sharded epoch protocol.
+
+The sharded run is bulk-synchronous: every lane waits on barrier A
+(shard windows done), the boundary lane runs exclusively, then everyone
+waits on barrier B.  Three local mistakes turn a worker crash into a
+distributed hang or a silent ordering bug:
+
+* a ``Barrier.wait()`` without a timeout blocks forever when a sibling
+  dies before reaching the barrier (a timeout breaks the barrier and
+  surfaces the failure);
+* two functions waiting on the same pair of barriers in *opposite*
+  orders deadlock exactly like inconsistent lock ordering;
+* an exception handler around a wait that neither re-raises, aborts the
+  barriers, nor calls a raising helper swallows the failure — the other
+  participants keep waiting on a barrier nobody will ever trip again.
+
+The rule is syntactic: any ``<receiver>.wait(...)`` where the receiver's
+dotted name contains ``barrier`` is treated as a barrier wait.  Wait
+order is compared on normalised receiver names (final attribute,
+leading underscores stripped), so ``barrier_a`` in the worker and
+``self._barrier_a`` in the driver are recognised as the same barrier.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.lint.callgraph import FunctionDefNode, _own_body_walk
+from repro.devtools.lint.index import LintIndex, ModuleInfo, dotted_name
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.report import Finding
+
+__all__ = ["BarrierDisciplineRule"]
+
+
+def _barrier_receiver(node: ast.Call) -> Optional[str]:
+    """Normalised barrier name when ``node`` is ``<barrier>.wait(...)``."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "wait":
+        return None
+    receiver = dotted_name(func.value)
+    if receiver is None or "barrier" not in receiver.lower():
+        return None
+    return receiver.rsplit(".", 1)[-1].lstrip("_")
+
+
+def _has_timeout(node: ast.Call) -> bool:
+    if node.args:
+        return True
+    return any(kw.arg == "timeout" for kw in node.keywords)
+
+
+def _contains_raise_or_abort(nodes: List[ast.stmt]) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr == "abort":
+                    return True
+    return False
+
+
+def _module_raising_defs(module: ModuleInfo) -> Dict[str, bool]:
+    """``{function name: body contains a raise}`` for the whole module."""
+    raising: Dict[str, bool] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            has_raise = any(
+                isinstance(sub, ast.Raise) for sub in ast.walk(node)
+            )
+            raising[node.name] = raising.get(node.name, False) or has_raise
+    return raising
+
+
+def _handler_is_safe(
+    handler: ast.ExceptHandler, raising_defs: Dict[str, bool]
+) -> bool:
+    """A handler is safe when the failure cannot die inside it."""
+    if _contains_raise_or_abort(handler.body):
+        return True
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if raising_defs.get(name.rsplit(".", 1)[-1], False):
+                return True
+    return False
+
+
+class _FunctionWaits:
+    def __init__(self, fn: FunctionDefNode):
+        self.fn = fn
+        #: (normalised barrier name, call node, enclosing Try chain).
+        self.waits: List[Tuple[str, ast.Call, List[ast.Try]]] = []
+
+    @property
+    def first_order(self) -> List[str]:
+        order: List[str] = []
+        for name, _call, _tries in self.waits:
+            if name not in order:
+                order.append(name)
+        return order
+
+
+def _collect_waits(fn: FunctionDefNode) -> _FunctionWaits:
+    found = _FunctionWaits(fn)
+    try_stack: List[ast.Try] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, ast.Call):
+            name = _barrier_receiver(node)
+            if name is not None:
+                found.waits.append((name, node, list(try_stack)))
+        if isinstance(node, ast.Try):
+            try_stack.append(node)
+            for child in node.body + node.orelse + node.finalbody:
+                visit(child)
+            try_stack.pop()
+            for handler in node.handlers:
+                for child in handler.body:
+                    visit(child)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in fn.body:
+        visit(stmt)
+    return found
+
+
+@rule
+class BarrierDisciplineRule:
+    """RL007: barrier waits are timeout-guarded, ordered, crash-safe."""
+
+    id = "RL007"
+    summary = (
+        "Barrier.wait sites must pass a timeout, keep one A-before-B "
+        "order across all functions, and abort/re-raise on exception "
+        "paths"
+    )
+
+    def check(self, index: LintIndex) -> Iterator[Finding]:
+        for module in index.src_modules():
+            if "barrier" not in module.source.lower():
+                continue
+            raising_defs = _module_raising_defs(module)
+            canonical_order: Optional[List[str]] = None
+            canonical_fn: Optional[str] = None
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                waits = _collect_waits(node)
+                if not waits.waits:
+                    continue
+                yield from self._check_timeouts(module, waits)
+                yield from self._check_handlers(module, waits, raising_defs)
+                order = waits.first_order
+                if len(order) < 2:
+                    continue
+                if canonical_order is None:
+                    canonical_order, canonical_fn = order, node.name
+                    continue
+                if self._orders_conflict(canonical_order, order):
+                    first = waits.waits[0][1]
+                    yield Finding(
+                        path=module.path,
+                        line=first.lineno,
+                        col=first.col_offset,
+                        rule_id=self.id,
+                        message=(
+                            f"barrier wait order {order} in {node.name}() "
+                            f"contradicts {canonical_order} in "
+                            f"{canonical_fn}(); inconsistent barrier "
+                            "ordering deadlocks the epoch protocol the "
+                            "same way inconsistent lock ordering does"
+                        ),
+                    )
+
+    def _check_timeouts(
+        self, module: ModuleInfo, waits: _FunctionWaits
+    ) -> Iterator[Finding]:
+        for name, call, _tries in waits.waits:
+            if not _has_timeout(call):
+                yield Finding(
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule_id=self.id,
+                    message=(
+                        f"barrier wait on '{name}' has no timeout; when a "
+                        "sibling worker dies before reaching the barrier "
+                        "this blocks forever — pass timeout= so the "
+                        "barrier breaks and the failure surfaces"
+                    ),
+                )
+
+    def _check_handlers(
+        self,
+        module: ModuleInfo,
+        waits: _FunctionWaits,
+        raising_defs: Dict[str, bool],
+    ) -> Iterator[Finding]:
+        seen: set = set()
+        for name, _call, tries in waits.waits:
+            for try_node in tries:
+                for handler in try_node.handlers:
+                    if id(handler) in seen:
+                        continue
+                    seen.add(id(handler))
+                    if _handler_is_safe(handler, raising_defs):
+                        continue
+                    yield Finding(
+                        path=module.path,
+                        line=handler.lineno,
+                        col=handler.col_offset,
+                        rule_id=self.id,
+                        message=(
+                            f"exception handler around the '{name}' "
+                            "barrier wait neither re-raises, aborts the "
+                            "barriers, nor calls a raising helper; a "
+                            "swallowed failure here leaves every other "
+                            "participant waiting on a barrier that will "
+                            "never trip"
+                        ),
+                    )
+
+    @staticmethod
+    def _orders_conflict(a: List[str], b: List[str]) -> bool:
+        shared = [name for name in a if name in b]
+        if len(shared) < 2:
+            return False
+        return [name for name in b if name in shared] != shared

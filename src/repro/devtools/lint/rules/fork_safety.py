@@ -1,0 +1,93 @@
+"""RL006 — fork-safety: shard workers must not touch process-global state.
+
+``ShardedSession`` forks one worker per segment over the shared-memory
+store.  Everything *outside* the shared block — module-level caches,
+``PersistentCache`` disk artifacts, the process-global RNGs, the store's
+per-process ``version``/``frozen_count`` scalars — is silently duplicated
+by ``fork()``: a worker mutating one updates its private copy, the
+parent and siblings never see it, and artifacts written concurrently by
+several workers corrupt each other.  None of this fails loudly; it skews
+results or poisons caches.
+
+The rule walks the bounded call graph from every fork entry point (a
+function passed as ``target=`` to a ``*.Process(...)`` constructor) and
+reports each process-global effect in the reachable closure, naming the
+call chain that makes it reachable.  The store's own stamping modules
+(``store.py``/``pathtable.py``/``dispatch.py``) are exempt from the
+``version-write`` class only — bumping the per-process version is *their
+job*; cross-fork probe freshness is handled by barrier-time cache
+invalidation, not the stamp protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.lint.callgraph import shared_call_graph
+from repro.devtools.lint.effects import summarize_effects
+from repro.devtools.lint.index import LintIndex
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.report import Finding
+from repro.devtools.lint.rules.store_discipline import EXEMPT_MODULES
+
+__all__ = ["ForkSafetyRule"]
+
+_CONSEQUENCE = {
+    "global-write": (
+        "fork() gives every worker a private copy, so the mutation "
+        "diverges silently across shard lanes"
+    ),
+    "rng": (
+        "each forked worker inherits identical RNG state, so 'random' "
+        "draws repeat across lanes and break seeded replay"
+    ),
+    "disk-write": (
+        "concurrent forked writers race on the artifact and corrupt it"
+    ),
+    "version-write": (
+        "the store's version/frozen_count scalars are per-process and "
+        "do not replicate across forks; only the stamping modules may "
+        "maintain them"
+    ),
+}
+
+
+@rule
+class ForkSafetyRule:
+    """RL006: no process-global mutation reachable from a fork target."""
+
+    id = "RL006"
+    summary = (
+        "code reachable from a forked worker entry point (Process target) "
+        "must not mutate module caches, disk artifacts, global RNGs or "
+        "per-process store scalars"
+    )
+
+    def check(self, index: LintIndex) -> Iterator[Finding]:
+        graph = shared_call_graph(index)
+        if not graph.fork_roots:
+            return
+        summaries = summarize_effects(index)
+        roots = sorted({root.target for root in graph.fork_roots})
+        origin = graph.reachable_from(roots)
+        for key in sorted(origin):
+            summary = summaries.get(key)
+            if summary is None or not summary.effects:
+                continue
+            module = graph.functions[key].module
+            exempt_stamper = module.path.endswith(EXEMPT_MODULES)
+            chain = graph.describe_chain(origin, key)
+            for effect in summary.effects:
+                if effect.kind == "version-write" and exempt_stamper:
+                    continue
+                yield Finding(
+                    path=module.path,
+                    line=effect.line,
+                    col=effect.col,
+                    rule_id=self.id,
+                    message=(
+                        f"{effect.detail}, reachable from a forked shard "
+                        f"worker (via {chain}); "
+                        f"{_CONSEQUENCE[effect.kind]}"
+                    ),
+                )

@@ -1,0 +1,73 @@
+"""RL008 — lane-confined writes: provable row provenance in shard code.
+
+The whole sharded-parity argument is row-disjointness: a shard lane only
+ever writes store rows its segment owns, because every row index it uses
+is derived from its own payments' compiled candidate paths.  A write
+indexed by plain variables (``balance[cids, sides] = ...``,
+``np.add.at(store.inflight, (cids, sides), amounts)``) inherits that
+provenance.  A slice, ellipsis or computed-index write
+(``balance[:, 0] = 0``, ``stamp[np.arange(n)] = v``) touches rows *no
+classification vouches for* — from a forked worker that is a silent
+cross-lane race the parity tests only catch probabilistically.
+
+The rule reuses the fork-reachability closure RL006 computes and the
+per-function store-write summaries: every store-array write reachable
+from a fork entry point whose index provenance is not provable is a
+finding.  Code never reachable from a worker (setup, benchmarks, the
+boundary-only paths) may scan rows freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.lint.callgraph import shared_call_graph
+from repro.devtools.lint.effects import summarize_effects
+from repro.devtools.lint.index import LintIndex
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.report import Finding
+
+__all__ = ["LaneConfinementRule"]
+
+
+@rule
+class LaneConfinementRule:
+    """RL008: fork-reachable store writes need provable row indices."""
+
+    id = "RL008"
+    summary = (
+        "store-array writes reachable from shard-lane code must index "
+        "rows through variables derived from the lane's paths, not "
+        "slices/ellipsis/computed scans"
+    )
+
+    def check(self, index: LintIndex) -> Iterator[Finding]:
+        graph = shared_call_graph(index)
+        if not graph.fork_roots:
+            return
+        summaries = summarize_effects(index)
+        roots = sorted({root.target for root in graph.fork_roots})
+        origin = graph.reachable_from(roots)
+        for key in sorted(origin):
+            summary = summaries.get(key)
+            if summary is None:
+                continue
+            module = graph.functions[key].module
+            chain = graph.describe_chain(origin, key)
+            for write in summary.store_writes:
+                if write.provable:
+                    continue
+                yield Finding(
+                    path=module.path,
+                    line=write.line,
+                    col=write.col,
+                    rule_id=self.id,
+                    message=(
+                        f"store array '.{write.array}' written with a "
+                        "slice/ellipsis/computed index in code reachable "
+                        f"from a forked shard worker (via {chain}); the "
+                        "rows touched cannot be proven to belong to the "
+                        "executing lane's segment — thread an index array "
+                        "derived from the lane's compiled paths instead"
+                    ),
+                )

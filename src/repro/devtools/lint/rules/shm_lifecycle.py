@@ -1,0 +1,115 @@
+"""RL009 — shared-memory lifecycle: ``share()`` pairs with ``close_shared()``.
+
+``ChannelStateStore.share()`` creates a named ``/dev/shm`` segment the
+kernel keeps alive until it is explicitly unlinked — a leaked segment
+survives the process and eats locked memory until reboot.  The only safe
+shape is ``share()`` dominated by a ``close_shared()`` on *every* exit
+path, which in Python means: the ``share()`` call sits inside a ``try``
+whose ``finally`` (in the same function) calls ``close_shared``.
+
+A ``close_shared()`` on the happy path only, or a ``share()`` issued
+*before* entering the guarded ``try`` (anything between them raising —
+barrier construction, pipe setup — leaks the block), are both findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.devtools.lint.callgraph import FunctionDefNode
+from repro.devtools.lint.index import LintIndex
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.report import Finding
+
+__all__ = ["ShmLifecycleRule"]
+
+
+def _is_share_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "share"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _finalbody_closes(try_node: ast.Try) -> bool:
+    for stmt in try_node.finalbody:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "close_shared"
+            ):
+                return True
+    return False
+
+
+def _share_sites_with_guard(
+    fn: FunctionDefNode,
+) -> List[Tuple[ast.Call, bool]]:
+    """``(share call, guarded)`` pairs: guarded = enclosing finally closes."""
+    sites: List[Tuple[ast.Call, bool]] = []
+    try_stack: List[ast.Try] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(node, ast.Call) and _is_share_call(node):
+            guarded = any(_finalbody_closes(t) for t in try_stack)
+            sites.append((node, guarded))
+        if isinstance(node, ast.Try):
+            try_stack.append(node)
+            for child in node.body + node.orelse:
+                visit(child)
+            try_stack.pop()
+            for handler in node.handlers:
+                for child in handler.body:
+                    visit(child)
+            for child in node.finalbody:
+                visit(child)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in fn.body:
+        visit(stmt)
+    return sites
+
+
+@rule
+class ShmLifecycleRule:
+    """RL009: every share() dominated by a finally-path close_shared()."""
+
+    id = "RL009"
+    summary = (
+        "store.share() must sit inside a try whose finally calls "
+        "close_shared() in the same function, so no exit path leaks the "
+        "/dev/shm segment"
+    )
+
+    def check(self, index: LintIndex) -> Iterator[Finding]:
+        for module in index.src_modules():
+            if ".share()" not in module.source:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                for call, guarded in _share_sites_with_guard(node):
+                    if guarded:
+                        continue
+                    yield Finding(
+                        path=module.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        rule_id=self.id,
+                        message=(
+                            f"share() in {node.name}() is not covered by a "
+                            "try/finally that calls close_shared(); any "
+                            "failure on this exit path (worker crash, "
+                            "broken barrier, setup error) leaks the named "
+                            "/dev/shm segment until reboot"
+                        ),
+                    )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
+from repro.devtools.lint.cache import ParseCache
 from repro.devtools.lint.index import LintIndex, ModuleInfo
 from repro.devtools.lint.registry import all_rules
 from repro.devtools.lint.report import Finding, LintReport
@@ -66,7 +67,17 @@ def run_lint(
     roots: Iterable[str],
     select: Optional[Sequence[str]] = None,
     base: Optional[str] = None,
+    use_cache: bool = True,
 ) -> LintReport:
-    """Lint every ``*.py`` under ``roots`` and return the report."""
-    index = LintIndex.from_paths(roots, base=base)
-    return run_over_index(index, select=select)
+    """Lint every ``*.py`` under ``roots`` and return the report.
+
+    ``use_cache`` keys parse results on each file's ``(mtime_ns, size)``
+    in ``.repro-lint-cache.pickle`` under ``base`` so warm runs skip the
+    parse pass; pass ``False`` (CLI: ``--no-cache``) to force cold.
+    """
+    cache = ParseCache.for_base(base) if use_cache else None
+    index = LintIndex.from_paths(roots, base=base, cache=cache)
+    report = run_over_index(index, select=select)
+    if cache is not None:
+        cache.save()
+    return report

@@ -1134,6 +1134,14 @@ class DispatchPlan:
                         len(cpaths[i].hops), amounts[i], dtype=np.float64
                     )
             flat_arrays = cast(List[np.ndarray], hop_arrays)
+            if store.sanitizer is not None:
+                # Per-row payment attribution for shard-violation reports.
+                store.sanitizer.annotate(
+                    np.repeat(
+                        [payment.payment_id for payment in staged],
+                        [len(cpath.cids) for cpath in cpaths],
+                    )
+                )
             if self._has_failed_locks:
                 self._write_back_overlay()
             elif len(staged) == 1:
@@ -1217,6 +1225,14 @@ class DispatchPlan:
         """Land the overlay verbatim (the failed-lock flush path)."""
         self._sync_residuals()
         store = self.store
+        if store.sanitizer is not None and self._residual:
+            # These writes go straight through the array views below,
+            # bypassing the store's guarded entry points — vet them here.
+            keys = list(self._residual)
+            store.sanitizer.check_rows(
+                np.array([cid for cid, _ in keys], dtype=np.intp),
+                np.array([side for _, side in keys], dtype=np.intp),
+            )
         balance = store.balance
         inflight = store.inflight
         sent = store.sent
@@ -1229,6 +1245,9 @@ class DispatchPlan:
             num_refunded[cid] += delta
         store.version = version = store.version + 1
         if self._touched_cids:
+            # _touched_cids accumulates only rows of this lane's own staged
+            # cpaths (vetted by the sanitizer check above when attached).
+            # repro-lint: allow[RL008] rows come from the lane's own cpaths
             store.stamp[list(self._touched_cids)] = version
 
     # ------------------------------------------------------------------

@@ -262,6 +262,7 @@ class SimulationSession:
         if self._path_cache_dir is not None:
             # Load known path artifacts before the scheme prepares; newly
             # discovered pair sets are written back at the end of the run.
+            # repro-lint: allow[RL006] lane sessions get no path_cache_dir
             self.network.path_service.persist_to(self._path_cache_dir)
         if self._transport_spec is None and _needs_legacy_runtime(self.scheme):
             self._needs_delegate = True
@@ -444,6 +445,7 @@ class SimulationSession:
             return
         self._finish()
         if self._path_cache_dir is not None:
+            # repro-lint: allow[RL006] lane sessions get no path_cache_dir
             self.network.path_service.flush()
 
     def dispatch_stats(self) -> Dict[str, int]:
@@ -493,6 +495,7 @@ class SimulationSession:
         if fee > 0 and not payment.fee_budget_allows(fee):
             return False
         lock = HashLock.generate(payment.payment_id, payment.units_sent)
+        self._attribute_writes(payment.payment_id)
         try:
             htlcs = self.network.lock_path(
                 path, amount, now=self.sim.now, lock=lock, amounts=amounts
@@ -545,6 +548,7 @@ class SimulationSession:
             return False
         locked: List[TransactionUnit] = []
         base_lock = HashLock.generate(payment.payment_id, 0)
+        self._attribute_writes(payment.payment_id)
         try:
             for path, amount in allocations:
                 if amount <= _EPS:
@@ -758,6 +762,7 @@ class SimulationSession:
         amount_parts: List[np.ndarray] = []
         settled_parts: List[bool] = []
         hop_counts: List[int] = []
+        unit_payments: List[int] = []
         for unit in units:
             lock = unit.htlcs
             if not isinstance(lock, PathLock):  # scalar-parity mode
@@ -773,8 +778,14 @@ class SimulationSession:
             amount_parts.append(lock.amounts)
             settled_parts.append(settle)
             hop_counts.append(len(cpath.hops))
+            unit_payments.append(unit.payment.payment_id)
         if not cid_parts:
             return
+        sanitizer = self.network.state_store.sanitizer
+        if sanitizer is not None:
+            # Per-row payment ids so a violation names the payment, not
+            # just the lane.
+            sanitizer.annotate(np.repeat(unit_payments, hop_counts))
         self.network.state_store.apply_resolution_batch(
             np.concatenate(cid_parts),
             np.concatenate(side_parts),
@@ -826,9 +837,17 @@ class SimulationSession:
             # scheduling key — so re-seat it in the pending order.
             self._pending.touch(payment)
 
+    def _attribute_writes(self, payment_id: int) -> None:
+        """Tag upcoming store writes with ``payment_id`` for the shard
+        sanitizer's violation reports (no-op unless one is attached)."""
+        sanitizer = self.network.state_store.sanitizer
+        if sanitizer is not None:
+            sanitizer.set_payment(payment_id)
+
     def _resolve_unit(self, unit: TransactionUnit) -> None:
         now = self.sim.now
         settle = self._resolve_decision(unit, now)
+        self._attribute_writes(unit.payment.payment_id)
         if settle:
             self.network.settle_path(unit.path, unit.htlcs)
         else:

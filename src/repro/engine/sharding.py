@@ -43,13 +43,17 @@ value: metrics are byte-identical across both modes
 from __future__ import annotations
 
 import dataclasses
+import os
+import threading
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as _sentinel_wait
 from threading import BrokenBarrierError
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.runtime import RuntimeConfig
 from repro.engine.clock import DEFAULT_QUANTUM
+from repro.engine.sanitizer import BOUNDARY_LANE, ShardSanitizer
 from repro.engine.session import SimulationSession, _needs_legacy_runtime
 from repro.metrics.collectors import ExperimentMetrics, MetricsCollector
 from repro.network.network import PaymentNetwork
@@ -59,6 +63,7 @@ from repro.topology.partition import GraphPartition, partition_network
 from repro.workload.generator import TransactionRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.process import BaseProcess
     from multiprocessing.synchronize import Barrier
 
     from repro.experiments.config import ExperimentConfig
@@ -86,6 +91,11 @@ def _shard_worker(
     barrier_a, barrier_b = driver._barrier_a, driver._barrier_b
     assert barrier_a is not None and barrier_b is not None
     try:
+        sanitizer = driver.network.state_store.sanitizer
+        if sanitizer is not None:
+            # This process IS lane `index`: every store write from here on
+            # must stay on the segment's own rows.
+            sanitizer.set_lane(index)
         lane = driver._shard_lanes[index]
         for bound in driver._epoch_bounds:
             driver._invalidate_probe_caches()
@@ -105,6 +115,45 @@ def _shard_worker(
             barrier_b.abort()
     finally:
         conn.close()
+
+
+class _WorkerWatchdog:
+    """Abort the epoch barriers as soon as any worker dies abnormally.
+
+    A worker killed by a signal (OOM, ``kill -9``) never reaches its
+    ``except`` block, so nothing aborts the barriers and the parent would
+    sit out the full ``_BARRIER_TIMEOUT``.  This thread waits on the
+    workers' process sentinels; the moment one exits with a nonzero code
+    it aborts both barriers, turning the silent death into an immediate
+    ``BrokenBarrierError`` in the parent and the surviving siblings.
+    """
+
+    def __init__(self, workers: Sequence, barriers: Sequence) -> None:
+        self._workers = list(workers)
+        self._barriers = list(barriers)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._watch, name="shard-watchdog", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _watch(self) -> None:
+        pending = {worker.sentinel: worker for worker in self._workers}
+        while pending and not self._stop.is_set():
+            ready = _sentinel_wait(list(pending), timeout=0.25)
+            for sentinel in ready:
+                worker = pending.pop(sentinel)
+                worker.join(timeout=1.0)
+                if worker.exitcode not in (0, None):
+                    for barrier in self._barriers:
+                        barrier.abort()
+                    return
 
 
 class ShardedSession:
@@ -158,6 +207,7 @@ class ShardedSession:
         epoch: float = 1.0,
         partition_seed: int = 0,
         quantum: float = DEFAULT_QUANTUM,
+        sanitize: Optional[bool] = None,
     ):
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -205,6 +255,11 @@ class ShardedSession:
         # Parallel-mode synchronisation (created per run).
         self._barrier_a: Optional["Barrier"] = None
         self._barrier_b: Optional["Barrier"] = None
+        #: Runtime write-ownership checking (``REPRO_SHARD_SANITIZE=1``).
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SHARD_SANITIZE", "") == "1"
+        self.sanitize = bool(sanitize)
+        self._sanitizer: Optional[ShardSanitizer] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -217,6 +272,7 @@ class ShardedSession:
         epoch: float = 1.0,
         partition_seed: int = 0,
         quantum: float = DEFAULT_QUANTUM,
+        sanitize: Optional[bool] = None,
     ) -> "ShardedSession":
         """Build the sharded run an :class:`ExperimentConfig` describes.
 
@@ -235,6 +291,7 @@ class ShardedSession:
             epoch=epoch,
             partition_seed=partition_seed,
             quantum=quantum,
+            sanitize=sanitize,
         )
 
     @staticmethod
@@ -356,10 +413,22 @@ class ShardedSession:
             and self.num_shards > 1
             and "fork" in get_all_start_methods()
         )
-        if use_parallel:
-            self._run_parallel()
-        else:
-            self._run_serial()
+        store = self.network.state_store
+        if self.sanitize:
+            # Attached before any fork so every worker inherits its own
+            # copy; lane context is set per process / per serial window.
+            self._sanitizer = ShardSanitizer.from_partition(
+                self.network, self.partition
+            )
+            store.attach_sanitizer(self._sanitizer)
+        try:
+            if use_parallel:
+                self._run_parallel()
+            else:
+                self._run_serial()
+        finally:
+            if self._sanitizer is not None:
+                store.detach_sanitizer()
         # Deterministic merge: shard 0..S-1, then the boundary lane.
         for shard_collector, _events, _stats in self._shard_results:
             self.collector.merge_from(shard_collector)
@@ -376,57 +445,81 @@ class ShardedSession:
         if table is not None:
             table.invalidate_probes()
 
+    def _set_lane(self, lane: Optional[int]) -> None:
+        """Switch the sanitizer's lane context (no-op when not sanitizing)."""
+        if self._sanitizer is not None:
+            self._sanitizer.set_lane(lane)
+
     def _run_serial(self) -> None:
         """The parity baseline: the same plan, one process, lane order."""
-        for bound in self._epoch_bounds:
-            for lane in self._shard_lanes:
+        try:
+            for bound in self._epoch_bounds:
+                for index, lane in enumerate(self._shard_lanes):
+                    self._set_lane(index)
+                    self._invalidate_probe_caches()
+                    lane.run_window(bound)
+                self._set_lane(BOUNDARY_LANE)
                 self._invalidate_probe_caches()
-                lane.run_window(bound)
-            self._invalidate_probe_caches()
-            self._boundary_lane.run_window(bound)
-        for lane in self._shard_lanes:
-            lane.finish_windowed()
-        self._boundary_lane.finish_windowed()
+                self._boundary_lane.run_window(bound)
+            for index, lane in enumerate(self._shard_lanes):
+                self._set_lane(index)
+                lane.finish_windowed()
+            self._set_lane(BOUNDARY_LANE)
+            self._boundary_lane.finish_windowed()
+        finally:
+            self._set_lane(None)
         self._shard_results = [
             (lane.collector, lane.events_processed, lane.dispatch_stats())
             for lane in self._shard_lanes
         ]
 
     def _run_parallel(self) -> None:
-        """Fork one worker per shard; exchange at epoch barriers."""
+        """Fork one worker per shard; exchange at epoch barriers.
+
+        ``share()`` happens *inside* the try whose finally calls
+        ``close_shared(unlink=True)``, so every exit path — setup
+        failures, broken barriers, dead workers — releases the
+        ``/dev/shm`` segment.  A watchdog thread waits on the workers'
+        process sentinels and aborts both barriers the moment a worker
+        dies with a nonzero exit code, so a crash surfaces in well under
+        a second instead of after the barrier timeout.
+        """
         ctx = get_context("fork")
         store = self.network.state_store
-        store.share()
-        self._barrier_a = ctx.Barrier(self.num_shards + 1)
-        self._barrier_b = ctx.Barrier(self.num_shards + 1)
-        pipes = [ctx.Pipe(duplex=False) for _ in range(self.num_shards)]
-        workers = [
-            ctx.Process(
-                target=_shard_worker,
-                args=(self, index, pipes[index][1]),
-                daemon=True,
-            )
-            for index in range(self.num_shards)
-        ]
+        workers: List = []
+        pipes: List[Tuple[Connection, Connection]] = []
+        watchdog: Optional[_WorkerWatchdog] = None
         try:
+            store.share()
+            self._barrier_a = barrier_a = ctx.Barrier(self.num_shards + 1)
+            self._barrier_b = barrier_b = ctx.Barrier(self.num_shards + 1)
+            pipes = [ctx.Pipe(duplex=False) for _ in range(self.num_shards)]
+            workers = [
+                ctx.Process(
+                    target=_shard_worker,
+                    args=(self, index, pipes[index][1]),
+                    daemon=True,
+                )
+                for index in range(self.num_shards)
+            ]
             for worker in workers:
                 worker.start()
+            # From here on this process only ever drives the boundary lane.
+            self._set_lane(BOUNDARY_LANE)
+            watchdog = _WorkerWatchdog(workers, (barrier_a, barrier_b))
+            watchdog.start()
             for bound in self._epoch_bounds:
                 try:
-                    self._barrier_a.wait(timeout=_BARRIER_TIMEOUT)
+                    barrier_a.wait(timeout=_BARRIER_TIMEOUT)
                     self._invalidate_probe_caches()
                     self._boundary_lane.run_window(bound)
-                    self._barrier_b.wait(timeout=_BARRIER_TIMEOUT)
+                    barrier_b.wait(timeout=_BARRIER_TIMEOUT)
                 except BrokenBarrierError:
-                    self._raise_worker_failure(pipes)
+                    self._raise_worker_failure(pipes, workers)
             self._boundary_lane.finish_windowed()
             self._shard_results = []
             for index, (conn, _child) in enumerate(pipes):
-                if not conn.poll(_BARRIER_TIMEOUT):
-                    raise SimulationError(
-                        f"shard worker {index} produced no result"
-                    )
-                payload = conn.recv()
+                payload = self._await_result(index, conn, workers[index])
                 if payload[0] != "ok":
                     raise SimulationError(
                         f"shard worker {index} failed: {payload[1]}"
@@ -436,6 +529,8 @@ class ShardedSession:
                 )
             self._ran_parallel = True
         finally:
+            if watchdog is not None:
+                watchdog.stop()
             for worker in workers:
                 worker.join(timeout=30.0)
                 if worker.is_alive():  # pragma: no cover - crash path
@@ -445,20 +540,61 @@ class ShardedSession:
                 conn.close()
                 child.close()
             # Restore private heap arrays (final state copies back) and
-            # release the shared block.
+            # release the shared block; runs on *every* exit path so no
+            # /dev/shm segment can outlive the run.
             store.close_shared()
+            self._set_lane(None)
+
+    @staticmethod
+    def _await_result(
+        index: int, conn: Connection, worker: "BaseProcess"
+    ) -> Tuple:
+        """Wait for one worker's result, failing fast if it died."""
+        deadline_polls = int(_BARRIER_TIMEOUT / 0.25)
+        for _ in range(max(deadline_polls, 1)):
+            if conn.poll(0.25):
+                return conn.recv()
+            if not worker.is_alive() and not conn.poll(0.0):
+                raise SimulationError(
+                    f"shard worker {index} died with exit code "
+                    f"{worker.exitcode} before reporting a result"
+                )
+        raise SimulationError(f"shard worker {index} produced no result")
 
     def _raise_worker_failure(
-        self, pipes: Sequence[Tuple[Connection, Connection]]
+        self,
+        pipes: Sequence[Tuple[Connection, Connection]],
+        workers: Sequence,
     ) -> None:
-        """A barrier broke: surface the failing worker's error."""
+        """A barrier broke: surface the *root-cause* worker failure.
+
+        A worker that merely observed the abort reports a bare
+        ``BrokenBarrierError`` — that is a victim, not the culprit.
+        Prefer, in order: a real error payload, a nonzero exit code (a
+        worker killed before it could report anything), and only then
+        the secondary broken-barrier reports.
+        """
+        reports: List[Tuple[int, str]] = []
         for index, (conn, _child) in enumerate(pipes):
             while conn.poll(0.5):
                 payload = conn.recv()
                 if payload[0] == "error":
-                    raise SimulationError(
-                        f"shard worker {index} failed: {payload[1]}"
-                    )
+                    reports.append((index, payload[1]))
+        for index, message in reports:
+            if not message.startswith("BrokenBarrierError"):
+                raise SimulationError(
+                    f"shard worker {index} failed: {message}"
+                )
+        for index, worker in enumerate(workers):
+            worker.join(timeout=5.0)
+            if worker.exitcode not in (None, 0):
+                raise SimulationError(
+                    f"shard worker {index} died with exit code "
+                    f"{worker.exitcode} before reporting an error (killed "
+                    "or crashed mid-epoch)"
+                )
+        for index, message in reports:
+            raise SimulationError(f"shard worker {index} failed: {message}")
         raise SimulationError(
             "epoch barrier broke without a worker error report"
         )

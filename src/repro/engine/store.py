@@ -20,11 +20,14 @@ return views trimmed to the allocated channel count.
 from __future__ import annotations
 
 from multiprocessing import shared_memory
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ChannelError, InsufficientFundsError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.sanitizer import ShardSanitizer
 
 __all__ = ["ChannelStateStore"]
 
@@ -79,6 +82,7 @@ class ChannelStateStore:
         "stamp",
         "version",
         "_shm",
+        "_sanitizer",
     )
 
     def __init__(self, reserve: int = _INITIAL_CAPACITY):
@@ -99,6 +103,8 @@ class ChannelStateStore:
         self.version = 0
         #: Shared-memory block backing the arrays (``None`` = private heap).
         self._shm: Optional[shared_memory.SharedMemory] = None
+        #: Write-ownership sanitizer vetting mutations (``None`` = off).
+        self._sanitizer: Optional["ShardSanitizer"] = None
 
     # ------------------------------------------------------------------
     # Allocation
@@ -218,6 +224,26 @@ class ChannelStateStore:
                 pass
 
     # ------------------------------------------------------------------
+    # Write-ownership sanitizer (spatial sharding, REPRO_SHARD_SANITIZE)
+    # ------------------------------------------------------------------
+    @property
+    def sanitizer(self) -> Optional["ShardSanitizer"]:
+        """The attached write-ownership sanitizer, or ``None``."""
+        return self._sanitizer
+
+    def attach_sanitizer(self, sanitizer: "ShardSanitizer") -> None:
+        """Vet every subsequent mutation against ``sanitizer``.
+
+        Attach *before* forking shard workers so every child inherits its
+        own copy (lane context is per-process).
+        """
+        self._sanitizer = sanitizer
+
+    def detach_sanitizer(self) -> None:
+        """Stop vetting mutations (run teardown)."""
+        self._sanitizer = None
+
+    # ------------------------------------------------------------------
     # Trimmed views (always sized to the allocated channel count)
     # ------------------------------------------------------------------
     @property
@@ -318,11 +344,15 @@ class ChannelStateStore:
     # ------------------------------------------------------------------
     def touch(self, cid: int) -> None:
         """Stamp ``cid`` as modified (invalidates cached path probes)."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_one(cid)
         self.version = version = self.version + 1
         self.stamp[cid] = version
 
     def apply_lock(self, cid: int, side: int, amount: float) -> None:
         """Move ``amount`` of ``(cid, side)``'s balance into in-flight."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_one(cid, side)
         self.balance[cid, side] -= amount
         self.inflight[cid, side] += amount
         self.sent[cid, side] += amount
@@ -331,6 +361,8 @@ class ChannelStateStore:
 
     def apply_settle(self, cid: int, sender_side: int, amount: float) -> None:
         """Resolve an in-flight transfer by crediting the counterparty."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_one(cid, sender_side)
         self.inflight[cid, sender_side] -= amount
         self.balance[cid, 1 - sender_side] += amount
         self.settled_flow[cid, sender_side] += amount
@@ -340,6 +372,8 @@ class ChannelStateStore:
 
     def apply_refund(self, cid: int, sender_side: int, amount: float) -> None:
         """Resolve an in-flight transfer by returning it to the sender."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_one(cid, sender_side)
         self.inflight[cid, sender_side] -= amount
         self.balance[cid, sender_side] += amount
         self.num_refunded[cid] += 1
@@ -360,6 +394,8 @@ class ChannelStateStore:
         if amount > balance + _LOCK_EPS:
             return -1.0
         actual = amount if amount <= balance else balance
+        if self._sanitizer is not None:
+            self._sanitizer.check_one(cid, side)
         self.balance[cid, side] = balance - actual
         self.inflight[cid, side] += actual
         self.sent[cid, side] += actual
@@ -376,6 +412,8 @@ class ChannelStateStore:
         ``freeze``/``unfreeze``) for the count to stay accurate.
         """
         flag = bool(flag)
+        if self._sanitizer is not None:
+            self._sanitizer.check_one(cid)
         if flag != bool(self.frozen[cid]):
             self.frozen[cid] = flag
             self.frozen_count += 1 if flag else -1
@@ -384,6 +422,8 @@ class ChannelStateStore:
 
     def deposit(self, cid: int, side: int, amount: float) -> None:
         """Credit on-chain funds: grows the side's balance and the capacity."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_one(cid, side)
         self.balance[cid, side] += amount
         self.capacity[cid] += amount
         self.total_deposited[cid] += amount
@@ -418,6 +458,8 @@ class ChannelStateStore:
         A path is a trail, so ``(cid, side)`` pairs are unique and plain
         fancy-indexed updates are safe (no duplicate-index buffering).
         """
+        if self._sanitizer is not None:
+            self._sanitizer.check_rows(cids, sides)
         balance = self.balance[cids, sides]
         ok = amounts <= balance + _LOCK_EPS
         if self.frozen_count:
@@ -473,6 +515,8 @@ class ChannelStateStore:
         probe caches only compare ``stamp > as_of``, so batch-granular
         stamping is indistinguishable from per-send stamping.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.check_rows(cids, sides)
         np.subtract.at(self.balance, (cids, sides), amounts)
         np.add.at(self.inflight, (cids, sides), amounts)
         np.add.at(self.sent, (cids, sides), amounts)
@@ -483,6 +527,8 @@ class ChannelStateStore:
         self, cids: np.ndarray, sides: np.ndarray, amounts: np.ndarray
     ) -> None:
         """Settle a previously locked path: credit every receiving side."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_rows(cids, sides)
         self.inflight[cids, sides] -= amounts
         self.balance[cids, 1 - sides] += amounts
         self.settled_flow[cids, sides] += amounts
@@ -494,6 +540,8 @@ class ChannelStateStore:
         self, cids: np.ndarray, sides: np.ndarray, amounts: np.ndarray
     ) -> None:
         """Refund a previously locked path: return funds to every sender."""
+        if self._sanitizer is not None:
+            self._sanitizer.check_rows(cids, sides)
         self.inflight[cids, sides] -= amounts
         self.balance[cids, sides] += amounts
         self.num_refunded[cids] += 1
@@ -517,6 +565,8 @@ class ChannelStateStore:
         order — so hops are listed in resolution order and the float sums
         match the sequential per-unit writes bit for bit.
         """
+        if self._sanitizer is not None:
+            self._sanitizer.check_rows(infl_cids, infl_sides)
         np.subtract.at(self.inflight, (infl_cids, infl_sides), amounts)
         np.add.at(self.balance, (infl_cids, bal_cols), amounts)
         if settled.all():

@@ -20,7 +20,8 @@ import pytest
 
 from repro.devtools.lint import LintIndex, run_lint, run_over_index
 from repro.devtools.lint.cli import main as lint_main
-from repro.devtools.lint.report import render_json, render_text
+from repro.devtools.lint.cache import CACHE_FILENAME, ParseCache
+from repro.devtools.lint.report import render_github, render_json, render_text
 from repro.devtools.lint.runner import PARSE_ERROR_RULE
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
@@ -336,6 +337,237 @@ class TestRL005IntegerTicks:
 
 
 # ---------------------------------------------------------------------------
+# RL006 — fork-safety (interprocedural)
+# ---------------------------------------------------------------------------
+class TestRL006ForkSafety:
+    def test_true_positive_fork_reachable_global_write_and_rng(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import multiprocessing\n"
+                    "import numpy as np\n"
+                    "_CACHE = {}\n"
+                    "def helper(key):\n"
+                    "    _CACHE[key] = np.random.default_rng()\n"
+                    "def worker(conn):\n"
+                    "    helper('x')\n"
+                    "def launch():\n"
+                    "    p = multiprocessing.Process(target=worker, args=(None,))\n"
+                    "    p.start()\n"
+                )
+            },
+            select=["RL006"],
+        )
+        hits = rule_hits(report, "RL006")
+        # The same line carries both a global write and a seedless RNG.
+        assert len(hits) == 2
+        assert all(hit.line == 5 for hit in hits)
+        messages = " | ".join(hit.message for hit in hits)
+        assert "_CACHE" in messages
+        assert "worker -> helper" in messages  # the chain is named
+
+    def test_true_positive_class_level_cache_via_self(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import multiprocessing\n"
+                    "class Cache:\n"
+                    "    _shared = {}\n"
+                    "    def put(self, key):\n"
+                    "        self._shared[key] = 1\n"
+                    "def worker(cache):\n"
+                    "    cache.put('x')\n"
+                    "def launch(cache):\n"
+                    "    multiprocessing.Process(target=worker, args=(cache,)).start()\n"
+                )
+            },
+            select=["RL006"],
+        )
+        hits = rule_hits(report, "RL006")
+        assert len(hits) == 1
+        assert "Cache._shared" in hits[0].message
+
+    def test_near_miss_unreachable_writer_and_local_state(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import multiprocessing\n"
+                    "_CACHE = {}\n"
+                    "def poison(key):\n"  # global write, but NOT fork-reachable
+                    "    _CACHE[key] = 1\n"
+                    "def worker(conn):\n"
+                    "    local = {}\n"  # function-local mutable: fine
+                    "    local['x'] = 1\n"
+                    "def launch():\n"
+                    "    multiprocessing.Process(target=worker, args=(None,)).start()\n"
+                )
+            },
+            select=["RL006"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL007 — barrier discipline
+# ---------------------------------------------------------------------------
+class TestRL007BarrierDiscipline:
+    def test_true_positive_wait_without_timeout(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def worker(barrier_a):\n"
+                    "    barrier_a.wait()\n"
+                )
+            },
+            select=["RL007"],
+        )
+        hits = rule_hits(report, "RL007")
+        assert len(hits) == 1 and hits[0].line == 2
+        assert "no timeout" in hits[0].message
+
+    def test_true_positive_swallowing_handler_and_order_conflict(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def worker(barrier_a, barrier_b):\n"
+                    "    try:\n"
+                    "        barrier_a.wait(timeout=5.0)\n"
+                    "        barrier_b.wait(timeout=5.0)\n"
+                    "    except Exception:\n"
+                    "        pass\n"  # swallows the failure
+                    "def driver(barrier_a, barrier_b):\n"
+                    "    barrier_b.wait(timeout=5.0)\n"  # opposite order
+                    "    barrier_a.wait(timeout=5.0)\n"
+                )
+            },
+            select=["RL007"],
+        )
+        messages = " | ".join(hit.message for hit in rule_hits(report, "RL007"))
+        assert "neither re-raises" in messages
+        assert "contradicts" in messages
+
+    def test_near_miss_guarded_ordered_waits(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def fail_loudly():\n"
+                    "    raise RuntimeError('worker died')\n"
+                    "def worker(barrier_a, barrier_b):\n"
+                    "    try:\n"
+                    "        barrier_a.wait(timeout=5.0)\n"
+                    "        barrier_b.wait(timeout=5.0)\n"
+                    "    except Exception:\n"
+                    "        fail_loudly()\n"  # raising helper: safe
+                    "def driver(barrier_a, barrier_b):\n"
+                    "    try:\n"
+                    "        barrier_a.wait(timeout=5.0)\n"  # same order
+                    "        barrier_b.wait(timeout=5.0)\n"
+                    "    except Exception:\n"
+                    "        barrier_a.abort()\n"
+                    "        raise\n"
+                )
+            },
+            select=["RL007"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL008 — lane-confined store writes
+# ---------------------------------------------------------------------------
+class TestRL008LaneConfinement:
+    def test_true_positive_slice_write_reachable_from_fork(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import multiprocessing\n"
+                    "def worker(store):\n"
+                    "    store.balance[:, 0] = 0.0\n"
+                    "def launch(store):\n"
+                    "    multiprocessing.Process(target=worker, args=(store,)).start()\n"
+                )
+            },
+            select=["RL008"],
+        )
+        hits = rule_hits(report, "RL008")
+        assert len(hits) == 1 and hits[0].line == 3
+        assert ".balance" in hits[0].message
+        assert "worker" in hits[0].message
+
+    def test_near_miss_variable_index_and_unreachable_slice(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "import multiprocessing\n"
+                    "def worker(store, cids, sides, amounts):\n"
+                    "    store.balance[cids, sides] = amounts\n"  # provable
+                    "def reset(store):\n"  # slice write, NOT fork-reachable
+                    "    store.balance[:, 0] = 0.0\n"
+                    "def launch(store):\n"
+                    "    multiprocessing.Process(\n"
+                    "        target=worker, args=(store, None, None, None)\n"
+                    "    ).start()\n"
+                )
+            },
+            select=["RL008"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL009 — shared-memory lifecycle
+# ---------------------------------------------------------------------------
+class TestRL009ShmLifecycle:
+    def test_true_positive_share_outside_guarded_try(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def run(store, work):\n"
+                    "    store.share()\n"  # barrier setup below may raise
+                    "    try:\n"
+                    "        work()\n"
+                    "    finally:\n"
+                    "        store.close_shared()\n"
+                )
+            },
+            select=["RL009"],
+        )
+        hits = rule_hits(report, "RL009")
+        assert len(hits) == 1 and hits[0].line == 2
+        assert "close_shared" in hits[0].message
+
+    def test_true_positive_happy_path_close_only(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def run(store, work):\n"
+                    "    store.share()\n"
+                    "    work()\n"
+                    "    store.close_shared()\n"  # skipped if work() raises
+                )
+            },
+            select=["RL009"],
+        )
+        assert len(rule_hits(report, "RL009")) == 1
+
+    def test_near_miss_share_inside_guarded_try(self):
+        report = lint_sources(
+            {
+                ENGINE: (
+                    "def run(store, work):\n"
+                    "    try:\n"
+                    "        store.share()\n"
+                    "        work()\n"
+                    "    finally:\n"
+                    "        store.close_shared()\n"
+                )
+            },
+            select=["RL009"],
+        )
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions, parse failures, output formats, CLI
 # ---------------------------------------------------------------------------
 class TestSuppressionsAndReporting:
@@ -421,6 +653,90 @@ class TestSuppressionsAndReporting:
         assert "RL999" in err
         assert lint_main([str(tmp_path / "missing_dir")]) == 1  # RL000 finding
 
+    def test_github_output_is_error_annotations(self):
+        report = lint_sources(
+            {ENGINE: "import time\ndef f():\n    return time.time()\n"},
+            select=["RL001"],
+        )
+        lines = render_github(report).splitlines()
+        assert lines[0].startswith(f"::error file={ENGINE},line=3,")
+        assert "title=RL001::" in lines[0]
+        assert lines[-1].startswith("repro-lint:")  # trailing summary line
+
+    def test_github_output_escapes_message_payload(self):
+        from repro.devtools.lint.report import Finding, LintReport
+
+        report = LintReport(
+            findings=(
+                Finding(
+                    path="src/a.py",
+                    line=1,
+                    col=0,
+                    rule_id="RL001",
+                    message="bad\nnews: 100% wrong",
+                ),
+            ),
+            suppressed=(),
+            files_scanned=1,
+        )
+        (annotation, _summary) = render_github(report).splitlines()
+        assert "%0A" in annotation  # newline escaped so the annotation survives
+        assert "%25" in annotation  # literal percent escaped
+        assert "\n" not in annotation
+
+
+# ---------------------------------------------------------------------------
+# The on-disk parse cache
+# ---------------------------------------------------------------------------
+class TestParseCache:
+    def _write_tree(self, tmp_path):
+        root = tmp_path / "src" / "repro" / "engine"
+        root.mkdir(parents=True)
+        (root / "clocky.py").write_text(
+            "import time\ndef f():\n    return time.time()\n"
+        )
+        return root
+
+    def test_warm_run_reuses_parses_and_matches_cold_findings(self, tmp_path):
+        self._write_tree(tmp_path)
+        cold = run_lint([str(tmp_path / "src")], base=str(tmp_path))
+        cache_file = tmp_path / CACHE_FILENAME
+        assert cache_file.is_file()
+        warm = run_lint([str(tmp_path / "src")], base=str(tmp_path))
+        assert warm.findings == cold.findings
+        # The second run really was served from the cache.
+        cache = ParseCache.for_base(str(tmp_path))
+        path = tmp_path / "src" / "repro" / "engine" / "clocky.py"
+        assert cache.get(path.resolve(), path.stat()) is not None
+
+    def test_cache_invalidates_on_file_change(self, tmp_path):
+        root = self._write_tree(tmp_path)
+        first = run_lint([str(tmp_path / "src")], base=str(tmp_path))
+        assert len(first.findings) == 1
+        target = root / "clocky.py"
+        stale_stat = target.stat()
+        target.write_text("def f():\n    return 0\n")
+        # Force a different mtime even on coarse-grained filesystems.
+        import os
+
+        os.utime(target, ns=(stale_stat.st_mtime_ns + 1, stale_stat.st_mtime_ns + 1))
+        second = run_lint([str(tmp_path / "src")], base=str(tmp_path))
+        assert second.findings == []
+
+    def test_corrupt_cache_file_falls_back_to_cold_parse(self, tmp_path):
+        self._write_tree(tmp_path)
+        (tmp_path / CACHE_FILENAME).write_bytes(b"not a pickle")
+        report = run_lint([str(tmp_path / "src")], base=str(tmp_path))
+        assert len(report.findings) == 1
+
+    def test_use_cache_false_writes_nothing(self, tmp_path):
+        self._write_tree(tmp_path)
+        report = run_lint(
+            [str(tmp_path / "src")], base=str(tmp_path), use_cache=False
+        )
+        assert len(report.findings) == 1
+        assert not (tmp_path / CACHE_FILENAME).exists()
+
 
 # ---------------------------------------------------------------------------
 # The shipped tree
@@ -493,4 +809,14 @@ class TestShippedTree:
     def test_rule_registry_is_complete(self):
         from repro.devtools.lint import rule_ids
 
-        assert rule_ids() == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert rule_ids() == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+        ]

@@ -17,9 +17,14 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import time
+from multiprocessing import shared_memory
 
+import numpy as np
 import pytest
 
+from repro.engine import sharding
+from repro.engine.sanitizer import BOUNDARY_LANE, ShardSanitizer, ShardViolationError
 from repro.engine.sharding import ShardedSession
 from repro.engine.session import SimulationSession
 from repro.engine.store import ChannelStateStore
@@ -219,6 +224,121 @@ class TestSharedStore:
             assert store.balance[cid, 0] == 77.0  # ...and the parent sees the child's
         finally:
             store.close_shared()
+
+
+# ---------------------------------------------------------------------------
+# The write-ownership sanitizer
+# ---------------------------------------------------------------------------
+class TestShardSanitizer:
+    def _two_row_store(self):
+        """A store with one row per segment and a lane-0/lane-1 owner map."""
+        store = ChannelStateStore()
+        cid0 = store.allocate(10.0, 10.0)
+        cid1 = store.allocate(10.0, 10.0)
+        sanitizer = ShardSanitizer(np.array([0, 1], dtype=np.int8))
+        store.attach_sanitizer(sanitizer)
+        return store, sanitizer, cid0, cid1
+
+    def test_out_of_segment_write_names_lane_payment_and_row(self):
+        store, sanitizer, cid0, cid1 = self._two_row_store()
+        sanitizer.set_lane(0)
+        sanitizer.set_payment(77)
+        store.touch(cid0)  # own row: fine
+        store.deposit(cid0, 1, 2.0)  # own row: fine
+        with pytest.raises(ShardViolationError) as excinfo:
+            store.deposit(cid1, 0, 5.0)  # lane 0 writing segment 1's row
+        message = str(excinfo.value)
+        assert "lane 0" in message
+        assert "payment 77" in message
+        assert f"cid={cid1}" in message
+        assert "side=0" in message
+        assert "segment 1" in message
+
+    def test_batched_write_reports_the_annotated_payment(self):
+        store, sanitizer, cid0, cid1 = self._two_row_store()
+        sanitizer.set_lane(0)
+        sanitizer.annotate(np.array([5, 6]))
+        with pytest.raises(ShardViolationError) as excinfo:
+            store.lock_many(
+                np.array([cid0, cid1]),
+                np.array([0, 0]),
+                np.array([1.0, 1.0]),
+            )
+        message = str(excinfo.value)
+        assert "payment 6" in message  # the offending row's annotation
+        assert f"cid={cid1}" in message
+
+    def test_boundary_and_unset_lanes_are_unrestricted(self):
+        store, sanitizer, cid0, cid1 = self._two_row_store()
+        store.deposit(cid1, 0, 1.0)  # lane unset: setup writes allowed
+        sanitizer.set_lane(BOUNDARY_LANE)
+        store.deposit(cid0, 0, 1.0)
+        store.deposit(cid1, 0, 1.0)  # boundary lane may touch any row
+        assert sanitizer.checks == 3
+
+    def test_cut_channel_write_blames_the_boundary(self):
+        store = ChannelStateStore()
+        cid = store.allocate(10.0, 10.0)
+        sanitizer = ShardSanitizer(np.array([BOUNDARY_LANE], dtype=np.int8))
+        store.attach_sanitizer(sanitizer)
+        sanitizer.set_lane(1)
+        with pytest.raises(ShardViolationError, match="boundary"):
+            store.apply_lock(cid, 0, 1.0)
+
+    @pytest.mark.parametrize("parallel", [False, True])
+    def test_sanitized_run_matches_unsanitized_metrics(self, parallel):
+        config = _config(scheme="shortest-path", num_transactions=120)
+        _, plain = _run_sharded(config, parallel=parallel, num_shards=2)
+        session, sanitized = _run_sharded(
+            config, parallel=parallel, num_shards=2, sanitize=True
+        )
+        assert metrics_to_json(plain) == metrics_to_json(sanitized)
+        # The sanitizer really vetted writes (parent-side count; workers
+        # accumulate their own in the forked children).
+        assert session._sanitizer is not None
+
+
+# ---------------------------------------------------------------------------
+# Worker crash handling: fast failure, no leaked /dev/shm segment
+# ---------------------------------------------------------------------------
+def _dying_shard_worker(driver, index, conn):
+    """Stand-in worker: lane 0 dies as if SIGKILLed, others run normally."""
+    if index == 0:
+        os._exit(42)
+    _real_shard_worker(driver, index, conn)
+
+
+_real_shard_worker = sharding._shard_worker
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+class TestWorkerCrash:
+    def test_killed_worker_fails_fast_and_leaks_no_shm(self, monkeypatch):
+        shared_names = []
+        real_share = ChannelStateStore.share
+
+        def recording_share(self):
+            name = real_share(self)
+            shared_names.append(name)
+            return name
+
+        monkeypatch.setattr(ChannelStateStore, "share", recording_share)
+        monkeypatch.setattr(sharding, "_shard_worker", _dying_shard_worker)
+        config = _config(scheme="shortest-path", num_transactions=120)
+        started = time.perf_counter()
+        with pytest.raises(SimulationError, match="exit code 42"):
+            _run_sharded(config, parallel=True, num_shards=2)
+        elapsed = time.perf_counter() - started
+        # The watchdog aborts the barriers: no 600 s barrier-timeout wait.
+        assert elapsed < 60.0
+        # The finally path ran close_shared(): the named segment is gone.
+        assert shared_names
+        for name in shared_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
 
 # ---------------------------------------------------------------------------
